@@ -1,0 +1,251 @@
+// Benchmarks regenerating the paper's evaluation (§8): one benchmark per
+// figure, plus ablations of the design choices called out in DESIGN.md.
+// Each benchmark prints the same data series the corresponding figure
+// plots; run them all with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-versus-measured comparison. The
+// sweeps are scaled down from the paper's test beds (hundreds of
+// machines/clients, 20s windows) to a single machine; shapes, not
+// absolute numbers, are the reproduction target.
+package mvtl_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/bench"
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/cluster"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/workload"
+
+	mvtl "github.com/lpd-epfl/mvtl"
+)
+
+// storeKV adapts the public Store API to the workload driver.
+type storeKV struct{ s *mvtl.Store }
+
+func (s storeKV) Begin(ctx context.Context) (kv.Txn, error) {
+	tx, err := s.s.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return storeTxn{t: tx}, nil
+}
+
+type storeTxn struct{ t *mvtl.Txn }
+
+func (s storeTxn) Read(ctx context.Context, k string) ([]byte, error) { return s.t.Get(ctx, k) }
+func (s storeTxn) Write(ctx context.Context, k string, v []byte) error {
+	return s.t.Set(ctx, k, v)
+}
+func (s storeTxn) Commit(ctx context.Context) error { return s.t.Commit(ctx) }
+func (s storeTxn) Abort(ctx context.Context) error  { return s.t.Abort(ctx) }
+func (s storeTxn) ID() uint64                       { return s.t.ID() }
+
+// benchScale returns the sweep scale; -short halves the work.
+func benchScale(b *testing.B) bench.Scale {
+	b.Helper()
+	if testing.Short() {
+		return bench.QuickScale()
+	}
+	return bench.DefaultScale()
+}
+
+// reportBest records the best MVTIL row versus the best baseline row as
+// benchmark metrics.
+func reportBest(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	var bestTIL, bestBase float64
+	for _, r := range rows {
+		switch r.Mode {
+		case client.ModeTILEarly, client.ModeTILLate:
+			if r.Throughput > bestTIL {
+				bestTIL = r.Throughput
+			}
+		default:
+			if r.Throughput > bestBase {
+				bestBase = r.Throughput
+			}
+		}
+	}
+	b.ReportMetric(bestTIL, "mvtil-txs/s")
+	b.ReportMetric(bestBase, "baseline-txs/s")
+	if bestBase > 0 {
+		b.ReportMetric(bestTIL/bestBase, "speedup")
+	}
+}
+
+func BenchmarkFig1ConcurrencyLocal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig1(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBest(b, rows)
+	}
+}
+
+func BenchmarkFig2ConcurrencyCloud(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig2(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBest(b, rows)
+	}
+}
+
+func BenchmarkFig3WriteFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig3(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBest(b, rows)
+	}
+}
+
+func BenchmarkFig4SmallTransactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig4(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBest(b, rows)
+	}
+}
+
+func BenchmarkFig5ServerScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig5(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBest(b, rows)
+	}
+}
+
+func BenchmarkFig6StateSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Fig6(context.Background(), os.Stdout, benchScale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the final state sizes: without GC they grow; with GC
+		// they stay bounded.
+		for name, pts := range series {
+			if len(pts) == 0 {
+				continue
+			}
+			last := pts[len(pts)-1]
+			b.ReportMetric(float64(last.Locks), name+"-locks")
+		}
+	}
+}
+
+func BenchmarkFig7PerformanceOverTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(context.Background(), os.Stdout, benchScale(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations ----------------------------------------------------------------
+
+// BenchmarkAblationEarlyVsLate compares the MVTIL commit-timestamp
+// choice under a write-heavy contended cell.
+func BenchmarkAblationEarlyVsLate(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []client.Mode{client.ModeTILEarly, client.ModeTILLate} {
+			row, err := bench.RunCell(context.Background(), bench.Cell{
+				Mode: mode, Bed: cluster.BedLocal, Servers: 3,
+				Clients: 32, OpsPerTxn: 12, WriteFrac: 0.5, Keys: 2_000,
+				Delta: 5000, WarmUp: sc.WarmUp, Measure: sc.Measure,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Println("ablation early-vs-late:", row)
+			b.ReportMetric(row.Throughput, mode.String()+"-txs/s")
+		}
+	}
+}
+
+// BenchmarkAblationDelta sweeps the MVTIL interval width Δ: wider
+// intervals give more serialization points but increase lock footprint
+// and conflicts.
+func BenchmarkAblationDelta(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int64{500, 5_000, 50_000} {
+			row, err := bench.RunCell(context.Background(), bench.Cell{
+				Mode: client.ModeTILEarly, Bed: cluster.BedLocal, Servers: 3,
+				Clients: 32, OpsPerTxn: 12, WriteFrac: 0.5, Keys: 2_000,
+				Delta: d, WarmUp: sc.WarmUp, Measure: sc.Measure,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("ablation delta=%dus: %v\n", d, row)
+			b.ReportMetric(row.CommitRate, fmt.Sprintf("commit-rate-d%d", d))
+		}
+	}
+}
+
+// BenchmarkAblationRestart compares plain aborts with the paper's
+// restart-on-abort client behaviour (§8.1).
+func BenchmarkAblationRestart(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		for _, retry := range []bool{false, true} {
+			row, err := bench.RunCell(context.Background(), bench.Cell{
+				Mode: client.ModeTILEarly, Bed: cluster.BedLocal, Servers: 3,
+				Clients: 32, OpsPerTxn: 12, WriteFrac: 0.5, Keys: 2_000,
+				Delta: 5000, WarmUp: sc.WarmUp, Measure: sc.Measure, Retry: retry,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("ablation restart=%v: %v\n", retry, row)
+			b.ReportMetric(row.Throughput, fmt.Sprintf("retry-%v-txs/s", retry))
+		}
+	}
+}
+
+// BenchmarkAblationEmbeddedPolicies compares every in-process MVTL
+// policy on one contended workload (no network), isolating policy cost.
+func BenchmarkAblationEmbeddedPolicies(b *testing.B) {
+	algos := []mvtl.Algorithm{
+		mvtl.TILEarly, mvtl.TILLate, mvtl.TO, mvtl.Ghostbuster,
+		mvtl.Pref, mvtl.EpsilonClock, mvtl.Pessimistic,
+	}
+	for _, a := range algos {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store := mvtl.Open(mvtl.Options{Algorithm: a})
+				res, err := workload.Run(context.Background(), storeKV{store}, workload.Config{
+					Clients:       16,
+					OpsPerTxn:     8,
+					WriteFraction: 0.3,
+					Keys:          1_000,
+					Measure:       400 * time.Millisecond,
+					TxnTimeout:    200 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Throughput(), "txs/s")
+				b.ReportMetric(res.CommitRate(), "commit-rate")
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command mvtl-bench regenerates the paper's evaluation figures (§8.4)
+// from the command line, with adjustable scale. Each experiment prints
+// the data series the corresponding figure plots: throughput and commit
+// rate per protocol (MVTO+, 2PL, MVTIL-early, MVTIL-late).
+//
+// Usage:
+//
+//	mvtl-bench -exp fig1
+//	mvtl-bench -exp all -measure 3s -clients 8,16,32,64,128
+//	mvtl-bench -exp cell -mode mvtil-early -servers 4 -nclients 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/bench"
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/cluster"
+)
+
+func parseClients(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad client count %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseMode(s string) (client.Mode, error) {
+	switch s {
+	case "mvtil-early":
+		return client.ModeTILEarly, nil
+	case "mvtil-late":
+		return client.ModeTILLate, nil
+	case "mvto+", "mvto":
+		return client.ModeTO, nil
+	case "2pl", "pessimistic":
+		return client.ModePessimistic, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (mvtil-early, mvtil-late, mvto+, 2pl)", s)
+	}
+}
+
+func main() {
+	log.SetPrefix("mvtl-bench: ")
+	log.SetFlags(0)
+
+	exp := flag.String("exp", "all", "experiment: fig1..fig7, all, or cell")
+	measure := flag.Duration("measure", 1500*time.Millisecond, "measurement window per cell")
+	warmup := flag.Duration("warmup", 400*time.Millisecond, "warm-up per cell")
+	clients := flag.String("clients", "4,8,16,32,64", "client sweep points (comma separated)")
+
+	// -exp cell flags.
+	modeFlag := flag.String("mode", "mvtil-early", "protocol for -exp cell")
+	servers := flag.Int("servers", 3, "servers for -exp cell")
+	nclients := flag.Int("nclients", 32, "clients for -exp cell")
+	ops := flag.Int("ops", 20, "operations per transaction for -exp cell")
+	writes := flag.Float64("writes", 0.25, "write fraction for -exp cell")
+	keys := flag.Int("keys", 10000, "keyspace for -exp cell")
+	cloud := flag.Bool("cloud", false, "use the cloud bed for -exp cell")
+	flag.Parse()
+
+	points, err := parseClients(*clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bench.Scale{ClientPoints: points, Measure: *measure, WarmUp: *warmup}
+	ctx := context.Background()
+	w := os.Stdout
+
+	type figFn func() error
+	figs := map[string]figFn{
+		"fig1": func() error { _, err := bench.Fig1(ctx, w, sc); return err },
+		"fig2": func() error { _, err := bench.Fig2(ctx, w, sc); return err },
+		"fig3": func() error { _, err := bench.Fig3(ctx, w, sc); return err },
+		"fig4": func() error { _, err := bench.Fig4(ctx, w, sc); return err },
+		"fig5": func() error { _, err := bench.Fig5(ctx, w, sc); return err },
+		"fig6": func() error { _, err := bench.Fig6(ctx, w, sc); return err },
+		"fig7": func() error { _, err := bench.Fig7(ctx, w, sc); return err },
+	}
+
+	switch *exp {
+	case "all":
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} {
+			if err := figs[name](); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+	case "cell":
+		mode, err := parseMode(*modeFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bed := cluster.BedLocal
+		if *cloud {
+			bed = cluster.BedCloud
+		}
+		row, err := bench.RunCell(ctx, bench.Cell{
+			Mode: mode, Bed: bed, Servers: *servers,
+			Clients: *nclients, OpsPerTxn: *ops, WriteFrac: *writes, Keys: *keys,
+			Delta: 5000, WarmUp: *warmup, Measure: *measure,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, row)
+	default:
+		fn, ok := figs[*exp]
+		if !ok {
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

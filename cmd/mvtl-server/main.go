@@ -1,0 +1,62 @@
+// Command mvtl-server runs one MVTL storage server (§7/§H of the paper)
+// over TCP. Start several on different ports, then point coordinators —
+// cmd/mvtl-cli or the client package — at the full list; keys partition
+// across servers by hash.
+//
+// Usage:
+//
+//	mvtl-server -addr :7401
+//	mvtl-server -addr :7402 -write-lock-timeout 3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/server"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+)
+
+func main() {
+	log.SetPrefix("mvtl-server: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	addr := flag.String("addr", ":7401", "listen address")
+	lockWait := flag.Duration("lock-wait-timeout", time.Second,
+		"maximum time a blocking lock request may wait (deadlock resolution)")
+	writeLockTimeout := flag.Duration("write-lock-timeout", 3*time.Second,
+		"unfrozen write locks older than this trigger coordinator suspicion (§H)")
+	scanInterval := flag.Duration("scan-interval", 250*time.Millisecond,
+		"suspicion scanner period")
+	verbose := flag.Bool("v", false, "log server diagnostics")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:             *addr,
+		Network:          transport.TCP{},
+		LockWaitTimeout:  *lockWait,
+		WriteLockTimeout: *writeLockTimeout,
+		ScanInterval:     *scanInterval,
+	}
+	if *verbose {
+		cfg.Logger = log.Default()
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mvtl storage server listening on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

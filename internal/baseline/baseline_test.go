@@ -1,0 +1,322 @@
+package baseline_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/baseline"
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+func newMVTO() *baseline.MVTO {
+	var src clock.Logical
+	return baseline.NewMVTO(clock.NewProcess(&src, 1), nil)
+}
+
+func TestMVTORoundtrip(t *testing.T) {
+	db := newMVTO()
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if err := tx.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin(ctx)
+	v, err := tx2.Read(ctx, "x")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("read %q %v", v, err)
+	}
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVTOReadYourWrites(t *testing.T) {
+	db := newMVTO()
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_ = tx.Write(ctx, "x", []byte("mine"))
+	v, _ := tx.Read(ctx, "x")
+	if string(v) != "mine" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestMVTOWriteBelowReadAborts(t *testing.T) {
+	db := newMVTO()
+	ctx := context.Background()
+	// T1 (earlier ts) begins first.
+	t1, _ := db.Begin(ctx)
+	t2, _ := db.Begin(ctx)
+	// T2 reads x: bumps readTS of ⊥ to ts2.
+	if _, err := t2.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// T1 writes x at ts1 < ts2: must abort.
+	_ = t1.Write(ctx, "x", []byte("late"))
+	if err := t1.Commit(ctx); !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+}
+
+func TestMVTOGhostAbort(t *testing.T) {
+	// The §5.5 ghost schedule against native MVTO+: T1 aborts due to the
+	// already-aborted T2's read timestamp.
+	db := newMVTO()
+	ctx := context.Background()
+	t1, _ := db.Begin(ctx)
+	t2, _ := db.Begin(ctx)
+	t3, _ := db.Begin(ctx)
+
+	if _, err := t3.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(ctx, "y"); err != nil {
+		t.Fatal(err)
+	}
+	_ = t2.Write(ctx, "x", nil)
+	if err := t2.Commit(ctx); !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("T2 should abort: %v", err)
+	}
+	_ = t1.Write(ctx, "y", nil)
+	if err := t1.Commit(ctx); !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("T1 should ghost-abort under MVTO+: %v", err)
+	}
+}
+
+func TestMVTOBlindWritesCommit(t *testing.T) {
+	db := newMVTO()
+	ctx := context.Background()
+	t1, _ := db.Begin(ctx)
+	t2, _ := db.Begin(ctx)
+	_ = t1.Write(ctx, "x", []byte("a"))
+	_ = t2.Write(ctx, "x", []byte("b"))
+	if err := t2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVTOPurge(t *testing.T) {
+	var src clock.Manual
+	db := baseline.NewMVTO(clock.NewProcess(&src, 1), nil)
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		src.Set(int64(i * 10))
+		tx, _ := db.Begin(ctx)
+		_ = tx.Write(ctx, "x", []byte{byte(i)})
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, versions := db.StateStats()
+	if versions != 6 {
+		t.Fatalf("versions = %d", versions)
+	}
+	if removed := db.PurgeBelow(timestamp.New(35, 0)); removed != 3 {
+		t.Fatalf("removed = %d", removed)
+	}
+	// A reader whose timestamp falls below the purge floor aborts.
+	old, err := db.BeginAt(ctx, timestamp.New(15, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Read(ctx, "x"); err == nil {
+		t.Fatal("read below purge floor must abort")
+	}
+}
+
+func TestTwoPLRoundtrip(t *testing.T) {
+	db := baseline.NewTwoPL(nil)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if err := tx.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin(ctx)
+	v, err := tx2.Read(ctx, "x")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("%q %v", v, err)
+	}
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLWriterBlocksReader(t *testing.T) {
+	db := baseline.NewTwoPL(nil)
+	ctx := context.Background()
+	w, _ := db.Begin(ctx)
+	if err := w.Write(ctx, "x", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	// Reader times out while the writer holds the lock.
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	r, _ := db.Begin(rctx)
+	if _, err := r.Read(rctx, "x"); !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("reader should abort on timeout, got %v", err)
+	}
+	// After the writer commits, readers proceed.
+	if err := w.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := db.Begin(ctx)
+	if v, err := r2.Read(ctx, "x"); err != nil || string(v) != "w" {
+		t.Fatalf("%q %v", v, err)
+	}
+}
+
+func TestTwoPLSharedReaders(t *testing.T) {
+	db := baseline.NewTwoPL(nil)
+	ctx := context.Background()
+	r1, _ := db.Begin(ctx)
+	r2, _ := db.Begin(ctx)
+	if _, err := r1.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r1.Commit(ctx)
+	_ = r2.Commit(ctx)
+}
+
+func TestTwoPLUpgrade(t *testing.T) {
+	db := baseline.NewTwoPL(nil)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if _, err := tx.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(ctx, "x", []byte("up")); err != nil {
+		t.Fatalf("sole reader must upgrade: %v", err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLDeadlockResolvedByTimeout(t *testing.T) {
+	db := baseline.NewTwoPL(nil)
+	ctx := context.Background()
+	a, _ := db.Begin(ctx)
+	b, _ := db.Begin(ctx)
+	if err := a.Write(ctx, "x", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(ctx, "y", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		defer cancel()
+		errs[0] = a.Write(ctx, "y", []byte("a"))
+	}()
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+		defer cancel()
+		errs[1] = b.Write(ctx, "x", []byte("b"))
+	}()
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("deadlock should abort at least one transaction")
+	}
+}
+
+// runKV drives any kv.DB with a random workload; returns commits.
+func runKV(t *testing.T, db kv.DB, seedBase int64) int {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits := 0
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := 0
+			for i := 0; i < 60; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					cancel()
+					continue
+				}
+				ok := true
+				for op := 0; op < 5; op++ {
+					k := fmt.Sprintf("k%d", rng.Intn(10))
+					if rng.Intn(2) == 0 {
+						_, err = tx.Read(ctx, k)
+					} else {
+						err = tx.Write(ctx, k, []byte{byte(op)})
+					}
+					if err != nil {
+						ok = false
+						break
+					}
+				}
+				if ok && tx.Commit(ctx) == nil {
+					local++
+				} else {
+					_ = tx.Abort(ctx)
+				}
+				cancel()
+			}
+			mu.Lock()
+			commits += local
+			mu.Unlock()
+		}(seedBase + int64(g))
+	}
+	wg.Wait()
+	return commits
+}
+
+func TestMVTOStressSerializable(t *testing.T) {
+	var rec history.Recorder
+	var src clock.Logical
+	db := baseline.NewMVTO(clock.NewProcess(&src, 1), &rec)
+	if commits := runKV(t, db, 1); commits == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("MVTO+ serializability violated: %v", err)
+	}
+}
+
+func TestTwoPLStressSerializable(t *testing.T) {
+	var rec history.Recorder
+	db := baseline.NewTwoPL(&rec)
+	if commits := runKV(t, db, 100); commits == 0 {
+		t.Fatal("nothing committed")
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("2PL serializability violated: %v", err)
+	}
+}

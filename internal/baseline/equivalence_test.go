@@ -1,0 +1,222 @@
+package baseline_test
+
+// Equivalence tests for Theorems 5 and 6: MVTL-TO specializes MVTL to
+// behave exactly like MVTO+, and MVTL-Pessimistic like pessimistic
+// concurrency control. We replay identical randomly generated workloads
+// (single-threaded, so decisions are deterministic) against the MVTL
+// policy and the native baseline and require identical commit/abort
+// decisions and identical read results.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/baseline"
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/policy"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// wlOp is one step of a generated workload.
+type wlOp struct {
+	txn    int // workload-level transaction index
+	kind   int // 0=read 1=write 2=commit 3=abort
+	key    string
+	value  []byte
+	clockT int64 // clock reading when the transaction starts
+}
+
+// genWorkload builds an interleaved multi-transaction workload. Every
+// transaction gets a distinct, increasing start clock; operations of
+// different transactions interleave.
+func genWorkload(rng *rand.Rand, txns, keys int) []wlOp {
+	type txnPlan struct {
+		ops  []wlOp
+		next int
+	}
+	plans := make([]*txnPlan, txns)
+	for i := range plans {
+		n := 1 + rng.Intn(5)
+		p := &txnPlan{}
+		for j := 0; j < n; j++ {
+			op := wlOp{txn: i, key: fmt.Sprintf("k%d", rng.Intn(keys)), clockT: int64((i + 1) * 10)}
+			if rng.Intn(2) == 0 {
+				op.kind = 0
+			} else {
+				op.kind = 1
+				op.value = []byte(fmt.Sprintf("t%d-%d", i, j))
+			}
+			p.ops = append(p.ops, op)
+		}
+		end := wlOp{txn: i, clockT: int64((i + 1) * 10)}
+		if rng.Intn(8) == 0 {
+			end.kind = 3
+		} else {
+			end.kind = 2
+		}
+		p.ops = append(p.ops, end)
+		plans[i] = p
+	}
+	var out []wlOp
+	live := make([]int, txns)
+	for i := range live {
+		live[i] = i
+	}
+	for len(live) > 0 {
+		i := rng.Intn(len(live))
+		p := plans[live[i]]
+		out = append(out, p.ops[p.next])
+		p.next++
+		if p.next == len(p.ops) {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return out
+}
+
+// replayResult captures observable behaviour of a workload replay.
+type replayResult struct {
+	committed []bool
+	reads     []string // rendered "txn/key=value" in execution order
+}
+
+// replay runs ops against db; per-transaction clocks are pinned via
+// mkTxn, which starts transaction i.
+func replay(t *testing.T, ops []wlOp, txns int, mkTxn func(i int, clockT int64) kv.Txn) replayResult {
+	t.Helper()
+	ctx := context.Background()
+	res := replayResult{committed: make([]bool, txns)}
+	txs := make([]kv.Txn, txns)
+	dead := make([]bool, txns)
+	for _, op := range ops {
+		if dead[op.txn] {
+			continue
+		}
+		if txs[op.txn] == nil {
+			txs[op.txn] = mkTxn(op.txn, op.clockT)
+		}
+		tx := txs[op.txn]
+		switch op.kind {
+		case 0:
+			v, err := tx.Read(ctx, op.key)
+			if err != nil {
+				dead[op.txn] = true
+				continue
+			}
+			res.reads = append(res.reads, fmt.Sprintf("%d/%s=%s", op.txn, op.key, v))
+		case 1:
+			if err := tx.Write(ctx, op.key, op.value); err != nil {
+				dead[op.txn] = true
+			}
+		case 2:
+			if err := tx.Commit(ctx); err == nil {
+				res.committed[op.txn] = true
+			}
+			dead[op.txn] = true
+		case 3:
+			_ = tx.Abort(ctx)
+			dead[op.txn] = true
+		}
+	}
+	return res
+}
+
+// TestTOEquivalentToMVTO replays random workloads against MVTL-TO and
+// native MVTO+ and requires identical commit decisions and read results
+// (Theorem 5).
+func TestTOEquivalentToMVTO(t *testing.T) {
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(round)))
+		const txns, keys = 8, 4
+		ops := genWorkload(rng, txns, keys)
+
+		var srcA clock.Logical
+		mvtlDB := core.New(policy.NewTO(clock.NewProcess(&srcA, 0)), core.Options{})
+		a := replay(t, ops, txns, func(i int, clockT int64) kv.Txn {
+			tx, err := mvtlDB.Begin(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m clock.Manual
+			m.Set(clockT)
+			tx.Clock = clock.NewProcess(&m, int32(i+1))
+			return tx
+		})
+
+		var srcB clock.Logical
+		mvtoDB := baseline.NewMVTO(clock.NewProcess(&srcB, 0), nil)
+		b := replay(t, ops, txns, func(i int, clockT int64) kv.Txn {
+			// Force the same timestamp (clockT, i+1) as MVTL-TO got.
+			tx, err := mvtoDB.BeginAt(context.Background(), timestamp.New(clockT, int32(i+1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		})
+
+		if fmt.Sprint(a.committed) != fmt.Sprint(b.committed) {
+			t.Fatalf("round %d: commit decisions diverge\nops: %+v\nmvtl-to: %v\nmvto+:  %v",
+				round, ops, a.committed, b.committed)
+		}
+		if fmt.Sprint(a.reads) != fmt.Sprint(b.reads) {
+			t.Fatalf("round %d: reads diverge\nmvtl-to: %v\nmvto+:  %v", round, a.reads, b.reads)
+		}
+	}
+}
+
+// TestPessimisticNeverAbortsSerial replays serial (non-interleaved)
+// workloads against MVTL-Pessimistic: like 2PL, a serial execution never
+// aborts and reads match the 2PL baseline (Theorem 6).
+func TestPessimisticNeverAbortsSerial(t *testing.T) {
+	const rounds = 40
+	for round := 0; round < rounds; round++ {
+		rng := rand.New(rand.NewSource(int64(round) + 500))
+		const txns, keys = 6, 3
+		// Serial workload: transactions do not interleave.
+		var ops []wlOp
+		for i := 0; i < txns; i++ {
+			n := 1 + rng.Intn(4)
+			for j := 0; j < n; j++ {
+				kind := rng.Intn(2)
+				ops = append(ops, wlOp{
+					txn: i, kind: kind,
+					key:    fmt.Sprintf("k%d", rng.Intn(keys)),
+					value:  []byte(fmt.Sprintf("t%d-%d", i, j)),
+					clockT: int64((i + 1) * 10),
+				})
+			}
+			ops = append(ops, wlOp{txn: i, kind: 2, clockT: int64((i + 1) * 10)})
+		}
+
+		pessDB := core.New(policy.NewPessimistic(), core.Options{})
+		a := replay(t, ops, txns, func(i int, clockT int64) kv.Txn {
+			tx, err := pessDB.Begin(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		})
+		for i, ok := range a.committed {
+			if !ok {
+				t.Fatalf("round %d: serial txn %d aborted under MVTL-Pessimistic", round, i)
+			}
+		}
+
+		twoplDB := baseline.NewTwoPL(nil)
+		b := replay(t, ops, txns, func(i int, clockT int64) kv.Txn {
+			tx, err := twoplDB.Begin(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tx
+		})
+		if fmt.Sprint(a.reads) != fmt.Sprint(b.reads) {
+			t.Fatalf("round %d: reads diverge\npessimistic: %v\n2pl:        %v", round, a.reads, b.reads)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package baseline implements the two comparison engines of the paper's
+// evaluation (§8): MVTO+ — multiversion timestamp ordering without
+// cascading aborts — and strict two-phase locking (2PL). Both expose the
+// same kv interface as the MVTL engine so workloads can drive all three
+// uniformly.
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// mvtoVersion is one committed version with its read timestamp: the
+// largest transaction timestamp that read it (§3).
+type mvtoVersion struct {
+	ts     timestamp.Timestamp
+	value  []byte
+	readTS timestamp.Timestamp
+}
+
+// mvtoKey is the per-key state: committed versions sorted by timestamp.
+type mvtoKey struct {
+	mu       sync.Mutex
+	versions []mvtoVersion // sorted by ts; seeded with ⊥@Zero
+	floor    timestamp.Timestamp
+}
+
+// read returns the latest version before t and bumps its read timestamp
+// to t, atomically (the classic MVTO read rule).
+func (k *mvtoKey) read(t timestamp.Timestamp) ([]byte, timestamp.Timestamp, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if t.AtOrBefore(k.floor) {
+		return nil, timestamp.Timestamp{}, fmt.Errorf("mvto: read at %v below purge floor %v: %w", t, k.floor, kv.ErrAborted)
+	}
+	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i].ts.AtOrAfter(t) })
+	if i == 0 {
+		return nil, timestamp.Timestamp{}, fmt.Errorf("mvto: no version before %v: %w", t, kv.ErrAborted)
+	}
+	v := &k.versions[i-1]
+	if t.After(v.readTS) {
+		v.readTS = t
+	}
+	return v.value, v.ts, nil
+}
+
+// validateWrite checks the MVTO write rule at commit: writing at t is
+// allowed iff the latest version before t has not been read by any
+// transaction beyond t. It must be called with the key locked.
+func (k *mvtoKey) validateWriteLocked(t timestamp.Timestamp) error {
+	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i].ts.AtOrAfter(t) })
+	if i == 0 {
+		return fmt.Errorf("mvto: write at %v below history: %w", t, kv.ErrAborted)
+	}
+	if i < len(k.versions) && k.versions[i].ts == t {
+		return fmt.Errorf("mvto: version exists at %v: %w", t, kv.ErrAborted)
+	}
+	if prev := k.versions[i-1]; prev.readTS.After(t) {
+		return fmt.Errorf("mvto: version at %v read at %v > write %v: %w", prev.ts, prev.readTS, t, kv.ErrAborted)
+	}
+	return nil
+}
+
+// installLocked exposes a committed version at t; the write rule must
+// have been validated under the same critical section.
+func (k *mvtoKey) installLocked(t timestamp.Timestamp, value []byte) {
+	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i].ts.AtOrAfter(t) })
+	k.versions = append(k.versions, mvtoVersion{})
+	copy(k.versions[i+1:], k.versions[i:])
+	k.versions[i] = mvtoVersion{ts: t, value: value, readTS: t}
+}
+
+// purgeBelow keeps the newest version below t and drops the rest.
+func (k *mvtoKey) purgeBelow(t timestamp.Timestamp) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	i := sort.Search(len(k.versions), func(i int) bool { return k.versions[i].ts.AtOrAfter(t) })
+	if i <= 1 {
+		return 0
+	}
+	removed := i - 1
+	k.versions = append(k.versions[:0], k.versions[removed:]...)
+	if k.versions[0].ts.After(k.floor) {
+		k.floor = k.versions[0].ts
+	}
+	return removed
+}
+
+// MVTO is the MVTO+ engine: multiversion timestamp ordering that never
+// reads uncommitted data (buffered writes are installed only at commit),
+// so it has no cascading aborts — the paper's principal multiversion
+// baseline.
+type MVTO struct {
+	clk  *clock.Process
+	rec  *history.Recorder
+	mu   sync.RWMutex
+	keys map[string]*mvtoKey
+
+	idMu   sync.Mutex
+	nextID uint64
+}
+
+var _ kv.DB = (*MVTO)(nil)
+
+// NewMVTO returns an empty MVTO+ store drawing timestamps from clk. rec
+// may be nil.
+func NewMVTO(clk *clock.Process, rec *history.Recorder) *MVTO {
+	return &MVTO{clk: clk, rec: rec, keys: make(map[string]*mvtoKey), nextID: 1}
+}
+
+func (db *MVTO) key(k string) *mvtoKey {
+	db.mu.RLock()
+	ks, ok := db.keys[k]
+	db.mu.RUnlock()
+	if ok {
+		return ks
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ks, ok = db.keys[k]; ok {
+		return ks
+	}
+	ks = &mvtoKey{versions: []mvtoVersion{{ts: timestamp.Zero}}}
+	db.keys[k] = ks
+	return ks
+}
+
+// Begin implements kv.DB.
+func (db *MVTO) Begin(ctx context.Context) (kv.Txn, error) {
+	return db.BeginAt(ctx, db.clk.Now())
+}
+
+// BeginAt starts a transaction with an explicit timestamp, bypassing the
+// clock. Timestamps must be unique per transaction; intended for tests
+// and for the distributed client, which draws timestamps from its own
+// clock.
+func (db *MVTO) BeginAt(ctx context.Context, ts timestamp.Timestamp) (kv.Txn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.idMu.Lock()
+	id := db.nextID
+	db.nextID++
+	db.idMu.Unlock()
+	return &mvtoTxn{db: db, id: id, ts: ts, writes: map[string][]byte{}}, nil
+}
+
+// StateStats reports the number of keys and versions held, for the
+// state-size experiment (Figure 6).
+func (db *MVTO) StateStats() (keys, versions int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, ks := range db.keys {
+		ks.mu.Lock()
+		versions += len(ks.versions)
+		ks.mu.Unlock()
+		keys++
+	}
+	return keys, versions
+}
+
+// PurgeBelow discards versions below the bound, keeping one boundary
+// version per key.
+func (db *MVTO) PurgeBelow(bound timestamp.Timestamp) int {
+	db.mu.RLock()
+	list := make([]*mvtoKey, 0, len(db.keys))
+	for _, ks := range db.keys {
+		list = append(list, ks)
+	}
+	db.mu.RUnlock()
+	removed := 0
+	for _, ks := range list {
+		removed += ks.purgeBelow(bound)
+	}
+	return removed
+}
+
+// mvtoTxn is one MVTO+ transaction.
+type mvtoTxn struct {
+	db     *MVTO
+	id     uint64
+	ts     timestamp.Timestamp
+	reads  []history.Read
+	writes map[string][]byte
+	order  []string
+	done   bool
+}
+
+var _ kv.Txn = (*mvtoTxn)(nil)
+
+// ID implements kv.Txn.
+func (tx *mvtoTxn) ID() uint64 { return tx.id }
+
+// Read implements kv.Txn: reads never block and never abort (except on
+// purged history), the hallmark of timestamp ordering.
+func (tx *mvtoTxn) Read(_ context.Context, k string) ([]byte, error) {
+	if tx.done {
+		return nil, kv.ErrTxnDone
+	}
+	if v, ok := tx.writes[k]; ok {
+		return v, nil
+	}
+	v, vts, err := tx.db.key(k).read(tx.ts)
+	if err != nil {
+		tx.done = true
+		return nil, err
+	}
+	tx.reads = append(tx.reads, history.Read{Key: k, VersionTS: vts})
+	return v, nil
+}
+
+// Write implements kv.Txn: buffered until commit (the "+" in MVTO+).
+func (tx *mvtoTxn) Write(_ context.Context, k string, v []byte) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	if _, dup := tx.writes[k]; !dup {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = v
+	return nil
+}
+
+// Commit implements kv.Txn: validate the write rule on every written key
+// under the keys' locks (taken in sorted order), then install.
+func (tx *mvtoTxn) Commit(context.Context) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	tx.done = true
+	if len(tx.order) > 0 {
+		keys := append([]string(nil), tx.order...)
+		sort.Strings(keys)
+		states := make([]*mvtoKey, len(keys))
+		for i, k := range keys {
+			states[i] = tx.db.key(k)
+			states[i].mu.Lock()
+		}
+		defer func() {
+			for _, ks := range states {
+				ks.mu.Unlock()
+			}
+		}()
+		for i, k := range keys {
+			_ = k
+			if err := states[i].validateWriteLocked(tx.ts); err != nil {
+				return err
+			}
+		}
+		for i, k := range keys {
+			states[i].installLocked(tx.ts, tx.writes[k])
+		}
+	}
+	if tx.db.rec != nil {
+		tx.db.rec.Record(history.Commit{
+			ID:        tx.id,
+			CommitTS:  tx.ts,
+			Reads:     tx.reads,
+			WriteKeys: append([]string(nil), tx.order...),
+		})
+	}
+	return nil
+}
+
+// Abort implements kv.Txn. As in MVTO+, read timestamps bumped by this
+// transaction stay behind — the source of ghost aborts (§5.5).
+func (tx *mvtoTxn) Abort(context.Context) error {
+	tx.done = true
+	return nil
+}

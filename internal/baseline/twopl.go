@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// rwLock is a readers-writer object lock with context-aware waiting, as
+// used by strict 2PL. Deadlocks are resolved by the caller's context
+// deadline (the paper's 2PL baseline uses timeouts tuned for maximum
+// throughput, §8.4.1).
+type rwLock struct {
+	mu      sync.Mutex
+	readers map[uint64]bool
+	writer  uint64 // 0 = none
+	changed chan struct{}
+}
+
+func newRWLock() *rwLock {
+	return &rwLock{readers: map[uint64]bool{}, changed: make(chan struct{})}
+}
+
+func (l *rwLock) broadcastLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// lockRead acquires a shared lock for owner, waiting while another owner
+// holds the write lock.
+func (l *rwLock) lockRead(ctx context.Context, owner uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.writer == 0 || l.writer == owner {
+			l.readers[owner] = true
+			return nil
+		}
+		if err := l.waitLocked(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// lockWrite acquires the exclusive lock for owner, upgrading its own
+// read lock if it is the sole reader.
+func (l *rwLock) lockWrite(ctx context.Context, owner uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		othersReading := len(l.readers) > 1 || (len(l.readers) == 1 && !l.readers[owner])
+		if (l.writer == 0 || l.writer == owner) && !othersReading {
+			l.writer = owner
+			return nil
+		}
+		if err := l.waitLocked(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// unlock releases every lock owner holds on this object.
+func (l *rwLock) unlock(owner uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	changed := false
+	if l.readers[owner] {
+		delete(l.readers, owner)
+		changed = true
+	}
+	if l.writer == owner {
+		l.writer = 0
+		changed = true
+	}
+	if changed {
+		l.broadcastLocked()
+	}
+}
+
+func (l *rwLock) waitLocked(ctx context.Context) error {
+	ch := l.changed
+	l.mu.Unlock()
+	select {
+	case <-ch:
+		l.mu.Lock()
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		return ctx.Err()
+	}
+}
+
+// twoPLKey is the per-key state: one object lock and one current value.
+type twoPLKey struct {
+	lock *rwLock
+
+	valMu sync.Mutex
+	value []byte
+	// versionTS is a logical tag (the commit sequence number of the
+	// writer) used only for history checking.
+	versionTS timestamp.Timestamp
+}
+
+// TwoPL is the strict two-phase-locking engine: transactions lock whole
+// objects (shared for reads, exclusive for writes), hold all locks to
+// commit, and release them afterwards — the paper's lock-based baseline.
+type TwoPL struct {
+	rec  *history.Recorder
+	mu   sync.RWMutex
+	keys map[string]*twoPLKey
+
+	idMu     sync.Mutex
+	nextID   uint64
+	commitSq int64
+}
+
+var _ kv.DB = (*TwoPL)(nil)
+
+// NewTwoPL returns an empty 2PL store. rec may be nil.
+func NewTwoPL(rec *history.Recorder) *TwoPL {
+	return &TwoPL{rec: rec, keys: make(map[string]*twoPLKey), nextID: 1}
+}
+
+func (db *TwoPL) key(k string) *twoPLKey {
+	db.mu.RLock()
+	ks, ok := db.keys[k]
+	db.mu.RUnlock()
+	if ok {
+		return ks
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ks, ok = db.keys[k]; ok {
+		return ks
+	}
+	ks = &twoPLKey{lock: newRWLock()}
+	db.keys[k] = ks
+	return ks
+}
+
+// Begin implements kv.DB.
+func (db *TwoPL) Begin(ctx context.Context) (kv.Txn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.idMu.Lock()
+	id := db.nextID
+	db.nextID++
+	db.idMu.Unlock()
+	return &twoPLTxn{db: db, id: id, writes: map[string][]byte{}, locked: map[string]*twoPLKey{}}, nil
+}
+
+// twoPLTxn is one 2PL transaction.
+type twoPLTxn struct {
+	db     *TwoPL
+	id     uint64
+	reads  []history.Read
+	writes map[string][]byte
+	order  []string
+	locked map[string]*twoPLKey
+	done   bool
+}
+
+var _ kv.Txn = (*twoPLTxn)(nil)
+
+// ID implements kv.Txn.
+func (tx *twoPLTxn) ID() uint64 { return tx.id }
+
+// Read implements kv.Txn: take the shared object lock, then read the
+// single current value.
+func (tx *twoPLTxn) Read(ctx context.Context, k string) ([]byte, error) {
+	if tx.done {
+		return nil, kv.ErrTxnDone
+	}
+	if v, ok := tx.writes[k]; ok {
+		return v, nil
+	}
+	ks := tx.db.key(k)
+	if err := ks.lock.lockRead(ctx, tx.id); err != nil {
+		tx.releaseAndAbort()
+		return nil, fmt.Errorf("2pl read %q: %w (%v)", k, kv.ErrAborted, err)
+	}
+	tx.locked[k] = ks
+	ks.valMu.Lock()
+	v, vts := ks.value, ks.versionTS
+	ks.valMu.Unlock()
+	tx.reads = append(tx.reads, history.Read{Key: k, VersionTS: vts})
+	return v, nil
+}
+
+// Write implements kv.Txn: take the exclusive object lock immediately
+// (pessimistic), buffer the value until commit.
+func (tx *twoPLTxn) Write(ctx context.Context, k string, v []byte) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	ks := tx.db.key(k)
+	if err := ks.lock.lockWrite(ctx, tx.id); err != nil {
+		tx.releaseAndAbort()
+		return fmt.Errorf("2pl write %q: %w (%v)", k, kv.ErrAborted, err)
+	}
+	tx.locked[k] = ks
+	if _, dup := tx.writes[k]; !dup {
+		tx.order = append(tx.order, k)
+	}
+	tx.writes[k] = v
+	return nil
+}
+
+// Commit implements kv.Txn: install buffered writes under the held
+// exclusive locks, then release everything (strictness).
+func (tx *twoPLTxn) Commit(context.Context) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	tx.done = true
+	tx.db.idMu.Lock()
+	tx.db.commitSq++
+	seq := tx.db.commitSq
+	tx.db.idMu.Unlock()
+	cts := timestamp.New(seq, 0)
+	for _, k := range tx.order {
+		ks := tx.locked[k]
+		ks.valMu.Lock()
+		ks.value = tx.writes[k]
+		ks.versionTS = cts
+		ks.valMu.Unlock()
+	}
+	if tx.db.rec != nil {
+		tx.db.rec.Record(history.Commit{
+			ID:        tx.id,
+			CommitTS:  cts,
+			Reads:     tx.reads,
+			WriteKeys: append([]string(nil), tx.order...),
+		})
+	}
+	tx.release()
+	return nil
+}
+
+// Abort implements kv.Txn.
+func (tx *twoPLTxn) Abort(context.Context) error {
+	if tx.done {
+		return nil
+	}
+	tx.releaseAndAbort()
+	return nil
+}
+
+func (tx *twoPLTxn) releaseAndAbort() {
+	tx.done = true
+	tx.release()
+}
+
+func (tx *twoPLTxn) release() {
+	for _, ks := range tx.locked {
+		ks.lock.unlock(tx.id)
+	}
+}

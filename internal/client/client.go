@@ -1,0 +1,262 @@
+// Package client implements the transaction coordinator of the
+// distributed MVTL algorithm (§7/§H, Algorithms 11-12). A Client owns
+// connections to the storage servers, partitions keys among them, and
+// runs transactions under one of three locking strategies:
+//
+//   - ModeTILEarly / ModeTILLate — MVTIL, the interval-locking variant
+//     evaluated in §8: the transaction's interval I=[t, t+Δ] shrinks as
+//     locks are partially acquired, and the commit timestamp is the
+//     smallest (early) or largest (late) commonly locked point;
+//   - ModeTO — distributed timestamp ordering, the MVTO+ comparison
+//     point (Theorem 5);
+//   - ModePessimistic — distributed 2PL via timeline-tail locking
+//     (Theorem 6).
+//
+// All three run against the same storage servers and wire protocol, so
+// the comparison isolates the concurrency control discipline, exactly as
+// in the paper's evaluation framework (§8.1).
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// Mode selects the coordinator's concurrency control strategy.
+type Mode uint8
+
+// Coordinator modes.
+const (
+	ModeTILEarly Mode = iota + 1
+	ModeTILLate
+	ModeTO
+	ModePessimistic
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeTILEarly:
+		return "mvtil-early"
+	case ModeTILLate:
+		return "mvtil-late"
+	case ModeTO:
+		return "mvto+"
+	case ModePessimistic:
+		return "2pl"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// ID distinguishes this client process; it is folded into
+	// transaction ids and timestamp process ids, so it must be unique
+	// across clients. Must be nonzero.
+	ID int32
+	// Servers are the storage server addresses; keys partition across
+	// them by hash (§7).
+	Servers []string
+	// Network provides the transport.
+	Network transport.Network
+	// Mode selects the strategy.
+	Mode Mode
+	// Delta is the MVTIL interval width in clock ticks (the paper uses
+	// Δ = 5ms with microsecond ticks).
+	Delta int64
+	// Clock is the client's local clock; no synchronization is assumed
+	// (§8). Defaults to the system clock.
+	Clock clock.Source
+	// Recorder, when non-nil, receives committed transaction footprints
+	// for offline serializability checking (tests only).
+	Recorder *history.Recorder
+}
+
+// Client coordinates transactions from one client process.
+type Client struct {
+	cfg Config
+	clk *clock.Process
+
+	mu     sync.Mutex
+	conns  map[string]*rpcConn
+	nextSq uint32
+}
+
+var _ kv.DB = (*Client)(nil)
+
+// New returns a coordinator. Dial errors surface lazily on first use of
+// each server.
+func New(cfg Config) (*Client, error) {
+	if cfg.ID == 0 {
+		return nil, fmt.Errorf("client: Config.ID must be nonzero")
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("client: no servers configured")
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("client: Config.Network is required")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeTILEarly
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 5000 // 5ms in microsecond ticks
+	}
+	src := cfg.Clock
+	if src == nil {
+		src = clock.System{}
+	}
+	return &Client{
+		cfg:   cfg,
+		clk:   clock.NewProcess(src, cfg.ID),
+		conns: make(map[string]*rpcConn),
+	}, nil
+}
+
+// Close tears down all server connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = map[string]*rpcConn{}
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.close()
+	}
+	return nil
+}
+
+// AdvanceClock pushes the client clock to at least t, as done when the
+// timestamp service broadcasts its purge bound (§8.1) so that slow
+// clients do not start transactions needing purged versions.
+func (c *Client) AdvanceClock(t int64) { c.clk.AdvanceTo(t) }
+
+// serverFor maps a key to its server address.
+func (c *Client) serverFor(key string) string {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return c.cfg.Servers[h%uint32(len(c.cfg.Servers))]
+}
+
+// conn returns (dialing if needed) the connection to addr.
+func (c *Client) conn(addr string) (*rpcConn, error) {
+	c.mu.Lock()
+	rc, ok := c.conns[addr]
+	c.mu.Unlock()
+	if ok {
+		return rc, nil
+	}
+	nc, err := c.cfg.Network.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.conns[addr]; ok {
+		_ = nc.Close()
+		return existing, nil
+	}
+	rc = newRPCConn(nc)
+	c.conns[addr] = rc
+	return rc, nil
+}
+
+// call performs one RPC against the server owning addr.
+func (c *Client) call(ctx context.Context, addr string, t wire.MsgType, body []byte) (wire.Frame, error) {
+	rc, err := c.conn(addr)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return rc.call(ctx, t, body)
+}
+
+// cast sends a one-way message to addr without waiting for the reply
+// (Alg. 11's freeze and release sends). Per-connection FIFO ordering
+// guarantees that this client's subsequent requests to the same server
+// observe the message's effects.
+func (c *Client) cast(addr string, t wire.MsgType, body []byte) error {
+	rc, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	return rc.cast(t, body)
+}
+
+// Begin implements kv.DB.
+func (c *Client) Begin(ctx context.Context) (kv.Txn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextSq++
+	sq := c.nextSq
+	c.mu.Unlock()
+	// Transaction ids are globally unique: client id in the high bits.
+	id := uint64(uint32(c.cfg.ID))<<32 | uint64(sq)
+	tx := &DTxn{
+		client:      c,
+		id:          id,
+		readLocked:  map[string]timestamp.Set{},
+		writeLocked: map[string]timestamp.Set{},
+		readVers:    map[string]timestamp.Timestamp{},
+		writes:      map[string][]byte{},
+		touched:     map[string]bool{},
+	}
+	now := c.clk.Now()
+	tx.start = now
+	switch c.cfg.Mode {
+	case ModeTILEarly, ModeTILLate:
+		lo := timestamp.New(now.Time, -1<<30)
+		if !lo.After(timestamp.Zero) {
+			lo = timestamp.Zero.Next()
+		}
+		tx.interval = timestamp.NewSet(timestamp.Span(lo, timestamp.New(now.Time+c.cfg.Delta, 1<<30)))
+	case ModeTO:
+		tx.ts = now
+	case ModePessimistic:
+		// no timestamp state: the tail is discovered from locks
+	}
+	return tx, nil
+}
+
+// ServerStats queries one server's state-size statistics (Figure 6).
+func (c *Client) ServerStats(ctx context.Context, addr string) (wire.StatsResp, error) {
+	f, err := c.call(ctx, addr, wire.TStatsReq, nil)
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	return wire.DecodeStatsResp(f.Body)
+}
+
+// PurgeServers asks every server to purge state below bound, returning
+// totals; the timestamp service calls this periodically (§8.1).
+func (c *Client) PurgeServers(ctx context.Context, bound timestamp.Timestamp) (versions, locks int64, err error) {
+	for _, addr := range c.cfg.Servers {
+		f, callErr := c.call(ctx, addr, wire.TPurgeReq, wire.PurgeReq{Bound: bound}.Encode())
+		if callErr != nil {
+			return versions, locks, callErr
+		}
+		resp, decErr := wire.DecodePurgeResp(f.Body)
+		if decErr != nil {
+			return versions, locks, decErr
+		}
+		versions += resp.Versions
+		locks += resp.Locks
+	}
+	return versions, locks, nil
+}

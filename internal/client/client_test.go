@@ -1,0 +1,202 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+func TestConfigValidation(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	cases := []Config{
+		{Servers: []string{"a"}, Network: n},          // missing ID
+		{ID: 1, Network: n},                           // missing servers
+		{ID: 1, Servers: []string{"a"}, Network: nil}, // missing network
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New(Config{ID: 1, Servers: []string{"a"}, Network: n}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	pairs := map[Mode]string{
+		ModeTILEarly:    "mvtil-early",
+		ModeTILLate:     "mvtil-late",
+		ModeTO:          "mvto+",
+		ModePessimistic: "2pl",
+		Mode(99):        "mode(99)",
+	}
+	for m, want := range pairs {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", m, got, want)
+		}
+	}
+}
+
+func TestServerForIsStable(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	c, err := New(Config{ID: 1, Servers: []string{"s0", "s1", "s2"}, Network: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, k := range []string{"alpha", "beta", "gamma", "delta"} {
+		first := c.serverFor(k)
+		for i := 0; i < 10; i++ {
+			if got := c.serverFor(k); got != first {
+				t.Fatalf("serverFor(%q) unstable: %q vs %q", k, first, got)
+			}
+		}
+		seen[first] = k
+	}
+	if len(seen) < 2 {
+		t.Log("all keys landed on one server (possible but unlikely); not fatal")
+	}
+}
+
+func TestTxnIDsEmbedClientID(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	a, _ := New(Config{ID: 1, Servers: []string{"s"}, Network: n})
+	b, _ := New(Config{ID: 2, Servers: []string{"s"}, Network: n})
+	ctx := context.Background()
+	ta, _ := a.Begin(ctx)
+	tb, _ := b.Begin(ctx)
+	if ta.ID() == tb.ID() {
+		t.Fatal("txn ids from different clients must differ")
+	}
+	if ta.ID()>>32 != 1 || tb.ID()>>32 != 2 {
+		t.Fatalf("client id not embedded: %x %x", ta.ID(), tb.ID())
+	}
+}
+
+// echoServer answers every frame with an empty OK ack of the matching
+// response type, after an optional delay.
+func echoServer(t *testing.T, n transport.Network, addr string, delay time.Duration) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn transport.Conn) {
+				var mu sync.Mutex
+				for {
+					f, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					go func(f wire.Frame) {
+						if delay > 0 {
+							time.Sleep(delay)
+						}
+						mu.Lock()
+						defer mu.Unlock()
+						_ = conn.Send(wire.Frame{ID: f.ID, Type: f.Type + 1, Body: wire.Ack{Status: wire.StatusOK}.Encode()})
+					}(f)
+				}
+			}(conn)
+		}
+	}()
+}
+
+func TestRPCConnMultiplexing(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	echoServer(t, n, "echo", 2*time.Millisecond)
+	conn, err := n.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := newRPCConn(conn)
+	defer rc.close()
+
+	const inflight = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if _, err := rc.call(ctx, wire.TReleaseReq, nil); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCConnCallTimeout(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	echoServer(t, n, "slow", 500*time.Millisecond)
+	conn, _ := n.Dial("slow")
+	rc := newRPCConn(conn)
+	defer rc.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := rc.call(ctx, wire.TReleaseReq, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRPCConnClosedErrors(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	echoServer(t, n, "echo2", 0)
+	conn, _ := n.Dial("echo2")
+	rc := newRPCConn(conn)
+	rc.close()
+	if _, err := rc.call(context.Background(), wire.TReleaseReq, nil); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("want ErrConnClosed, got %v", err)
+	}
+}
+
+func TestRPCConnServerDisappears(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	l, err := n.Listen("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	conn, _ := n.Dial("flaky")
+	rc := newRPCConn(conn)
+	defer rc.close()
+	srvConn := <-accepted
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, err := rc.call(ctx, wire.TReleaseReq, nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = srvConn.Close() // server dies mid-call
+	if err := <-done; err == nil {
+		t.Fatal("call must fail when the server connection drops")
+	}
+}

@@ -1,0 +1,122 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// ErrConnClosed reports an RPC on a torn-down connection.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// rpcConn multiplexes many in-flight requests over one transport
+// connection: requests carry unique ids, a background goroutine routes
+// responses to their waiters.
+type rpcConn struct {
+	conn transport.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan wire.Frame
+	closed  bool
+
+	done chan struct{}
+}
+
+// newRPCConn wraps conn and starts the demultiplexer.
+func newRPCConn(conn transport.Conn) *rpcConn {
+	c := &rpcConn{
+		conn:    conn,
+		nextID:  1,
+		waiters: make(map[uint64]chan wire.Frame),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+func (c *rpcConn) recvLoop() {
+	defer close(c.done)
+	for {
+		f, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			for id, ch := range c.waiters {
+				close(ch)
+				delete(c.waiters, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[f.ID]
+		if ok {
+			delete(c.waiters, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// call performs one request/response exchange.
+func (c *rpcConn) call(ctx context.Context, t wire.MsgType, body []byte) (wire.Frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Frame{}, ErrConnClosed
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan wire.Frame, 1)
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("client: send: %w", err)
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, ErrConnClosed
+		}
+		return f, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+// cast sends a request without waiting for the response; the reply is
+// dropped by the demultiplexer. Used for the fire-and-forget messages of
+// Alg. 11 — freeze-write-locks, freeze-read-locks and releases are sent
+// "without waiting for replies" (§H), which is what makes the protocol
+// communication efficient.
+func (c *rpcConn) cast(t wire.MsgType, body []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+	return c.conn.Send(wire.Frame{ID: id, Type: t, Body: body})
+}
+
+// close tears the connection down.
+func (c *rpcConn) close() {
+	_ = c.conn.Close()
+	<-c.done
+}

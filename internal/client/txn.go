@@ -1,0 +1,376 @@
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// DTxn is one distributed transaction (Alg. 11). Not safe for concurrent
+// use by multiple goroutines.
+type DTxn struct {
+	client *Client
+	id     uint64
+	start  timestamp.Timestamp
+
+	// interval is MVTIL's shrinking set I.
+	interval timestamp.Set
+	// ts is the fixed timestamp in TO mode.
+	ts timestamp.Timestamp
+
+	readLocked  map[string]timestamp.Set
+	writeLocked map[string]timestamp.Set
+	readVers    map[string]timestamp.Timestamp
+	readOrder   []string
+	writes      map[string][]byte
+	writeOrder  []string
+	touched     map[string]bool
+
+	decisionSrv string
+	done        bool
+	committed   bool
+
+	// CommitTS is the serialization timestamp after a successful commit.
+	CommitTS timestamp.Timestamp
+	// RestartHint suggests a clock value for a retry (set on aborts
+	// caused by frozen conflicts).
+	RestartHint int64
+}
+
+var _ kv.Txn = (*DTxn)(nil)
+
+// ID implements kv.Txn.
+func (tx *DTxn) ID() uint64 { return tx.id }
+
+// Committed reports whether Commit succeeded.
+func (tx *DTxn) Committed() bool { return tx.committed }
+
+// abortErr marks the transaction aborted, performs distributed cleanup,
+// and wraps the cause.
+func (tx *DTxn) abortErr(ctx context.Context, cause error) error {
+	tx.abort(ctx)
+	return fmt.Errorf("%w (%v)", kv.ErrAborted, cause)
+}
+
+// Read implements kv.Txn (Alg. 11 lines 10-14).
+func (tx *DTxn) Read(ctx context.Context, key string) ([]byte, error) {
+	if tx.done {
+		return nil, kv.ErrTxnDone
+	}
+	if v, ok := tx.writes[key]; ok {
+		return v, nil
+	}
+	mode := tx.client.cfg.Mode
+
+	var upper timestamp.Timestamp
+	wait := false
+	switch mode {
+	case ModeTILEarly, ModeTILLate:
+		m, ok := tx.interval.Max()
+		if !ok {
+			return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: interval exhausted"))
+		}
+		upper = m
+	case ModeTO:
+		upper, wait = tx.ts, true
+	case ModePessimistic:
+		upper, wait = timestamp.Infinity, true
+	}
+
+	addr := tx.client.serverFor(key)
+	f, err := tx.client.call(ctx, addr, wire.TReadLockReq,
+		wire.ReadLockReq{Txn: tx.id, Key: key, Upper: upper, Wait: wait}.Encode())
+	if err != nil {
+		return nil, tx.abortErr(ctx, err)
+	}
+	resp, err := wire.DecodeReadLockResp(f.Body)
+	if err != nil {
+		return nil, tx.abortErr(ctx, err)
+	}
+	if resp.Status != wire.StatusOK {
+		return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %s", key, resp.Err))
+	}
+	tx.touched[key] = true
+	if _, seen := tx.readVers[key]; !seen {
+		tx.readOrder = append(tx.readOrder, key)
+	}
+	tx.readVers[key] = resp.VersionTS
+	tx.readLocked[key] = tx.readLocked[key].Union(setOf(resp.Got))
+
+	switch mode {
+	case ModeTILEarly, ModeTILLate:
+		if resp.Got.IsEmpty() {
+			return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q locked nothing", key))
+		}
+		tx.interval = tx.interval.IntersectInterval(timestamp.Span(resp.VersionTS.Next(), resp.Got.Hi))
+		if tx.interval.IsEmpty() {
+			return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q emptied the interval", key))
+		}
+	case ModeTO:
+		// The commit check requires tx.ts locked; a short prefix will
+		// surface as an abort at commit, matching MVTO+.
+	case ModePessimistic:
+		// The read locks the tail; nothing to track beyond Got.
+	}
+	return resp.Value, nil
+}
+
+// Write implements kv.Txn (Alg. 11 lines 3-9).
+func (tx *DTxn) Write(ctx context.Context, key string, value []byte) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	mode := tx.client.cfg.Mode
+	if mode == ModeTO {
+		// Timestamp ordering locks the write set only at commit.
+		tx.bufferWrite(key, value)
+		return nil
+	}
+
+	var req timestamp.Set
+	wait := false
+	switch mode {
+	case ModeTILEarly, ModeTILLate:
+		if tx.interval.IsEmpty() {
+			return tx.abortErr(ctx, fmt.Errorf("mvtil: interval exhausted"))
+		}
+		req = tx.interval
+	case ModePessimistic:
+		req = timestamp.NewSet(timestamp.Span(timestamp.Zero.Next(), timestamp.Infinity))
+		wait = true
+	}
+	resp, err := tx.writeLock(ctx, key, req, wait, value)
+	if err != nil {
+		return tx.abortErr(ctx, err)
+	}
+	tx.bufferWrite(key, value)
+	tx.writeLocked[key] = tx.writeLocked[key].Union(resp.Got)
+	if mode == ModeTILEarly || mode == ModeTILLate {
+		if max, ok := resp.Denied.Max(); ok && max.Time > tx.RestartHint {
+			tx.RestartHint = max.Time
+		}
+		tx.interval = tx.interval.Intersect(resp.Got)
+		if tx.interval.IsEmpty() {
+			return tx.abortErr(ctx, fmt.Errorf("mvtil: write of %q emptied the interval", key))
+		}
+	}
+	return nil
+}
+
+// writeLock sends one write-lock request, establishing the decision
+// server on first use (§H.1: the first server reached by a write).
+func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wait bool, value []byte) (wire.WriteLockResp, error) {
+	addr := tx.client.serverFor(key)
+	if tx.decisionSrv == "" {
+		tx.decisionSrv = addr
+	}
+	f, err := tx.client.call(ctx, addr, wire.TWriteLockReq, wire.WriteLockReq{
+		Txn:         tx.id,
+		Key:         key,
+		DecisionSrv: tx.decisionSrv,
+		Set:         req,
+		Wait:        wait,
+		Value:       value,
+	}.Encode())
+	if err != nil {
+		return wire.WriteLockResp{}, err
+	}
+	resp, err := wire.DecodeWriteLockResp(f.Body)
+	if err != nil {
+		return wire.WriteLockResp{}, err
+	}
+	if resp.Status != wire.StatusOK {
+		return resp, fmt.Errorf("write-lock %q: %s", key, resp.Err)
+	}
+	tx.touched[key] = true
+	return resp, nil
+}
+
+func (tx *DTxn) bufferWrite(key string, value []byte) {
+	if _, dup := tx.writes[key]; !dup {
+		tx.writeOrder = append(tx.writeOrder, key)
+	}
+	tx.writes[key] = value
+	tx.touched[key] = true
+}
+
+// Commit implements kv.Txn (Alg. 11 lines 15-29).
+func (tx *DTxn) Commit(ctx context.Context) error {
+	if tx.done {
+		return kv.ErrTxnDone
+	}
+	mode := tx.client.cfg.Mode
+
+	// Commit-time locking: TO write-locks its timestamp on every
+	// written key, without waiting (Alg. 8 via the wire protocol).
+	if mode == ModeTO {
+		for _, key := range tx.writeOrder {
+			resp, err := tx.writeLock(ctx, key, setOf(timestamp.Point(tx.ts)), false, tx.writes[key])
+			if err != nil || !resp.Got.Contains(tx.ts) {
+				if err == nil {
+					err = fmt.Errorf("write-lock %q at %v denied", key, tx.ts)
+				}
+				return tx.abortErr(ctx, err)
+			}
+			tx.writeLocked[key] = tx.writeLocked[key].Union(resp.Got)
+		}
+	}
+
+	// Find a commonly locked timestamp (Alg. 11 line 17).
+	candidates := timestamp.NewSet(timestamp.Full)
+	for key := range tx.readVers {
+		if _, alsoWritten := tx.writes[key]; alsoWritten {
+			continue
+		}
+		candidates = candidates.Intersect(tx.readLocked[key].Union(tx.writeLocked[key]))
+	}
+	for _, key := range tx.writeOrder {
+		candidates = candidates.Intersect(tx.writeLocked[key])
+	}
+	if candidates.IsEmpty() {
+		return tx.abortErr(ctx, fmt.Errorf("no commonly locked timestamp"))
+	}
+
+	var commitTS timestamp.Timestamp
+	var ok bool
+	switch mode {
+	case ModeTILEarly:
+		narrowed := candidates.Intersect(tx.interval)
+		if !narrowed.IsEmpty() {
+			candidates = narrowed
+		}
+		commitTS, ok = candidates.Min()
+	case ModeTILLate:
+		narrowed := candidates.Intersect(tx.interval)
+		if !narrowed.IsEmpty() {
+			candidates = narrowed
+		}
+		commitTS, ok = candidates.Max()
+	case ModeTO:
+		commitTS, ok = tx.ts, candidates.Contains(tx.ts)
+	case ModePessimistic:
+		ivs := candidates.Intervals()
+		commitTS, ok = ivs[len(ivs)-1].Lo, true
+	}
+	if !ok {
+		return tx.abortErr(ctx, fmt.Errorf("no usable commit timestamp in %v", candidates))
+	}
+
+	// Decide the outcome via the commitment object (Alg. 11 line 23).
+	if len(tx.writeOrder) > 0 {
+		d, err := tx.decide(ctx, wire.DecideCommit, commitTS)
+		if err != nil {
+			return tx.abortErr(ctx, err)
+		}
+		if d.Kind != wire.DecideCommit {
+			return tx.abortErr(ctx, fmt.Errorf("commitment object decided abort"))
+		}
+	}
+	tx.CommitTS = commitTS
+	tx.committed = true
+	tx.done = true
+
+	if rec := tx.client.cfg.Recorder; rec != nil {
+		reads := make([]history.Read, 0, len(tx.readOrder))
+		for _, key := range tx.readOrder {
+			reads = append(reads, history.Read{Key: key, VersionTS: tx.readVers[key]})
+		}
+		rec.Record(history.Commit{
+			ID:        tx.id,
+			CommitTS:  commitTS,
+			Reads:     reads,
+			WriteKeys: append([]string(nil), tx.writeOrder...),
+		})
+	}
+
+	// Inform the write-set servers so they freeze the write locks and
+	// expose the values, without waiting for replies (Alg. 11 lines
+	// 27-28; the decision is already durable at the commitment object,
+	// and servers left waiting freeze through the timeout path).
+	for _, key := range tx.writeOrder {
+		addr := tx.client.serverFor(key)
+		if err := tx.client.cast(addr, wire.TFreezeWriteReq,
+			wire.FreezeWriteReq{Txn: tx.id, Key: key, TS: commitTS}.Encode()); err != nil {
+			return fmt.Errorf("client: freeze %q: %w", key, err)
+		}
+	}
+
+	// Garbage collection (Alg. 11 lines 29-34): freeze the read locks
+	// between version read and commit timestamp, release the rest.
+	// Timestamp ordering skips this, leaving its read locks behind like
+	// MVTO+ read timestamps.
+	if mode != ModeTO {
+		tx.gc(ctx)
+	}
+	return nil
+}
+
+// Abort implements kv.Txn.
+func (tx *DTxn) Abort(ctx context.Context) error {
+	if tx.done {
+		return nil
+	}
+	tx.abort(ctx)
+	return nil
+}
+
+// abort decides abort (when writes may be pending anywhere) and releases
+// locks.
+func (tx *DTxn) abort(ctx context.Context) {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	if tx.decisionSrv != "" {
+		// Ignore failures: servers will suspect us and clean up on
+		// their own (Lemma 4).
+		_, _ = tx.decide(ctx, wire.DecideAbort, timestamp.Timestamp{})
+	}
+	writesOnly := tx.client.cfg.Mode == ModeTO
+	for key := range tx.touched {
+		addr := tx.client.serverFor(key)
+		_ = tx.client.cast(addr, wire.TReleaseReq,
+			wire.ReleaseReq{Txn: tx.id, Key: key, WritesOnly: writesOnly}.Encode())
+	}
+}
+
+// gc freezes read locks [tr+1, commitTS] per read key and releases all
+// remaining unfrozen locks, fire-and-forget (Alg. 11 lines 30-34).
+func (tx *DTxn) gc(context.Context) {
+	for _, key := range tx.readOrder {
+		addr := tx.client.serverFor(key)
+		lo := tx.readVers[key].Next()
+		if lo.After(tx.CommitTS) {
+			continue
+		}
+		_ = tx.client.cast(addr, wire.TFreezeReadReq,
+			wire.FreezeReadReq{Txn: tx.id, Key: key, Lo: lo, Hi: tx.CommitTS}.Encode())
+	}
+	for key := range tx.touched {
+		addr := tx.client.serverFor(key)
+		_ = tx.client.cast(addr, wire.TReleaseReq,
+			wire.ReleaseReq{Txn: tx.id, Key: key}.Encode())
+	}
+}
+
+// decide proposes an outcome to the transaction's commitment object. A
+// read-only transaction has no decision server; its outcome is decided
+// locally (nothing is pending anywhere).
+func (tx *DTxn) decide(ctx context.Context, kind wire.DecisionKind, ts timestamp.Timestamp) (wire.DecideResp, error) {
+	if tx.decisionSrv == "" {
+		return wire.DecideResp{Kind: kind, TS: ts}, nil
+	}
+	f, err := tx.client.call(ctx, tx.decisionSrv, wire.TDecideReq,
+		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts}.Encode())
+	if err != nil {
+		return wire.DecideResp{}, err
+	}
+	return wire.DecodeDecideResp(f.Body)
+}
+
+// setOf wraps one interval in a set.
+func setOf(iv timestamp.Interval) timestamp.Set { return timestamp.NewSet(iv) }

@@ -1,0 +1,132 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+func TestLogicalMonotonic(t *testing.T) {
+	var l Logical
+	prev := l.Now()
+	for i := 0; i < 100; i++ {
+		cur := l.Now()
+		if cur <= prev {
+			t.Fatalf("logical clock went backwards: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLogicalConcurrentUnique(t *testing.T) {
+	var l Logical
+	const goroutines, per = 8, 500
+	seen := make(chan int64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen <- l.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	dup := make(map[int64]bool, goroutines*per)
+	for v := range seen {
+		if dup[v] {
+			t.Fatalf("duplicate logical tick %d", v)
+		}
+		dup[v] = true
+	}
+}
+
+func TestLogicalAdvanceTo(t *testing.T) {
+	var l Logical
+	l.AdvanceTo(1000)
+	if got := l.Now(); got <= 1000 {
+		t.Fatalf("Now after AdvanceTo(1000) = %d", got)
+	}
+	l.AdvanceTo(50) // must not go backwards
+	if got := l.Now(); got <= 1000 {
+		t.Fatalf("AdvanceTo must not rewind, Now = %d", got)
+	}
+}
+
+func TestManual(t *testing.T) {
+	var m Manual
+	if m.Now() != 0 {
+		t.Fatal("zero Manual should read 0")
+	}
+	m.Set(42)
+	if m.Now() != 42 {
+		t.Fatal("Set not observed")
+	}
+	if m.Advance(8) != 50 || m.Now() != 50 {
+		t.Fatal("Advance wrong")
+	}
+	m.AdvanceTo(10) // backwards: no-op
+	if m.Now() != 50 {
+		t.Fatal("AdvanceTo must not rewind")
+	}
+	m.Set(10) // Set may rewind (models bad clocks)
+	if m.Now() != 10 {
+		t.Fatal("Set must be able to rewind")
+	}
+}
+
+func TestSkewed(t *testing.T) {
+	var m Manual
+	m.Set(100)
+	fast := NewSkewed(&m, +7)
+	slow := NewSkewed(&m, -7)
+	if fast.Now() != 107 || slow.Now() != 93 {
+		t.Fatalf("skew wrong: %d %d", fast.Now(), slow.Now())
+	}
+}
+
+func TestProcessMonotonicAndTagged(t *testing.T) {
+	var m Manual
+	m.Set(5)
+	p := NewProcess(&m, 3)
+	a := p.Now()
+	if a != timestamp.New(5, 3) {
+		t.Fatalf("first Now = %v", a)
+	}
+	// source stalls: Process must still move forward
+	b := p.Now()
+	if !b.After(a) {
+		t.Fatalf("stalled source must still yield increasing timestamps: %v then %v", a, b)
+	}
+	if b.Proc != 3 {
+		t.Fatalf("proc id lost: %v", b)
+	}
+	// source rewinds: still monotone
+	m.Set(1)
+	c := p.Now()
+	if !c.After(b) {
+		t.Fatalf("rewound source must not rewind Process: %v then %v", b, c)
+	}
+}
+
+func TestProcessAdvanceTo(t *testing.T) {
+	var l Logical
+	p := NewProcess(&l, 1)
+	p.AdvanceTo(500)
+	if got := p.Now(); got.Time <= 500 {
+		t.Fatalf("Now after AdvanceTo = %v", got)
+	}
+}
+
+func TestProcessID(t *testing.T) {
+	p := NewProcess(System{}, 9)
+	if p.ID() != 9 {
+		t.Fatal("ID mismatch")
+	}
+	if got := p.Now(); got.Proc != 9 {
+		t.Fatalf("timestamp proc = %d", got.Proc)
+	}
+}

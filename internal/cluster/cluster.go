@@ -1,0 +1,208 @@
+// Package cluster assembles the distributed MVTL system — storage
+// servers, coordinators, and the timestamp service — into the two test
+// beds of the paper's evaluation (§8.2):
+//
+//   - the local bed: few servers on a fast, predictable network
+//     (in-memory transport with ~0.1ms one-way latency);
+//   - the cloud bed: more servers on a slow, jittery network
+//     (~1ms ± 2ms one-way), modelling shared low-cost instances.
+//
+// The same harness can also run over TCP for multi-process deployments.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/server"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/tsservice"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// Bed names a preconfigured network environment.
+type Bed uint8
+
+// The two test beds of §8.2.
+const (
+	// BedLocal models the dedicated-machine bed: 1 Gbps network,
+	// predictable latency.
+	BedLocal Bed = iota + 1
+	// BedCloud models the EC2 t2.micro bed: slower, jittery network
+	// and scarce resources.
+	BedCloud
+)
+
+// LatencyFor returns the latency model of a bed.
+func LatencyFor(b Bed) transport.LatencyModel {
+	switch b {
+	case BedCloud:
+		return transport.LatencyModel{Base: 800 * time.Microsecond, Jitter: 2 * time.Millisecond}
+	default:
+		return transport.LatencyModel{Base: 100 * time.Microsecond, Jitter: 50 * time.Microsecond}
+	}
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Servers is the number of storage servers.
+	Servers int
+	// Bed picks the network model when Network is nil.
+	Bed Bed
+	// Network overrides the transport (for TCP deployments).
+	Network transport.Network
+	// ServerConfig is the base server configuration; Addr and Network
+	// are filled per server.
+	ServerConfig server.Config
+	// Recorder, when non-nil, is handed to every client for
+	// serializability checking.
+	Recorder *history.Recorder
+}
+
+// Cluster is a running set of servers plus the plumbing to create
+// coordinators against them.
+type Cluster struct {
+	cfg     Config
+	network transport.Network
+	servers []*server.Server
+	addrs   []string
+
+	mu           sync.Mutex
+	clients      []*client.Client
+	nextClientID int32
+
+	ts *tsservice.Service
+}
+
+// Start launches the cluster's servers.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.Servers == 0 {
+		cfg.Servers = 3
+	}
+	if cfg.Bed == 0 {
+		cfg.Bed = BedLocal
+	}
+	network := cfg.Network
+	if network == nil {
+		network = transport.NewMem(LatencyFor(cfg.Bed))
+	}
+	c := &Cluster{cfg: cfg, network: network, nextClientID: 1}
+	for i := 0; i < cfg.Servers; i++ {
+		scfg := cfg.ServerConfig
+		scfg.Addr = fmt.Sprintf("server-%d", i)
+		scfg.Network = network
+		srv, err := server.New(scfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: start server %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+		c.addrs = append(c.addrs, srv.Addr())
+	}
+	return c, nil
+}
+
+// Addrs returns the server addresses.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// Network returns the cluster's transport.
+func (c *Cluster) Network() transport.Network { return c.network }
+
+// NewClient creates a coordinator with a fresh client id. src may be nil
+// for the system clock.
+func (c *Cluster) NewClient(mode client.Mode, delta int64, src clock.Source) (*client.Client, error) {
+	c.mu.Lock()
+	id := c.nextClientID
+	c.nextClientID++
+	c.mu.Unlock()
+	cl, err := client.New(client.Config{
+		ID:       id,
+		Servers:  c.addrs,
+		Network:  c.network,
+		Mode:     mode,
+		Delta:    delta,
+		Clock:    src,
+		Recorder: c.cfg.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// StartTimestampService launches the §8.1 purge/advance broadcaster with
+// the given period and retention. It uses the first client (creating one
+// if needed) as the purge channel.
+func (c *Cluster) StartTimestampService(interval, retention time.Duration) error {
+	cl, err := c.NewClient(client.ModeTILEarly, 0, nil)
+	if err != nil {
+		return err
+	}
+	c.ts = tsservice.Start(tsservice.Config{
+		Interval:  interval,
+		Retention: retention,
+		Broadcast: func(bound timestamp.Timestamp) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _, _ = cl.PurgeServers(ctx, bound)
+			c.mu.Lock()
+			clients := append([]*client.Client(nil), c.clients...)
+			c.mu.Unlock()
+			for _, other := range clients {
+				other.AdvanceClock(bound.Time)
+			}
+		},
+	})
+	return nil
+}
+
+// Stats aggregates state-size statistics across all servers.
+func (c *Cluster) Stats(ctx context.Context) (wire.StatsResp, error) {
+	cl, err := c.NewClient(client.ModeTILEarly, 0, nil)
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	defer func() {
+		_ = cl.Close()
+	}()
+	var total wire.StatsResp
+	for _, addr := range c.addrs {
+		st, err := cl.ServerStats(ctx, addr)
+		if err != nil {
+			return total, err
+		}
+		total.Keys += st.Keys
+		total.LockEntries += st.LockEntries
+		total.FrozenLocks += st.FrozenLocks
+		total.Versions += st.Versions
+	}
+	return total, nil
+}
+
+// Close stops the timestamp service, clients and servers.
+func (c *Cluster) Close() {
+	if c.ts != nil {
+		c.ts.Stop()
+		c.ts = nil
+	}
+	c.mu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.mu.Unlock()
+	for _, cl := range clients {
+		_ = cl.Close()
+	}
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+	c.servers = nil
+}

@@ -1,0 +1,83 @@
+package commitment
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+func TestFirstProposalWins(t *testing.T) {
+	var o Object
+	d1 := o.Decide(Decision{Kind: wire.DecideCommit, TS: timestamp.New(5, 1)})
+	if d1.Kind != wire.DecideCommit {
+		t.Fatalf("d1 = %+v", d1)
+	}
+	d2 := o.Decide(Decision{Kind: wire.DecideAbort})
+	if d2.Kind != wire.DecideCommit || d2.TS != timestamp.New(5, 1) {
+		t.Fatalf("later proposal must not override: %+v", d2)
+	}
+}
+
+func TestDecidedBeforeAndAfter(t *testing.T) {
+	var o Object
+	if _, ok := o.Decided(); ok {
+		t.Fatal("fresh object must be undecided")
+	}
+	o.Decide(Decision{Kind: wire.DecideAbort})
+	d, ok := o.Decided()
+	if !ok || d.Kind != wire.DecideAbort {
+		t.Fatalf("%+v %v", d, ok)
+	}
+}
+
+// TestAgreementUnderContention: many goroutines race proposals; all must
+// observe the same decision (the Agreement property of §H.2).
+func TestAgreementUnderContention(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var o Object
+		const racers = 16
+		out := make([]Decision, racers)
+		var wg sync.WaitGroup
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				kind := wire.DecideCommit
+				if i%2 == 0 {
+					kind = wire.DecideAbort
+				}
+				out[i] = o.Decide(Decision{Kind: kind, TS: timestamp.New(int64(i), 0)})
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < racers; i++ {
+			if out[i] != out[0] {
+				t.Fatalf("round %d: decisions diverge: %+v vs %+v", round, out[0], out[i])
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Object(1)
+	b := r.Object(1)
+	if a != b {
+		t.Fatal("registry must return the same object per txn")
+	}
+	if r.Object(2) == a {
+		t.Fatal("distinct txns get distinct objects")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Forget(1)
+	if r.Len() != 1 {
+		t.Fatalf("Len after Forget = %d", r.Len())
+	}
+	if r.Object(1) == a {
+		t.Fatal("forgotten object must be recreated")
+	}
+}

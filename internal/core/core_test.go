@@ -1,0 +1,311 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/policy"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+func newTO(t *testing.T) *core.DB {
+	t.Helper()
+	var src clock.Logical
+	return core.New(policy.NewTO(clock.NewProcess(&src, 1)), core.Options{})
+}
+
+func TestReadWriteCommitRoundtrip(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+
+	tx1, err := db.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Write(ctx, "x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !tx1.Committed() {
+		t.Fatal("tx1 should be committed")
+	}
+
+	tx2, _ := db.Begin(ctx)
+	got, err := tx2.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadUnwrittenKeyIsBottom(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	v, err := tx.Read(ctx, "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("unwritten key must read ⊥ (nil), got %q", v)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if err := tx.Write(ctx, "x", []byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "mine" {
+		t.Fatalf("read-your-writes broken: %q", v)
+	}
+}
+
+func TestWriteOverwriteInSameTxn(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_ = tx.Write(ctx, "x", []byte("a"))
+	_ = tx.Write(ctx, "x", []byte("b"))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := db.Begin(ctx)
+	v, _ := tx2.Read(ctx, "x")
+	if string(v) != "b" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_ = tx.Write(ctx, "x", []byte("secret"))
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Aborted() {
+		t.Fatal("should be aborted")
+	}
+	tx2, _ := db.Begin(ctx)
+	if v, _ := tx2.Read(ctx, "x"); v != nil {
+		t.Fatalf("aborted write visible: %q", v)
+	}
+}
+
+func TestOperationsAfterFinishFail(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_ = tx.Commit(ctx)
+	if _, err := tx.Read(ctx, "x"); !errors.Is(err, kv.ErrTxnDone) {
+		t.Fatalf("Read after commit: %v", err)
+	}
+	if err := tx.Write(ctx, "x", nil); !errors.Is(err, kv.ErrTxnDone) {
+		t.Fatalf("Write after commit: %v", err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, kv.ErrTxnDone) {
+		t.Fatalf("Commit after commit: %v", err)
+	}
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatalf("Abort after commit must be a no-op: %v", err)
+	}
+}
+
+func TestAbortIdempotent(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_ = tx.Abort(ctx)
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitConflictAborts(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+
+	// t1 gets the earlier timestamp (logical clock).
+	t1, _ := db.Begin(ctx)
+	t2, _ := db.Begin(ctx)
+
+	// Force policy timestamps in order: read from each to fix them.
+	if _, err := t1.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// t2 reads x, locking up to its (later) timestamp.
+	if _, err := t2.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// t1 now writes x at its earlier timestamp: blocked by t2's read lock.
+	if err := t1.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	err := t1.Commit(ctx)
+	if !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	if !t1.Aborted() {
+		t.Fatal("t1 must be aborted")
+	}
+}
+
+func TestTxnIDsUnique(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		tx, _ := db.Begin(ctx)
+		if seen[tx.ID()] {
+			t.Fatalf("duplicate txn id %d", tx.ID())
+		}
+		seen[tx.ID()] = true
+		_ = tx.Abort(ctx)
+	}
+}
+
+func TestBeginRespectsContext(t *testing.T) {
+	db := newTO(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Begin(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+func TestStateStatsAndPurge(t *testing.T) {
+	db := newTO(t)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		tx, _ := db.Begin(ctx)
+		_ = tx.Write(ctx, "k", []byte{byte(i)})
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.StateStats()
+	if st.Keys != 1 {
+		t.Fatalf("Keys = %d", st.Keys)
+	}
+	if st.Versions != 11 { // 10 writes + initial ⊥
+		t.Fatalf("Versions = %d", st.Versions)
+	}
+	if st.FrozenLockEntries != 10 {
+		t.Fatalf("FrozenLockEntries = %d", st.FrozenLockEntries)
+	}
+	vRemoved, lRemoved := db.PurgeBelow(timestamp.New(1<<40, 0))
+	if vRemoved == 0 || lRemoved == 0 {
+		t.Fatalf("purge removed %d versions %d locks", vRemoved, lRemoved)
+	}
+	st = db.StateStats()
+	if st.Versions != 1 {
+		t.Fatalf("after purge Versions = %d", st.Versions)
+	}
+}
+
+func TestPurgedReadAborts(t *testing.T) {
+	var src clock.Manual
+	db := core.New(policy.NewTO(clock.NewProcess(&src, 1)), core.Options{})
+	ctx := context.Background()
+
+	src.Set(10)
+	tx, _ := db.Begin(ctx)
+	_ = tx.Write(ctx, "x", []byte("old"))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	src.Set(100)
+	tx2, _ := db.Begin(ctx)
+	_ = tx2.Write(ctx, "x", []byte("new"))
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	db.PurgeBelow(timestamp.New(50, 0))
+
+	// A transaction whose timestamp falls at or below the kept boundary
+	// version needs the purged region and must abort.
+	tx3, _ := db.Begin(ctx)
+	tx3.Clock = clock.NewProcess(func() *clock.Manual { var m clock.Manual; m.Set(5); return &m }(), 3)
+	if _, err := tx3.Read(ctx, "x"); !errors.Is(err, kv.ErrAborted) {
+		t.Fatalf("read of purged region must abort, got %v", err)
+	}
+}
+
+func TestKVAdapter(t *testing.T) {
+	db := newTO(t)
+	var kvdb kv.DB = db.KV()
+	ctx := context.Background()
+	tx, err := kvdb.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderReceivesCommits(t *testing.T) {
+	var rec history.Recorder
+	var src clock.Logical
+	db := core.New(policy.NewTO(clock.NewProcess(&src, 1)), core.Options{Recorder: &rec})
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	_, _ = tx.Read(ctx, "a")
+	_ = tx.Write(ctx, "b", []byte("1"))
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("recorded %d commits", rec.Len())
+	}
+	c := rec.Commits()[0]
+	if len(c.Reads) != 1 || c.Reads[0].Key != "a" || len(c.WriteKeys) != 1 || c.WriteKeys[0] != "b" {
+		t.Fatalf("commit footprint = %+v", c)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlindWritesDoNotConflict(t *testing.T) {
+	// Multiversion protocols commit concurrent blind writes (§8.4.2):
+	// each transaction writes at its own timestamp.
+	db := newTO(t)
+	ctx := context.Background()
+	t1, _ := db.Begin(ctx)
+	t2, _ := db.Begin(ctx)
+	_ = t1.Write(ctx, "x", []byte("a"))
+	_ = t2.Write(ctx, "x", []byte("b"))
+	if err := t2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/version"
+)
+
+// Policy fixes the nondeterministic choices of the generic MVTL algorithm
+// (Algorithm 2 of the paper): which timestamps each operation locks, how
+// locks are acquired (waiting or giving up), which commit timestamp is
+// picked among the candidates, and whether garbage collection runs at
+// commit. Theorem 1 guarantees serializability for every policy; the
+// policy only affects liveness and performance.
+//
+// Policies access lock tables and version lists exclusively through
+// Txn.Key so the engine can track which keys a transaction touched.
+type Policy interface {
+	// Name identifies the policy in logs and benchmark output.
+	Name() string
+
+	// Begin initializes per-transaction policy state (the
+	// "Initialization" step of the specialized algorithms), typically
+	// reading a clock and storing a timestamp or timestamp set in
+	// tx.PolicyState.
+	Begin(tx *Txn)
+
+	// WriteLocks acquires whatever write locks the policy takes at
+	// write time for key k (possibly none; several policies defer all
+	// write locking to commit). An error aborts the transaction.
+	WriteLocks(ctx context.Context, tx *Txn, k string) error
+
+	// Read selects the version of k to read and acquires read locks on
+	// a contiguous interval immediately following that version. It
+	// returns the version read. An error aborts the transaction.
+	Read(ctx context.Context, tx *Txn, k string) (version.Version, error)
+
+	// CommitLocks acquires the locks the policy takes at commit time
+	// (for example, write locks on the chosen timestamp). An error
+	// aborts the transaction.
+	CommitLocks(ctx context.Context, tx *Txn) error
+
+	// CommitTS picks the commit timestamp out of the candidate set T —
+	// the timestamps locked across the whole read and write set
+	// (Alg. 1 line 13). Returning ok=false aborts the transaction. The
+	// engine verifies the choice is a member of T.
+	CommitTS(tx *Txn, candidates timestamp.Set) (timestamp.Timestamp, bool)
+
+	// CommitGC reports whether the engine should garbage collect the
+	// transaction's locks when it finishes: freeze the read locks
+	// between the version read and the commit timestamp and release
+	// everything unfrozen (Alg. 1 lines 22-26). Policies that emulate
+	// MVTO+ return false, deliberately leaving read locks behind.
+	CommitGC(tx *Txn) bool
+}

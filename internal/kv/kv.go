@@ -1,0 +1,47 @@
+// Package kv defines the transactional key-value interface shared by
+// every engine in this repository: the MVTL engine with its policies, the
+// MVTO+ and 2PL baselines, and the distributed MVTIL client. Workloads
+// and benchmarks are written against this interface so that all engines
+// can be driven and compared uniformly (§8.3).
+package kv
+
+import (
+	"context"
+	"errors"
+)
+
+// Common errors surfaced by engines.
+var (
+	// ErrAborted reports that the transaction aborted and its effects
+	// were discarded; the caller may retry with a fresh transaction.
+	ErrAborted = errors.New("kv: transaction aborted")
+	// ErrTxnDone reports an operation on a transaction that has already
+	// committed or aborted.
+	ErrTxnDone = errors.New("kv: transaction already finished")
+)
+
+// DB is a transactional store.
+type DB interface {
+	// Begin starts a transaction.
+	Begin(ctx context.Context) (Txn, error)
+}
+
+// Txn is a single transaction. Implementations are not safe for
+// concurrent use by multiple goroutines; each transaction belongs to one
+// client thread (§8.1).
+type Txn interface {
+	// Read returns the value of key within the transaction. A nil value
+	// with a nil error means the key holds ⊥ (never written).
+	Read(ctx context.Context, key string) ([]byte, error)
+	// Write buffers a value for key; it becomes visible to other
+	// transactions only after Commit.
+	Write(ctx context.Context, key string, value []byte) error
+	// Commit tries to commit. It returns nil on success and ErrAborted
+	// (possibly wrapped) if the transaction could not be serialized.
+	Commit(ctx context.Context) error
+	// Abort discards the transaction. Aborting a finished transaction
+	// is a no-op.
+	Abort(ctx context.Context) error
+	// ID returns a unique transaction identifier.
+	ID() uint64
+}

@@ -1,0 +1,95 @@
+package lock
+
+import "sync"
+
+// ErrDeadlock reports that blocking on a lock would close a cycle in the
+// wait-for graph; the requester should abort its transaction instead of
+// waiting (§4.3: "standard techniques for deadlock detection can be used
+// to abort the required transactions (e.g., cycle detection in the
+// wait-for graph, timeout)"). Timeouts remain the backstop for waits the
+// graph cannot see (e.g., across storage servers).
+var ErrDeadlock = deadlockError{}
+
+// deadlockError is a distinct sentinel type so errors.Is works on values.
+type deadlockError struct{}
+
+func (deadlockError) Error() string { return "lock: deadlock detected" }
+
+// WaitGraph is a wait-for graph over lock owners, shared by all lock
+// tables of one store. The zero value is not ready; use NewWaitGraph.
+type WaitGraph struct {
+	mu sync.Mutex
+	// edges[w] is the set of owners w currently waits for.
+	edges map[Owner]map[Owner]struct{}
+}
+
+// NewWaitGraph returns an empty graph.
+func NewWaitGraph() *WaitGraph {
+	return &WaitGraph{edges: make(map[Owner]map[Owner]struct{})}
+}
+
+// Wait registers that waiter blocks on holders and reports ErrDeadlock
+// if doing so closes a cycle; in that case nothing is registered and the
+// waiter should abort. Successful registrations must be cleared with
+// Done after the wait (the caller re-registers on each wait round, since
+// the blocking set changes).
+func (g *WaitGraph) Wait(waiter Owner, holders []Owner) error {
+	if len(holders) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// A cycle through waiter exists iff waiter is reachable from any of
+	// the new holders.
+	if g.reachesLocked(holders, waiter) {
+		return ErrDeadlock
+	}
+	set, ok := g.edges[waiter]
+	if !ok {
+		set = make(map[Owner]struct{}, len(holders))
+		g.edges[waiter] = set
+	}
+	for _, h := range holders {
+		if h != waiter {
+			set[h] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Done clears every edge out of waiter.
+func (g *WaitGraph) Done(waiter Owner) {
+	g.mu.Lock()
+	delete(g.edges, waiter)
+	g.mu.Unlock()
+}
+
+// Waiters returns the number of owners currently blocked, for
+// monitoring.
+func (g *WaitGraph) Waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.edges)
+}
+
+// reachesLocked reports whether target is reachable from any of from via
+// the wait-for edges. Callers hold g.mu.
+func (g *WaitGraph) reachesLocked(from []Owner, target Owner) bool {
+	seen := make(map[Owner]bool)
+	stack := append([]Owner(nil), from...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for next := range g.edges[cur] {
+			stack = append(stack, next)
+		}
+	}
+	return false
+}

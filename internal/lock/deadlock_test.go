@@ -1,0 +1,169 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWaitGraphDirectCycle(t *testing.T) {
+	g := NewWaitGraph()
+	if err := g.Wait(1, []Owner{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(2, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// The failed registration left no edges; 2 can wait on others.
+	if err := g.Wait(2, []Owner{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGraphTransitiveCycle(t *testing.T) {
+	g := NewWaitGraph()
+	if err := g.Wait(1, []Owner{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(2, []Owner{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(3, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+func TestWaitGraphDoneClearsEdges(t *testing.T) {
+	g := NewWaitGraph()
+	_ = g.Wait(1, []Owner{2})
+	g.Done(1)
+	if g.Waiters() != 0 {
+		t.Fatalf("Waiters = %d", g.Waiters())
+	}
+	if err := g.Wait(2, []Owner{1}); err != nil {
+		t.Fatalf("cycle should be gone: %v", err)
+	}
+}
+
+func TestWaitGraphSelfEdgeIgnored(t *testing.T) {
+	g := NewWaitGraph()
+	if err := g.Wait(1, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+		// waiting for yourself is trivially a cycle
+		t.Fatalf("self-wait must be a deadlock, got %v", err)
+	}
+}
+
+func TestWaitGraphEmptyHoldersNoop(t *testing.T) {
+	g := NewWaitGraph()
+	if err := g.Wait(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Waiters() != 0 {
+		t.Fatal("no edges should be registered")
+	}
+}
+
+// TestTableDeadlockDetection builds the classic two-key deadlock across
+// two tables sharing one graph: owner 1 holds key A and wants key B,
+// owner 2 holds key B and wants key A. The second waiter must fail fast
+// with ErrDeadlock, well before any timeout.
+func TestTableDeadlockDetection(t *testing.T) {
+	g := NewWaitGraph()
+	tableA := NewTableDetected(g)
+	tableB := NewTableDetected(g)
+	ctx := context.Background()
+
+	if _, err := tableA.AcquireWrite(ctx, 1, set(iv(1, 10)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tableB.AcquireWrite(ctx, 2, set(iv(1, 10)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner 1 blocks on B.
+	waiting := make(chan error, 1)
+	go func() {
+		longCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		_, err := tableB.AcquireWrite(longCtx, 1, set(iv(5, 5)), Options{Wait: true})
+		waiting <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let owner 1 register its wait
+
+	// Owner 2 closes the cycle: must detect immediately.
+	start := time.Now()
+	_, err := tableA.AcquireWrite(ctx, 2, set(iv(5, 5)), Options{Wait: true})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadlock detection should not wait for timeouts")
+	}
+
+	// Victim 2 aborts: its locks release and owner 1 proceeds.
+	tableB.ReleaseUnfrozen(2)
+	select {
+	case err := <-waiting:
+		if err != nil {
+			t.Fatalf("owner 1 should acquire after victim released: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("owner 1 never unblocked")
+	}
+}
+
+// TestTableDeadlockReadersAndWriters covers the read-write upgrade
+// deadlock: both own read locks on the same point and both try to
+// upgrade.
+func TestTableDeadlockReadersAndWriters(t *testing.T) {
+	g := NewWaitGraph()
+	tbl := NewTableDetected(g)
+	ctx := context.Background()
+	if _, err := tbl.AcquireRead(ctx, 1, iv(5, 5), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.AcquireRead(ctx, 2, iv(5, 5), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		longCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		_, err := tbl.AcquireWrite(longCtx, 1, set(iv(5, 5)), Options{Wait: true})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_, err := tbl.AcquireWrite(ctx, 2, set(iv(5, 5)), Options{Wait: true})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("upgrade deadlock not detected: %v", err)
+	}
+	tbl.ReleaseUnfrozen(2)
+	if err := <-done; err != nil {
+		t.Fatalf("owner 1's upgrade should succeed after victim release: %v", err)
+	}
+}
+
+// TestNoFalsePositives: plain waiting without a cycle completes without
+// ErrDeadlock.
+func TestNoFalsePositives(t *testing.T) {
+	g := NewWaitGraph()
+	tbl := NewTableDetected(g)
+	ctx := context.Background()
+	if _, err := tbl.AcquireWrite(ctx, 1, set(iv(5, 5)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := tbl.AcquireWrite(context.Background(), 2, set(iv(5, 5)), Options{Wait: true})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tbl.ReleaseUnfrozen(1)
+	if err := <-done; err != nil {
+		t.Fatalf("no cycle existed: %v", err)
+	}
+	if g.Waiters() != 0 {
+		t.Fatalf("graph not cleaned: %d waiters", g.Waiters())
+	}
+}

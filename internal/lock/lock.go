@@ -1,0 +1,602 @@
+// Package lock implements freezable interval locks over the timestamp
+// domain — the central data structure of MVTL.
+//
+// The paper (§4.2) conceptually gives every (key, timestamp) pair its own
+// readers-writer lock that can additionally be *frozen*: a frozen lock is
+// never released, sealing the fate of the write-once cell Values[k, t].
+// A practical implementation must compress this infinite lock state; as
+// suggested in §6 we keep, per key, a short list of lock *intervals*, each
+// tagged with an owner, a mode and a frozen bit.
+//
+// Conflict rules (for locks held by different owners):
+//
+//   - read  vs read:  never conflict;
+//   - read  vs write: conflict;
+//   - write vs write: conflict.
+//
+// Locks held by the same owner never conflict with each other, which
+// permits read→write upgrades. A frozen conflicting lock is permanent:
+// waiting for it is useless, and the acquisition APIs report it
+// distinctly so policies can react (for example by re-picking the version
+// to read, as MVTO-style policies do).
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// Owner identifies a lock holder (a transaction).
+type Owner uint64
+
+// Mode distinguishes read locks from write locks.
+type Mode uint8
+
+// Lock modes.
+const (
+	ModeRead Mode = iota + 1
+	ModeWrite
+)
+
+// String renders the mode for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "read"
+	case ModeWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Sentinel errors returned by the acquisition methods.
+var (
+	// ErrConflict reports that an unfrozen conflicting lock blocked an
+	// all-or-nothing, no-wait acquisition. Retrying later may succeed.
+	ErrConflict = errors.New("lock: conflicting lock held")
+	// ErrFrozen reports that a frozen conflicting lock makes the
+	// requested acquisition permanently impossible.
+	ErrFrozen = errors.New("lock: conflicting frozen lock")
+)
+
+// Options control how an acquisition behaves when it meets conflicts.
+type Options struct {
+	// Wait blocks on conflicting locks that are not frozen, resuming
+	// when they are released or frozen. The context bounds the wait
+	// (deadlock handling by timeout, §4.3).
+	Wait bool
+	// Partial accepts acquiring only part of the request: for reads,
+	// the maximal contiguous prefix; for writes, every requested
+	// timestamp not covered by a conflict.
+	Partial bool
+}
+
+// ReadResult reports the outcome of AcquireRead.
+type ReadResult struct {
+	// Got is the contiguous interval of read locks acquired, starting
+	// at the requested lower bound. It may be empty.
+	Got timestamp.Interval
+	// FrozenAt is the first conflicting frozen write interval met while
+	// scanning upward, if any: it signals that a committed version
+	// exists inside the requested range, so MVTO-style policies should
+	// re-pick the version to read.
+	FrozenAt *timestamp.Interval
+}
+
+// WriteResult reports the outcome of AcquireWrite.
+type WriteResult struct {
+	// Got is the set of write-locked timestamps acquired (it may have
+	// holes when Partial is set).
+	Got timestamp.Set
+	// Denied is the subset of the request that conflicts prevented,
+	// intersected with the request.
+	Denied timestamp.Set
+}
+
+// entry is one interval-compressed lock record.
+type entry struct {
+	iv     timestamp.Interval
+	owner  Owner
+	mode   Mode
+	frozen bool
+}
+
+// Table is the freezable interval lock table for one key. The zero value
+// is not ready for use; call NewTable.
+type Table struct {
+	mu      sync.Mutex
+	entries []entry // sorted by iv.Lo
+	changed chan struct{}
+	// graph, when non-nil, detects wait-for cycles across the tables
+	// sharing it; blocked acquisitions fail fast with ErrDeadlock
+	// instead of waiting for a timeout.
+	graph *WaitGraph
+}
+
+// NewTable returns an empty lock table without deadlock detection
+// (waits are bounded by the caller's context only).
+func NewTable() *Table {
+	return &Table{changed: make(chan struct{})}
+}
+
+// NewTableDetected returns a lock table participating in the shared
+// wait-for graph g.
+func NewTableDetected(g *WaitGraph) *Table {
+	return &Table{changed: make(chan struct{}), graph: g}
+}
+
+// broadcastLocked wakes all waiters. Callers must hold t.mu.
+func (t *Table) broadcastLocked() {
+	close(t.changed)
+	t.changed = make(chan struct{})
+}
+
+// AcquireRead acquires read locks on a contiguous interval starting at
+// iv.Lo, following the semantics of the paper's read-locks step (§4.3):
+// the interval must begin immediately after the version being read, so a
+// partial acquisition keeps the *prefix* before the first conflict.
+func (t *Table) AcquireRead(ctx context.Context, owner Owner, iv timestamp.Interval, opts Options) (ReadResult, error) {
+	if iv.IsEmpty() {
+		return ReadResult{Got: timestamp.Empty}, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		conf, ok := t.firstConflictLocked(owner, iv, ModeRead)
+		if !ok {
+			t.insertLocked(entry{iv: iv, owner: owner, mode: ModeRead})
+			return ReadResult{Got: iv}, nil
+		}
+		if conf.frozen {
+			frozenIv := conf.iv
+			res := ReadResult{FrozenAt: &frozenIv}
+			if !opts.Partial {
+				return res, fmt.Errorf("read %v blocked at %v: %w", iv, conf.iv, ErrFrozen)
+			}
+			res.Got = prefixBefore(iv, conf.iv)
+			if !res.Got.IsEmpty() {
+				t.insertLocked(entry{iv: res.Got, owner: owner, mode: ModeRead})
+			}
+			return res, nil
+		}
+		// Unfrozen conflict.
+		if opts.Wait {
+			if err := t.blockLocked(ctx, owner, t.blockersForReadLocked(owner, iv)); err != nil {
+				return ReadResult{}, err
+			}
+			continue
+		}
+		if opts.Partial {
+			res := ReadResult{Got: prefixBefore(iv, conf.iv)}
+			if !res.Got.IsEmpty() {
+				t.insertLocked(entry{iv: res.Got, owner: owner, mode: ModeRead})
+			}
+			return res, nil
+		}
+		return ReadResult{}, fmt.Errorf("read %v blocked at %v: %w", iv, conf.iv, ErrConflict)
+	}
+}
+
+// AcquireWrite acquires write locks on the requested set of timestamps.
+// Unlike reads, writes have no contiguity requirement (§3): with Partial
+// set, every requested timestamp not blocked by a conflict is acquired.
+func (t *Table) AcquireWrite(ctx context.Context, owner Owner, req timestamp.Set, opts Options) (WriteResult, error) {
+	if req.IsEmpty() {
+		return WriteResult{}, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		frozenConf, unfrozenConf := t.conflictSetsLocked(owner, req, ModeWrite)
+		if !unfrozenConf.IsEmpty() && opts.Wait {
+			if err := t.blockLocked(ctx, owner, t.blockersForWriteLocked(owner, req)); err != nil {
+				return WriteResult{}, err
+			}
+			continue
+		}
+		denied := frozenConf.Union(unfrozenConf)
+		if !denied.IsEmpty() && !opts.Partial {
+			err := ErrConflict
+			if !frozenConf.IsEmpty() {
+				err = ErrFrozen
+			}
+			return WriteResult{Denied: denied}, fmt.Errorf("write %v blocked by %v: %w", req, denied, err)
+		}
+		got := req.Subtract(denied)
+		for _, giv := range got.Intervals() {
+			t.insertLocked(entry{iv: giv, owner: owner, mode: ModeWrite})
+		}
+		return WriteResult{Got: got, Denied: denied}, nil
+	}
+}
+
+// FreezeWriteAt freezes the owner's write lock at exactly ts, splitting
+// the covering interval if needed. It reports whether a write lock of the
+// owner covered ts. A commit freezes its write lock on the chosen commit
+// timestamp before exposing the value (§4.3, Alg. 1 line 18).
+func (t *Table) FreezeWriteAt(owner Owner, ts timestamp.Timestamp) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.entries {
+		e := t.entries[i]
+		if e.owner != owner || e.mode != ModeWrite || !e.iv.Contains(ts) {
+			continue
+		}
+		if e.frozen {
+			return true
+		}
+		point := timestamp.Point(ts)
+		rest := e.iv.Subtract(point)
+		t.removeAtLocked(i)
+		t.insertLocked(entry{iv: point, owner: owner, mode: ModeWrite, frozen: true})
+		for _, r := range rest {
+			t.insertLocked(entry{iv: r, owner: owner, mode: ModeWrite})
+		}
+		t.broadcastLocked()
+		return true
+	}
+	return false
+}
+
+// FreezeReadIn freezes the portions of the owner's read locks inside iv,
+// as done by garbage collection after commit (Alg. 1 line 25).
+func (t *Table) FreezeReadIn(owner Owner, iv timestamp.Interval) {
+	if iv.IsEmpty() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var add []entry
+	for i := 0; i < len(t.entries); {
+		e := t.entries[i]
+		if e.owner != owner || e.mode != ModeRead || e.frozen || !e.iv.Overlaps(iv) {
+			i++
+			continue
+		}
+		frozenPart := e.iv.Intersect(iv)
+		rest := e.iv.Subtract(frozenPart)
+		t.removeAtLocked(i)
+		add = append(add, entry{iv: frozenPart, owner: owner, mode: ModeRead, frozen: true})
+		for _, r := range rest {
+			add = append(add, entry{iv: r, owner: owner, mode: ModeRead})
+		}
+	}
+	for _, e := range add {
+		t.insertLocked(e)
+	}
+	if len(add) > 0 {
+		t.broadcastLocked()
+	}
+}
+
+// ReleaseUnfrozen releases every unfrozen lock of the owner, in any mode
+// (Alg. 1 line 26).
+func (t *Table) ReleaseUnfrozen(owner Owner) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.releaseWhereLocked(func(e entry) bool {
+		return e.owner == owner && !e.frozen
+	})
+}
+
+// ReleaseWrites releases the owner's unfrozen write locks, used when a
+// candidate commit timestamp fails and the policy moves on (Alg. 3
+// line 22).
+func (t *Table) ReleaseWrites(owner Owner) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.releaseWhereLocked(func(e entry) bool {
+		return e.owner == owner && e.mode == ModeWrite && !e.frozen
+	})
+}
+
+// ReleaseReadIn releases the portions of the owner's unfrozen read locks
+// inside iv, used when a read retries after meeting a frozen write lock
+// ("release read-locks acquired above", Alg. 3/4/8).
+func (t *Table) ReleaseReadIn(owner Owner, iv timestamp.Interval) {
+	if iv.IsEmpty() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var add []entry
+	changed := false
+	for i := 0; i < len(t.entries); {
+		e := t.entries[i]
+		if e.owner != owner || e.mode != ModeRead || e.frozen || !e.iv.Overlaps(iv) {
+			i++
+			continue
+		}
+		rest := e.iv.Subtract(iv)
+		t.removeAtLocked(i)
+		for _, r := range rest {
+			add = append(add, entry{iv: r, owner: owner, mode: ModeRead})
+		}
+		changed = true
+	}
+	for _, e := range add {
+		t.insertLocked(e)
+	}
+	if changed {
+		t.broadcastLocked()
+	}
+}
+
+// Owned returns the timestamps the owner currently holds: all locked
+// timestamps (read or write) and the write-locked subset. The generic
+// commit step intersects these across keys (Alg. 1 line 13).
+func (t *Table) Owned(owner Owner) (readOrWrite, writeOnly timestamp.Set) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.owner != owner {
+			continue
+		}
+		readOrWrite = readOrWrite.Add(e.iv)
+		if e.mode == ModeWrite {
+			writeOnly = writeOnly.Add(e.iv)
+		}
+	}
+	return readOrWrite, writeOnly
+}
+
+// PurgeFrozenBelow drops frozen entries that lie entirely below ts,
+// mirroring version purging (§6): once the versions below a bound are
+// discarded, their lock state may be discarded too. It returns the number
+// of entries removed.
+func (t *Table) PurgeFrozenBelow(ts timestamp.Timestamp) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.frozen && e.iv.Hi.Before(ts) {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	if removed > 0 {
+		t.broadcastLocked()
+	}
+	return removed
+}
+
+// Stats summarizes the table's lock state size.
+type Stats struct {
+	// Entries is the number of interval-compressed lock records.
+	Entries int
+	// Frozen is how many of them are frozen.
+	Frozen int
+}
+
+// Stats returns the current state-size statistics.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{Entries: len(t.entries)}
+	for _, e := range t.entries {
+		if e.frozen {
+			s.Frozen++
+		}
+	}
+	return s
+}
+
+// EntryInfo is an exported view of one lock record, for tests and
+// diagnostics.
+type EntryInfo struct {
+	Interval timestamp.Interval
+	Owner    Owner
+	Mode     Mode
+	Frozen   bool
+}
+
+// Snapshot returns a copy of the lock records, sorted by interval start.
+func (t *Table) Snapshot() []EntryInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]EntryInfo, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = EntryInfo{Interval: e.iv, Owner: e.owner, Mode: e.mode, Frozen: e.frozen}
+	}
+	return out
+}
+
+// Validate checks the table's core invariant — write locks are exclusive
+// against locks of other owners — and returns an error describing the
+// first violation. It is intended for tests.
+func (t *Table) Validate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.entries {
+		if a.iv.IsEmpty() {
+			return fmt.Errorf("entry %d has empty interval", i)
+		}
+		for _, b := range t.entries[i+1:] {
+			if a.owner == b.owner {
+				continue
+			}
+			if a.mode == ModeRead && b.mode == ModeRead {
+				continue
+			}
+			if a.iv.Overlaps(b.iv) {
+				return fmt.Errorf("conflict between %v/%v(owner %d) and %v/%v(owner %d)",
+					a.iv, a.mode, a.owner, b.iv, b.mode, b.owner)
+			}
+		}
+	}
+	return nil
+}
+
+// --- internals -------------------------------------------------------------
+
+// waitLocked releases the table mutex, waits for any state change or
+// context cancellation, and reacquires the mutex.
+func (t *Table) waitLocked(ctx context.Context) error {
+	ch := t.changed
+	t.mu.Unlock()
+	select {
+	case <-ch:
+		t.mu.Lock()
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		return ctx.Err()
+	}
+}
+
+// blockLocked registers the wait in the shared wait-for graph (failing
+// fast on a cycle) and blocks until the table changes or the context
+// expires. Callers hold t.mu.
+func (t *Table) blockLocked(ctx context.Context, waiter Owner, holders []Owner) error {
+	if t.graph != nil {
+		if err := t.graph.Wait(waiter, holders); err != nil {
+			return err
+		}
+		defer t.graph.Done(waiter)
+	}
+	return t.waitLocked(ctx)
+}
+
+// blockersForReadLocked lists the owners of unfrozen write locks
+// conflicting with a read of iv. Callers hold t.mu.
+func (t *Table) blockersForReadLocked(owner Owner, iv timestamp.Interval) []Owner {
+	var out []Owner
+	for _, e := range t.entries {
+		if e.owner != owner && e.mode == ModeWrite && !e.frozen && e.iv.Overlaps(iv) {
+			out = append(out, e.owner)
+		}
+	}
+	return out
+}
+
+// blockersForWriteLocked lists the owners of unfrozen locks conflicting
+// with a write of req. Callers hold t.mu.
+func (t *Table) blockersForWriteLocked(owner Owner, req timestamp.Set) []Owner {
+	var out []Owner
+	for _, e := range t.entries {
+		if e.owner == owner || e.frozen {
+			continue
+		}
+		for _, riv := range req.Intervals() {
+			if e.iv.Overlaps(riv) {
+				out = append(out, e.owner)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// firstConflictLocked returns the conflicting entry with the smallest
+// start that overlaps iv, from the perspective of an acquisition in the
+// given mode by the given owner.
+func (t *Table) firstConflictLocked(owner Owner, iv timestamp.Interval, mode Mode) (entry, bool) {
+	var best entry
+	found := false
+	for _, e := range t.entries {
+		if e.owner == owner || !e.iv.Overlaps(iv) {
+			continue
+		}
+		if mode == ModeRead && e.mode == ModeRead {
+			continue
+		}
+		if !found || e.iv.Lo.Before(best.iv.Lo) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// conflictSetsLocked partitions the timestamps of req that conflict with
+// other owners' locks into frozen and unfrozen sets, for a write-mode
+// acquisition.
+func (t *Table) conflictSetsLocked(owner Owner, req timestamp.Set, mode Mode) (frozen, unfrozen timestamp.Set) {
+	for _, e := range t.entries {
+		if e.owner == owner {
+			continue
+		}
+		if mode == ModeRead && e.mode == ModeRead {
+			continue
+		}
+		for _, riv := range req.Intervals() {
+			x := riv.Intersect(e.iv)
+			if x.IsEmpty() {
+				continue
+			}
+			if e.frozen {
+				frozen = frozen.Add(x)
+			} else {
+				unfrozen = unfrozen.Add(x)
+			}
+		}
+	}
+	return frozen, unfrozen
+}
+
+// prefixBefore returns the part of iv strictly before the conflicting
+// interval conf (empty when conf starts at or before iv.Lo).
+func prefixBefore(iv, conf timestamp.Interval) timestamp.Interval {
+	if conf.Lo.AtOrBefore(iv.Lo) {
+		return timestamp.Empty
+	}
+	return timestamp.Interval{Lo: iv.Lo, Hi: timestamp.Min(iv.Hi, conf.Lo.Prev())}
+}
+
+// insertLocked adds a record, merging it with the owner's adjacent or
+// overlapping records of the same mode and frozen state (interval
+// compression, §6). The entries slice stays sorted by interval start.
+func (t *Table) insertLocked(e entry) {
+	if e.iv.IsEmpty() {
+		return
+	}
+	// Merge with compatible neighbours.
+	for i := 0; i < len(t.entries); {
+		o := t.entries[i]
+		if o.owner == e.owner && o.mode == e.mode && o.frozen == e.frozen &&
+			(o.iv.Overlaps(e.iv) || o.iv.Adjacent(e.iv)) {
+			e.iv = e.iv.Merge(o.iv)
+			t.removeAtLocked(i)
+			continue
+		}
+		i++
+	}
+	pos := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].iv.Lo.AtOrAfter(e.iv.Lo)
+	})
+	t.entries = append(t.entries, entry{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = e
+}
+
+// removeAtLocked deletes the record at index i, preserving order.
+func (t *Table) removeAtLocked(i int) {
+	copy(t.entries[i:], t.entries[i+1:])
+	t.entries = t.entries[:len(t.entries)-1]
+}
+
+// releaseWhereLocked removes every record matching the predicate and
+// broadcasts if anything changed.
+func (t *Table) releaseWhereLocked(match func(entry) bool) {
+	kept := t.entries[:0]
+	changed := false
+	for _, e := range t.entries {
+		if match(e) {
+			changed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	if changed {
+		t.broadcastLocked()
+	}
+}

@@ -1,0 +1,83 @@
+package lock
+
+import (
+	"context"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// BenchmarkReadAcquireRelease measures the uncontended read-lock path:
+// acquire an interval, release it.
+func BenchmarkReadAcquireRelease(b *testing.B) {
+	tbl := NewTable()
+	ctx := context.Background()
+	req := iv(1, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		owner := Owner(i + 1)
+		if _, err := tbl.AcquireRead(ctx, owner, req, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		tbl.ReleaseUnfrozen(owner)
+	}
+}
+
+// BenchmarkWriteAcquireFreeze measures the write path a committing
+// transaction takes: lock a point, freeze it.
+func BenchmarkWriteAcquireFreeze(b *testing.B) {
+	tbl := NewTable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		owner := Owner(i + 1)
+		point := timestamp.New(int64(i+1), 0)
+		if _, err := tbl.AcquireWrite(ctx, owner, timestamp.NewSet(timestamp.Point(point)), Options{}); err != nil {
+			b.Fatal(err)
+		}
+		tbl.FreezeWriteAt(owner, point)
+		if i%1024 == 1023 {
+			// keep the table from growing unboundedly
+			tbl.PurgeFrozenBelow(point)
+		}
+	}
+}
+
+// BenchmarkOwned measures the commit-time candidate computation input.
+func BenchmarkOwned(b *testing.B) {
+	tbl := NewTable()
+	ctx := context.Background()
+	const owner = Owner(1)
+	for i := int64(0); i < 16; i++ {
+		_, _ = tbl.AcquireRead(ctx, owner, iv(i*10, i*10+5), Options{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ro, _ := tbl.Owned(owner)
+		if ro.IsEmpty() {
+			b.Fatal("owned must not be empty")
+		}
+	}
+}
+
+// BenchmarkContendedPartialWrite measures partial write acquisition
+// against standing read locks.
+func BenchmarkContendedPartialWrite(b *testing.B) {
+	tbl := NewTable()
+	ctx := context.Background()
+	for i := int64(0); i < 8; i++ {
+		_, _ = tbl.AcquireRead(ctx, Owner(1000+i), iv(i*20, i*20+9), Options{})
+	}
+	req := timestamp.NewSet(iv(0, 200))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owner := Owner(i + 1)
+		res, err := tbl.AcquireWrite(ctx, owner, req, Options{Partial: true})
+		if err != nil || res.Got.IsEmpty() {
+			b.Fatalf("%v %v", res, err)
+		}
+		tbl.ReleaseUnfrozen(owner)
+	}
+}

@@ -1,0 +1,169 @@
+// Package metrics provides the counters and time-series sampling used by
+// the experimental evaluation (§8.3): aggregate throughput of committed
+// transactions, commit rate (fraction of transaction attempts that
+// commit), and periodic state-size probes.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counters accumulates workload events. All methods are safe for
+// concurrent use. The zero value is ready to use.
+type Counters struct {
+	commits  atomic.Int64
+	aborts   atomic.Int64
+	restarts atomic.Int64
+	reads    atomic.Int64
+	writes   atomic.Int64
+	// recording gates accumulation so that a warm-up phase (§8.3) can
+	// run without polluting measurements.
+	recording atomic.Bool
+}
+
+// SetRecording toggles whether events are accumulated.
+func (c *Counters) SetRecording(on bool) { c.recording.Store(on) }
+
+// Recording reports whether events are being accumulated.
+func (c *Counters) Recording() bool { return c.recording.Load() }
+
+// Commit records one committed transaction attempt.
+func (c *Counters) Commit() {
+	if c.recording.Load() {
+		c.commits.Add(1)
+	}
+}
+
+// Abort records one aborted transaction attempt.
+func (c *Counters) Abort() {
+	if c.recording.Load() {
+		c.aborts.Add(1)
+	}
+}
+
+// Restart records that an aborted transaction was retried.
+func (c *Counters) Restart() {
+	if c.recording.Load() {
+		c.restarts.Add(1)
+	}
+}
+
+// Ops records read and write operations executed.
+func (c *Counters) Ops(reads, writes int) {
+	if c.recording.Load() {
+		c.reads.Add(int64(reads))
+		c.writes.Add(int64(writes))
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Commits  int64
+	Aborts   int64
+	Restarts int64
+	Reads    int64
+	Writes   int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Commits:  c.commits.Load(),
+		Aborts:   c.aborts.Load(),
+		Restarts: c.restarts.Load(),
+		Reads:    c.reads.Load(),
+		Writes:   c.writes.Load(),
+	}
+}
+
+// Attempts returns the total number of transaction attempts.
+func (s Snapshot) Attempts() int64 { return s.Commits + s.Aborts }
+
+// CommitRate returns the fraction of attempts that committed, in [0, 1];
+// it is 0 when nothing ran.
+func (s Snapshot) CommitRate() float64 {
+	if a := s.Attempts(); a > 0 {
+		return float64(s.Commits) / float64(a)
+	}
+	return 0
+}
+
+// Sub returns the event deltas s - o.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Commits:  s.Commits - o.Commits,
+		Aborts:   s.Aborts - o.Aborts,
+		Restarts: s.Restarts - o.Restarts,
+		Reads:    s.Reads - o.Reads,
+		Writes:   s.Writes - o.Writes,
+	}
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	// Elapsed is the time since sampling started.
+	Elapsed time.Duration
+	// Values holds named measurements at this instant.
+	Values map[string]float64
+}
+
+// Sampler periodically invokes a probe function and stores its samples;
+// it backs the over-time experiments (Figures 6 and 7).
+type Sampler struct {
+	interval time.Duration
+	probe    func() map[string]float64
+
+	mu     sync.Mutex
+	points []Point
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler returns a sampler calling probe every interval once started.
+func NewSampler(interval time.Duration, probe func() map[string]float64) *Sampler {
+	return &Sampler{
+		interval: interval,
+		probe:    probe,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start begins sampling in a background goroutine; call Stop to finish.
+func (s *Sampler) Start() {
+	start := time.Now()
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				vals := s.probe()
+				s.mu.Lock()
+				s.points = append(s.points, Point{Elapsed: time.Since(start), Values: vals})
+				s.mu.Unlock()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends sampling and waits for the sampling goroutine to exit.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// Points returns the collected samples in order.
+func (s *Sampler) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}

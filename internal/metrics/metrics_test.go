@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersGatedByRecording(t *testing.T) {
+	var c Counters
+	c.Commit()
+	c.Abort()
+	if s := c.Snapshot(); s.Commits != 0 || s.Aborts != 0 {
+		t.Fatalf("events before recording must be dropped: %+v", s)
+	}
+	c.SetRecording(true)
+	if !c.Recording() {
+		t.Fatal("recording flag lost")
+	}
+	c.Commit()
+	c.Commit()
+	c.Abort()
+	c.Restart()
+	c.Ops(3, 2)
+	s := c.Snapshot()
+	if s.Commits != 2 || s.Aborts != 1 || s.Restarts != 1 || s.Reads != 3 || s.Writes != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	c.SetRecording(false)
+	c.Commit()
+	if c.Snapshot().Commits != 2 {
+		t.Fatal("events after recording must be dropped")
+	}
+}
+
+func TestSnapshotMath(t *testing.T) {
+	s := Snapshot{Commits: 30, Aborts: 10}
+	if s.Attempts() != 40 {
+		t.Fatalf("Attempts = %d", s.Attempts())
+	}
+	if got := s.CommitRate(); got != 0.75 {
+		t.Fatalf("CommitRate = %v", got)
+	}
+	if (Snapshot{}).CommitRate() != 0 {
+		t.Fatal("empty commit rate must be 0")
+	}
+	d := s.Sub(Snapshot{Commits: 10, Aborts: 5})
+	if d.Commits != 20 || d.Aborts != 5 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	c.SetRecording(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().Commits; got != 8000 {
+		t.Fatalf("Commits = %d", got)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	n := 0
+	s := NewSampler(5*time.Millisecond, func() map[string]float64 {
+		n++
+		return map[string]float64{"n": float64(n)}
+	})
+	s.Start()
+	time.Sleep(40 * time.Millisecond)
+	s.Stop()
+	pts := s.Points()
+	if len(pts) < 3 {
+		t.Fatalf("too few samples: %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Values["n"] != float64(i+1) {
+			t.Fatalf("sample %d = %+v", i, p)
+		}
+		if i > 0 && p.Elapsed <= pts[i-1].Elapsed {
+			t.Fatalf("elapsed not increasing at %d", i)
+		}
+	}
+}

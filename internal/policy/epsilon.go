@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/version"
+)
+
+// EpsilonClock is the MVTL-ε-clock policy (Alg. 7). Each transaction
+// reads its local clock t and tries to lock the whole interval
+// [t−ε, t+ε] on every access; it commits at the smallest commonly locked
+// timestamp and garbage collects before finishing. With ε-synchronized
+// clocks this policy never aborts in serial executions (Theorem 4),
+// unlike timestamp ordering, which suffers serial aborts under clock
+// skew (§5.3).
+type EpsilonClock struct {
+	clk *clock.Process
+	eps int64
+}
+
+var _ core.Policy = (*EpsilonClock)(nil)
+
+// NewEpsilonClock returns the ε-clock policy; eps is the clock
+// synchronization bound, in clock ticks.
+func NewEpsilonClock(clk *clock.Process, eps int64) *EpsilonClock {
+	return &EpsilonClock{clk: clk, eps: eps}
+}
+
+// epsState is the per-transaction state: the shrinking set of
+// timestamps the transaction may still commit at.
+type epsState struct {
+	ts  timestamp.Set
+	set bool
+}
+
+// Name implements core.Policy.
+func (p *EpsilonClock) Name() string { return "mvtl-eps-clock" }
+
+// Begin implements core.Policy.
+func (p *EpsilonClock) Begin(tx *core.Txn) { tx.PolicyState = &epsState{} }
+
+func (p *EpsilonClock) state(tx *core.Txn) *epsState {
+	st := tx.PolicyState.(*epsState)
+	if !st.set {
+		now := txnClock(tx, p.clk).Now()
+		lo := now.Time - p.eps
+		if lo < 0 {
+			lo = 0
+		}
+		st.ts = timestamp.NewSet(timeInterval(lo, now.Time+p.eps))
+		st.set = true
+	}
+	return st
+}
+
+// WriteLocks implements core.Policy (Alg. 7 lines 4-6): write-lock as
+// much of tx.TS as possible, waiting on unfrozen conflicts, and shrink
+// tx.TS to what was acquired.
+func (p *EpsilonClock) WriteLocks(ctx context.Context, tx *core.Txn, k string) error {
+	st := p.state(tx)
+	if st.ts.IsEmpty() {
+		return errors.New("mvtl-eps-clock: no lockable timestamps left")
+	}
+	res, err := tx.Key(k).Locks.AcquireWrite(ctx, tx.Owner(), st.ts, lock.Options{Wait: true, Partial: true})
+	if err != nil {
+		return fmt.Errorf("write-lock %q: %w", k, err)
+	}
+	st.ts = res.Got
+	if st.ts.IsEmpty() {
+		return errors.New("mvtl-eps-clock: write locks exhausted the timestamp interval")
+	}
+	return nil
+}
+
+// Read implements core.Policy (Alg. 7 lines 7-17).
+func (p *EpsilonClock) Read(ctx context.Context, tx *core.Txn, k string) (version.Version, error) {
+	st := p.state(tx)
+	if st.ts.IsEmpty() {
+		return version.Version{}, errors.New("mvtl-eps-clock: no lockable timestamps left")
+	}
+	m, _ := st.ts.Max()
+	v, got, err := readUpTo(ctx, tx, tx.Key(k), m, true)
+	if err != nil {
+		return version.Version{}, err
+	}
+	if got.IsEmpty() {
+		return version.Version{}, errors.New("mvtl-eps-clock: no timestamps read-lockable")
+	}
+	st.ts = st.ts.IntersectInterval(timestamp.Span(v.TS.Next(), got.Hi))
+	if st.ts.IsEmpty() {
+		return version.Version{}, errors.New("mvtl-eps-clock: read shrank the timestamp interval to nothing")
+	}
+	return v, nil
+}
+
+// CommitLocks implements core.Policy: nothing to do (Alg. 7 line 18).
+func (p *EpsilonClock) CommitLocks(context.Context, *core.Txn) error { return nil }
+
+// CommitTS implements core.Policy: the smallest commonly locked
+// timestamp (Alg. 7 line 19), which in a serial execution is at most the
+// transaction's real start time — the key to avoiding serial aborts.
+func (p *EpsilonClock) CommitTS(_ *core.Txn, candidates timestamp.Set) (timestamp.Timestamp, bool) {
+	return candidates.Min()
+}
+
+// CommitGC implements core.Policy (Alg. 7 line 20).
+func (p *EpsilonClock) CommitGC(*core.Txn) bool { return true }

@@ -1,0 +1,135 @@
+// Package policy provides the specialized MVTL algorithms of §5 of the
+// paper as policies for the generic engine in internal/core:
+//
+//   - TO          — MVTL-TO, behaviourally equivalent to MVTO+ (Alg. 8)
+//   - Ghostbuster — MVTL-TO plus garbage collection, immune to ghost
+//     aborts (Alg. 10)
+//   - Pref        — the preferential algorithm with alternative
+//     timestamps (Alg. 3/5)
+//   - Prio        — the prioritizer: critical transactions are never
+//     aborted by normal ones (Alg. 6)
+//   - EpsilonClock — immune to serial aborts under ε-synchronized
+//     clocks (Alg. 7)
+//   - Pessimistic — behaviourally equivalent to pessimistic two-phase
+//     locking (Alg. 9)
+//   - TIL         — the interval-locking variant evaluated in §8
+//     (MVTIL-early / MVTIL-late)
+//
+// Every policy is a safe specialization of the generic algorithm
+// (Theorem 1); they differ in liveness: which workloads abort, block, or
+// deadlock.
+package policy
+
+import (
+	"context"
+	"math"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/version"
+)
+
+// txnClock returns the timestamp source for a transaction: its override
+// if set, the policy default otherwise.
+func txnClock(tx *core.Txn, def *clock.Process) *clock.Process {
+	if tx.Clock != nil {
+		return tx.Clock
+	}
+	return def
+}
+
+// timeInterval returns the interval covering all timestamps whose time
+// component lies in [lo, hi], across every process id, clamped to stay
+// strictly above Zero (the initial-version timestamp is never lockable
+// for writing).
+func timeInterval(lo, hi int64) timestamp.Interval {
+	l := timestamp.New(lo, math.MinInt32)
+	if !l.After(timestamp.Zero) {
+		l = timestamp.Zero.Next()
+	}
+	return timestamp.Span(l, timestamp.New(hi, math.MaxInt32))
+}
+
+// readUpTo implements the MVTO-style read loop shared by most policies
+// (Alg. 8 lines 4-11 and its variants): pick the latest committed
+// version below upper, read-lock the interval from just after that
+// version up to upper, and retry from scratch whenever a frozen write
+// lock reveals that a newer version committed in between. When wait is
+// set the loop blocks on unfrozen write locks (bounded by ctx);
+// otherwise it takes the contiguous prefix it can get.
+//
+// It returns the version read and the read-locked interval (which may be
+// a strict prefix of [version.TS+1, upper] in no-wait mode, and may be
+// empty).
+func readUpTo(ctx context.Context, tx *core.Txn, ks *core.KeyState, upper timestamp.Timestamp, wait bool) (version.Version, timestamp.Interval, error) {
+	owner := tx.Owner()
+	for {
+		if err := ctx.Err(); err != nil {
+			return version.Version{}, timestamp.Empty, err
+		}
+		v, err := ks.Versions.LatestBefore(upper)
+		if err != nil {
+			return version.Version{}, timestamp.Empty, err
+		}
+		req := timestamp.Span(v.TS.Next(), upper)
+		if req.IsEmpty() {
+			return v, timestamp.Empty, nil
+		}
+		res, err := ks.Locks.AcquireRead(ctx, owner, req, lock.Options{Wait: wait, Partial: true})
+		if err != nil {
+			return version.Version{}, timestamp.Empty, err
+		}
+		if res.FrozenAt == nil {
+			return v, res.Got, nil
+		}
+		// A frozen write lock means a version committed inside
+		// (v.TS, upper] (values are installed before freezing).
+		if res.FrozenAt.Lo.After(tx.RestartHint) {
+			tx.RestartHint = res.FrozenAt.Lo
+		}
+		if !res.FrozenAt.Lo.Before(upper) {
+			// The frozen point sits exactly at the top of the request:
+			// the newer version is not readable below upper, so
+			// re-picking cannot make progress. Settle for the prefix —
+			// the value read stays correct for every serialization
+			// point before the frozen version.
+			return v, res.Got, nil
+		}
+		if !wait && !res.Got.IsEmpty() {
+			// In no-wait mode a prefix below the frozen point is a
+			// perfectly good outcome.
+			return v, res.Got, nil
+		}
+		// Release what we grabbed and re-pick the version to read (the
+		// repeat loop of Alg. 8).
+		if !res.Got.IsEmpty() {
+			ks.Locks.ReleaseReadIn(owner, res.Got)
+		}
+	}
+}
+
+// pointSet returns the one-timestamp set {t}.
+func pointSet(t timestamp.Timestamp) timestamp.Set {
+	return timestamp.NewSet(timestamp.Point(t))
+}
+
+// allWritable is the set of every timestamp a write may lock: the whole
+// timeline except Zero, which permanently holds the initial version ⊥.
+func allWritable() timestamp.Set {
+	return timestamp.NewSet(timestamp.Span(timestamp.Zero.Next(), timestamp.Infinity))
+}
+
+// tailMin returns the smallest timestamp of the last (highest) interval
+// of the candidate set — the start of the commonly locked timeline tail.
+// Pessimistic-style policies commit there: just above every version
+// committed and every timestamp read on the keys they touched, which
+// reproduces 2PL's real-time serialization order.
+func tailMin(candidates timestamp.Set) (timestamp.Timestamp, bool) {
+	ivs := candidates.Intervals()
+	if len(ivs) == 0 {
+		return timestamp.Timestamp{}, false
+	}
+	return ivs[len(ivs)-1].Lo, true
+}

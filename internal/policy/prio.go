@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/version"
+)
+
+// Prio is the prioritizer policy MVTL-Prio (§5.2, Alg. 6). Transactions
+// marked critical (Txn.Priority) grab locks greedily across the whole
+// timeline — like pessimistic concurrency control, but without blocking
+// on other transactions' locks — while normal transactions behave like
+// timestamp ordering. Critical transactions always own the tail of the
+// timeline above every normal transaction's timestamp, so normal
+// transactions can never abort them (Theorem 3); only other critical
+// transactions can.
+//
+// Following §5.2 (which corrects Alg. 6 on this point), both kinds of
+// transaction garbage collect on commit, so no finished transaction
+// leaves unfrozen locks behind.
+type Prio struct {
+	clk *clock.Process
+}
+
+var _ core.Policy = (*Prio)(nil)
+
+// NewPrio returns the prioritizer policy.
+func NewPrio(clk *clock.Process) *Prio { return &Prio{clk: clk} }
+
+// prioState is the per-transaction state (normal transactions only need
+// the timestamp).
+type prioState struct {
+	ts  timestamp.Timestamp
+	set bool
+}
+
+// Name implements core.Policy.
+func (p *Prio) Name() string { return "mvtl-prio" }
+
+// Begin implements core.Policy.
+func (p *Prio) Begin(tx *core.Txn) { tx.PolicyState = &prioState{} }
+
+func (p *Prio) state(tx *core.Txn) *prioState {
+	st := tx.PolicyState.(*prioState)
+	if !st.set {
+		st.ts = txnClock(tx, p.clk).Now()
+		st.set = true
+	}
+	return st
+}
+
+// WriteLocks implements core.Policy. Critical transactions write-lock
+// every timestamp they can get right now, without waiting — in
+// particular the whole unlocked tail of the timeline. Normal
+// transactions lock nothing until commit.
+func (p *Prio) WriteLocks(ctx context.Context, tx *core.Txn, k string) error {
+	if !tx.Priority {
+		return nil
+	}
+	res, err := tx.Key(k).Locks.AcquireWrite(ctx, tx.Owner(), allWritable(),
+		lock.Options{Partial: true})
+	if err != nil {
+		return fmt.Errorf("priority write-lock %q: %w", k, err)
+	}
+	if res.Got.IsEmpty() {
+		return fmt.Errorf("priority write-lock %q: nothing lockable", k)
+	}
+	return nil
+}
+
+// Read implements core.Policy. Critical transactions read the latest
+// version and lock upward to +∞ (waiting only on unfrozen write locks,
+// which are held just for the brief commit window of other
+// transactions); normal transactions read at their timestamp like
+// MVTL-TO.
+func (p *Prio) Read(ctx context.Context, tx *core.Txn, k string) (version.Version, error) {
+	if tx.Priority {
+		v, _, err := readUpTo(ctx, tx, tx.Key(k), timestamp.Infinity, true)
+		return v, err
+	}
+	st := p.state(tx)
+	v, _, err := readUpTo(ctx, tx, tx.Key(k), st.ts, true)
+	return v, err
+}
+
+// CommitLocks implements core.Policy. Normal transactions write-lock
+// their timestamp without waiting, as in MVTL-TO (Alg. 6 lines 23-29);
+// critical transactions already hold their write locks.
+func (p *Prio) CommitLocks(ctx context.Context, tx *core.Txn) error {
+	if tx.Priority {
+		return nil
+	}
+	st := p.state(tx)
+	owner := tx.Owner()
+	for _, k := range tx.WriteKeys() {
+		if _, err := tx.Key(k).Locks.AcquireWrite(ctx, owner, pointSet(st.ts), lock.Options{}); err != nil {
+			for _, prev := range tx.WriteKeys() {
+				tx.Key(prev).Locks.ReleaseWrites(owner)
+			}
+			return fmt.Errorf("write-lock %q at %v: %w", k, st.ts, err)
+		}
+	}
+	return nil
+}
+
+// CommitTS implements core.Policy: critical transactions commit at the
+// start of the commonly locked tail (just above every conflicting normal
+// timestamp); normal ones at their timestamp (Alg. 6 lines 30-34).
+func (p *Prio) CommitTS(tx *core.Txn, candidates timestamp.Set) (timestamp.Timestamp, bool) {
+	if tx.Priority {
+		return tailMin(candidates)
+	}
+	return p.state(tx).ts, true
+}
+
+// CommitGC implements core.Policy: both kinds garbage collect (§5.2).
+func (p *Prio) CommitGC(*core.Txn) bool { return true }

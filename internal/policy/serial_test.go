@@ -1,0 +1,217 @@
+package policy_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/policy"
+)
+
+// TestSerialWorkloadsNeverAbort is a liveness property: with a single
+// well-behaved clock, a fully serial execution (one transaction at a
+// time) never aborts under any policy. Serial aborts exist only with
+// skewed clocks (§5.3), which this test does not use.
+func TestSerialWorkloadsNeverAbort(t *testing.T) {
+	mk := map[string]func() *core.DB{
+		"to": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewTO(clock.NewProcess(&src, 1)), core.Options{})
+		},
+		"ghostbuster": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewGhostbuster(clock.NewProcess(&src, 1)), core.Options{})
+		},
+		"pref": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewPref(clock.NewProcess(&src, 1), policy.OffsetAlternatives(-2)), core.Options{})
+		},
+		"eps-clock": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewEpsilonClock(clock.NewProcess(&src, 1), 3), core.Options{})
+		},
+		"pessimistic": func() *core.DB {
+			return core.New(policy.NewPessimistic(), core.Options{})
+		},
+		"til-early": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewTIL(clock.NewProcess(&src, 1), 100, policy.CommitEarly, true), core.Options{})
+		},
+		"til-late": func() *core.DB {
+			var src clock.Logical
+			return core.New(policy.NewTIL(clock.NewProcess(&src, 1), 100, policy.CommitLate, true), core.Options{})
+		},
+	}
+	ctx := context.Background()
+	for name, make := range mk {
+		name, make := name, make
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for round := 0; round < 20; round++ {
+				rng := rand.New(rand.NewSource(int64(round)))
+				db := make()
+				for txn := 0; txn < 30; txn++ {
+					tx, err := db.Begin(ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					nops := 1 + rng.Intn(5)
+					for op := 0; op < nops; op++ {
+						k := fmt.Sprintf("k%d", rng.Intn(5))
+						if rng.Intn(2) == 0 {
+							if _, err := tx.Read(ctx, k); err != nil {
+								t.Fatalf("round %d txn %d read: %v", round, txn, err)
+							}
+						} else {
+							if err := tx.Write(ctx, k, []byte{byte(op)}); err != nil {
+								t.Fatalf("round %d txn %d write: %v", round, txn, err)
+							}
+						}
+					}
+					if err := tx.Commit(ctx); err != nil {
+						t.Fatalf("%s: serial txn %d in round %d aborted: %v", name, txn, round, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSerialReadsSeeLatestWrite is a semantic property: in a serial
+// execution, every read observes the most recent committed write of that
+// key, for every policy.
+func TestSerialReadsSeeLatestWrite(t *testing.T) {
+	policies := []string{"to", "ghostbuster", "pref", "eps-clock", "pessimistic", "til-early", "til-late"}
+	ctx := context.Background()
+	for _, name := range policies {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var src clock.Logical
+			clk := clock.NewProcess(&src, 1)
+			var db *core.DB
+			switch name {
+			case "to":
+				db = core.New(policy.NewTO(clk), core.Options{})
+			case "ghostbuster":
+				db = core.New(policy.NewGhostbuster(clk), core.Options{})
+			case "pref":
+				db = core.New(policy.NewPref(clk, policy.OffsetAlternatives(-2)), core.Options{})
+			case "eps-clock":
+				db = core.New(policy.NewEpsilonClock(clk, 3), core.Options{})
+			case "pessimistic":
+				db = core.New(policy.NewPessimistic(), core.Options{})
+			case "til-early":
+				db = core.New(policy.NewTIL(clk, 100, policy.CommitEarly, true), core.Options{})
+			case "til-late":
+				db = core.New(policy.NewTIL(clk, 100, policy.CommitLate, true), core.Options{})
+			}
+			model := map[string][]byte{}
+			rng := rand.New(rand.NewSource(7))
+			for txn := 0; txn < 60; txn++ {
+				tx, _ := db.Begin(ctx)
+				k := fmt.Sprintf("k%d", rng.Intn(4))
+				if rng.Intn(2) == 0 {
+					v := []byte(fmt.Sprintf("v%d", txn))
+					if err := tx.Write(ctx, k, v); err != nil {
+						t.Fatal(err)
+					}
+					if err := tx.Commit(ctx); err != nil {
+						t.Fatal(err)
+					}
+					model[k] = v
+				} else {
+					got, err := tx.Read(ctx, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := tx.Commit(ctx); err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(model[k]) {
+						t.Fatalf("%s: read %q = %q, model says %q", name, k, got, model[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGCStateAfterCommit inspects the lock table after a Ghostbuster
+// commit: read locks up to the commit timestamp are frozen, everything
+// else is gone.
+func TestGCStateAfterCommit(t *testing.T) {
+	var src clock.Logical
+	db := core.New(policy.NewGhostbuster(clock.NewProcess(&src, 1)), core.Options{})
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if _, err := tx.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(ctx, "y", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := db.StateStats()
+	if st.LockEntries != st.FrozenLockEntries {
+		t.Fatalf("unfrozen residue after GC'd commit: %+v", st)
+	}
+	if st.FrozenLockEntries == 0 {
+		t.Fatal("commit must leave frozen locks (read interval + write point)")
+	}
+	// A record of the committed history survives in the version store.
+	if st.Versions != 3 { // ⊥x, ⊥y, y@committs
+		t.Fatalf("Versions = %d", st.Versions)
+	}
+}
+
+// TestAbortLeavesNoUnfrozenLocksWhenGC checks the abort path for GC'ing
+// policies: nothing unfrozen may remain.
+func TestAbortLeavesNoUnfrozenLocksWhenGC(t *testing.T) {
+	var src clock.Logical
+	db := core.New(policy.NewTIL(clock.NewProcess(&src, 1), 100, policy.CommitEarly, true), core.Options{})
+	ctx := context.Background()
+	tx, _ := db.Begin(ctx)
+	if _, err := tx.Read(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(ctx, "b", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := db.StateStats()
+	if st.LockEntries != 0 {
+		t.Fatalf("aborted GC'd txn left %d lock entries", st.LockEntries)
+	}
+}
+
+// TestHistoryAcrossPolicies mixes different policy databases — they
+// cannot share state, but the recorder machinery must isolate histories
+// correctly per database.
+func TestHistoryAcrossPolicies(t *testing.T) {
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		var rec history.Recorder
+		var src clock.Logical
+		db := core.New(policy.NewGhostbuster(clock.NewProcess(&src, 1)), core.Options{Recorder: &rec})
+		tx, _ := db.Begin(ctx)
+		_ = tx.Write(ctx, "k", []byte("v"))
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() != 1 {
+			t.Fatalf("iteration %d: recorded %d", i, rec.Len())
+		}
+		if err := rec.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package policy_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/core"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/policy"
+)
+
+// stressConfig shapes one randomized concurrency run.
+type stressConfig struct {
+	goroutines int
+	txnsPer    int
+	opsPerTxn  int
+	keys       int
+	writeFrac  float64
+	txnTimeout time.Duration
+}
+
+// runStress hammers the database with random transactions and returns
+// (commits, aborts). The committed history lands in rec.
+func runStress(t *testing.T, db *core.DB, cfg stressConfig) (int, int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	commits, aborts := 0, 0
+	for g := 0; g < cfg.goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			localCommits, localAborts := 0, 0
+			for i := 0; i < cfg.txnsPer; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.txnTimeout)
+				tx, err := db.Begin(ctx)
+				if err != nil {
+					cancel()
+					localAborts++
+					continue
+				}
+				ok := true
+				for op := 0; op < cfg.opsPerTxn; op++ {
+					k := fmt.Sprintf("key-%d", rng.Intn(cfg.keys))
+					if rng.Float64() < cfg.writeFrac {
+						err = tx.Write(ctx, k, []byte(fmt.Sprintf("%d-%d", seed, i)))
+					} else {
+						_, err = tx.Read(ctx, k)
+					}
+					if err != nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					err = tx.Commit(ctx)
+					ok = err == nil
+				} else {
+					_ = tx.Abort(ctx)
+				}
+				cancel()
+				if ok {
+					localCommits++
+				} else {
+					localAborts++
+				}
+			}
+			mu.Lock()
+			commits += localCommits
+			aborts += localAborts
+			mu.Unlock()
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	return commits, aborts
+}
+
+// TestStressSerializability runs the randomized workload under every
+// policy and asserts the committed history is multiversion serializable
+// (Theorem 1: safety holds for every policy).
+func TestStressSerializability(t *testing.T) {
+	mkPolicies := func(clk *clock.Process) map[string]core.Policy {
+		return map[string]core.Policy{
+			"to":          policy.NewTO(clk),
+			"ghostbuster": policy.NewGhostbuster(clk),
+			"pref":        policy.NewPref(clk, policy.OffsetAlternatives(-3, -7)),
+			"prio":        policy.NewPrio(clk),
+			"eps-clock":   policy.NewEpsilonClock(clk, 10),
+			"pessimistic": policy.NewPessimistic(),
+			"til-early":   policy.NewTIL(clk, 50, policy.CommitEarly, true),
+			"til-late":    policy.NewTIL(clk, 50, policy.CommitLate, true),
+			"til-nogc":    policy.NewTIL(clk, 50, policy.CommitEarly, false),
+		}
+	}
+	cfg := stressConfig{
+		goroutines: 8,
+		txnsPer:    60,
+		opsPerTxn:  6,
+		keys:       12,
+		writeFrac:  0.4,
+		txnTimeout: 250 * time.Millisecond,
+	}
+	names := []string{"to", "ghostbuster", "pref", "prio", "eps-clock", "pessimistic", "til-early", "til-late", "til-nogc"}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var src clock.Logical
+			clk := clock.NewProcess(&src, 1)
+			var rec history.Recorder
+			db := core.New(mkPolicies(clk)[name], core.Options{Recorder: &rec})
+			commits, aborts := runStress(t, db, cfg)
+			if commits == 0 {
+				t.Fatalf("no transaction committed (aborts=%d)", aborts)
+			}
+			if err := rec.Check(); err != nil {
+				t.Fatalf("serializability violated: %v", err)
+			}
+			t.Logf("%s: %d commits, %d aborts, %d keys, %d lock entries",
+				name, commits, aborts, db.StateStats().Keys, db.StateStats().LockEntries)
+		})
+	}
+}
+
+// TestStressPriorityMix runs the prioritizer with a mix of critical and
+// normal transactions and verifies both serializability and Theorem 3:
+// no critical transaction is ever aborted while only normal transactions
+// run concurrently with it.
+func TestStressPriorityMix(t *testing.T) {
+	var src clock.Logical
+	clk := clock.NewProcess(&src, 1)
+	var rec history.Recorder
+	db := core.New(policy.NewPrio(clk), core.Options{Recorder: &rec})
+
+	var wg sync.WaitGroup
+	// Normal churn.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 80; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+				tx, _ := db.Begin(ctx)
+				for op := 0; op < 4; op++ {
+					k := fmt.Sprintf("key-%d", rng.Intn(8))
+					var err error
+					if rng.Intn(2) == 0 {
+						_, err = tx.Read(ctx, k)
+					} else {
+						err = tx.Write(ctx, k, []byte("n"))
+					}
+					if err != nil {
+						break
+					}
+				}
+				_ = tx.Commit(ctx)
+				cancel()
+			}
+		}(int64(g) + 100)
+	}
+	// One goroutine issuing critical transactions sequentially: none may
+	// abort (only normal traffic runs concurrently).
+	criticalErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 40; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			tx, _ := db.Begin(ctx)
+			tx.Priority = true
+			var err error
+			k := fmt.Sprintf("key-%d", rng.Intn(8))
+			if _, err = tx.Read(ctx, k); err == nil {
+				if err = tx.Write(ctx, k, []byte("critical")); err == nil {
+					err = tx.Commit(ctx)
+				}
+			}
+			cancel()
+			if err != nil {
+				select {
+				case criticalErr <- fmt.Errorf("critical txn %d: %w", i, err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-criticalErr:
+		t.Fatalf("Theorem 3 violated: %v", err)
+	default:
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressHotKey focuses all transactions on one key to maximize
+// conflicts; serializability must survive under every policy that can
+// make progress there.
+func TestStressHotKey(t *testing.T) {
+	for _, name := range []string{"to", "ghostbuster", "til-early", "eps-clock"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var src clock.Logical
+			clk := clock.NewProcess(&src, 1)
+			var rec history.Recorder
+			var pol core.Policy
+			switch name {
+			case "to":
+				pol = policy.NewTO(clk)
+			case "ghostbuster":
+				pol = policy.NewGhostbuster(clk)
+			case "til-early":
+				pol = policy.NewTIL(clk, 30, policy.CommitEarly, true)
+			case "eps-clock":
+				pol = policy.NewEpsilonClock(clk, 5)
+			}
+			db := core.New(pol, core.Options{Recorder: &rec})
+			commits, _ := runStress(t, db, stressConfig{
+				goroutines: 8,
+				txnsPer:    40,
+				opsPerTxn:  2,
+				keys:       1,
+				writeFrac:  0.5,
+				txnTimeout: 200 * time.Millisecond,
+			})
+			if commits == 0 {
+				t.Fatal("hot key starved every transaction")
+			}
+			if err := rec.Check(); err != nil {
+				t.Fatalf("serializability violated: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,620 @@
+// Package server implements the MVTL storage server of the distributed
+// algorithm (§7/§H, Algorithm 13). A server owns a partition of the key
+// space and holds, per key, the freezable interval lock table and the
+// version history. Coordinators (package client) drive it through the
+// wire protocol: read-lock, write-lock, freeze, release, decide, purge.
+//
+// Fault tolerance follows §H.1: each update transaction names a decision
+// server hosting its commitment object. If a coordinator disappears
+// leaving unfrozen write locks behind, the holding server times out and
+// proposes "abort" to the decision server; whatever is decided is then
+// applied locally (Lemma 4), so no transaction blocks forever on a dead
+// coordinator (Theorem 9).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/commitment"
+	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/version"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Addr is the listen address (and the server's identity).
+	Addr string
+	// Network provides the transport.
+	Network transport.Network
+	// LockWaitTimeout caps how long a blocking lock request may wait
+	// before reporting a conflict (deadlock resolution). Default 1s.
+	LockWaitTimeout time.Duration
+	// WriteLockTimeout is how long unfrozen write locks may sit before
+	// the server suspects the coordinator and proposes abort (§H).
+	// Default 3s.
+	WriteLockTimeout time.Duration
+	// ScanInterval is the suspicion scanner period. Default 250ms.
+	ScanInterval time.Duration
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.LockWaitTimeout == 0 {
+		c.LockWaitTimeout = time.Second
+	}
+	if c.WriteLockTimeout == 0 {
+		c.WriteLockTimeout = 3 * time.Second
+	}
+	if c.ScanInterval == 0 {
+		c.ScanInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// keyState is the per-key server state.
+type keyState struct {
+	locks    *lock.Table
+	versions *version.List
+}
+
+// txnState tracks what this server knows about one transaction.
+type txnState struct {
+	decisionSrv string
+	// pending holds buffered write values per key (Alg. 13 line 3).
+	pending map[string][]byte
+	// writeKeys are keys where the txn holds (possibly unfrozen) write
+	// locks.
+	writeKeys map[string]bool
+	// readKeys are keys where the txn holds read locks.
+	readKeys map[string]bool
+	// firstWriteLock is when the txn first write-locked here.
+	firstWriteLock time.Time
+	// finished marks that a decision was applied locally.
+	finished bool
+}
+
+// Server is one storage server.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+	registry *commitment.Registry
+	// waits detects wait-for cycles among transactions blocked on this
+	// server's locks; cross-server cycles are resolved by the lock-wait
+	// timeout instead.
+	waits *lock.WaitGraph
+
+	mu    sync.Mutex
+	keys  map[string]*keyState
+	txns  map[uint64]*txnState
+	peers map[string]transport.Conn
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a server listening at cfg.Addr.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, errors.New("server: Config.Network is required")
+	}
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: l,
+		registry: commitment.NewRegistry(),
+		waits:    lock.NewWaitGraph(),
+		keys:     make(map[string]*keyState),
+		txns:     make(map[uint64]*txnState),
+		peers:    make(map[string]transport.Conn),
+		stop:     make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.suspectLoop()
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	close(s.stop)
+	err := s.listener.Close()
+	s.mu.Lock()
+	for _, c := range s.peers {
+		_ = c.Close()
+	}
+	s.peers = map[string]transport.Conn{}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) key(k string) *keyState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ks, ok := s.keys[k]
+	if !ok {
+		ks = &keyState{locks: lock.NewTableDetected(s.waits), versions: version.NewList()}
+		s.keys[k] = ks
+	}
+	return ks
+}
+
+func (s *Server) txn(id uint64) *txnState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txnLocked(id)
+}
+
+func (s *Server) txnLocked(id uint64) *txnState {
+	t, ok := s.txns[id]
+	if !ok {
+		t = &txnState{pending: map[string][]byte{}, writeKeys: map[string]bool{}, readKeys: map[string]bool{}}
+		s.txns[id] = t
+	}
+	return t
+}
+
+// --- connection handling ----------------------------------------------------
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn demultiplexes one coordinator connection: every request runs
+// in its own goroutine (lock requests may block), and responses are
+// written back tagged with the request id.
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+	}()
+	var sendMu sync.Mutex
+	reply := func(id uint64, t wire.MsgType, body []byte) {
+		sendMu.Lock()
+		defer sendMu.Unlock()
+		if err := conn.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+			s.logf("server %s: send: %v", s.cfg.Addr, err)
+		}
+	}
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		// Lock acquisitions may block on conflicts and therefore run in
+		// their own goroutines. Everything else (freeze, release,
+		// decide, purge, stats) is non-blocking and handled inline, in
+		// arrival order — this preserves the FIFO semantics that
+		// coordinators rely on when they fire-and-forget a freeze and
+		// then issue the next request on the same connection.
+		switch f.Type {
+		case wire.TReadLockReq, wire.TWriteLockReq:
+			handlers.Add(1)
+			go func(f wire.Frame) {
+				defer handlers.Done()
+				s.dispatch(f, reply)
+			}(f)
+		default:
+			s.dispatch(f, reply)
+		}
+	}
+}
+
+func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)) {
+	switch f.Type {
+	case wire.TReadLockReq:
+		req, err := wire.DecodeReadLockReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TReadLockResp, wire.ReadLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TReadLockResp, s.handleReadLock(req).Encode())
+	case wire.TWriteLockReq:
+		req, err := wire.DecodeWriteLockReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TWriteLockResp, wire.WriteLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TWriteLockResp, s.handleWriteLock(req).Encode())
+	case wire.TFreezeWriteReq:
+		req, err := wire.DecodeFreezeWriteReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TFreezeWriteResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TFreezeWriteResp, s.handleFreezeWrite(req).Encode())
+	case wire.TFreezeReadReq:
+		req, err := wire.DecodeFreezeReadReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		s.key(req.Key).locks.FreezeReadIn(lock.Owner(req.Txn), timestamp.Span(req.Lo, req.Hi))
+		reply(f.ID, wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK}.Encode())
+	case wire.TReleaseReq:
+		req, err := wire.DecodeReleaseReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TReleaseResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TReleaseResp, s.handleRelease(req).Encode())
+	case wire.TDecideReq:
+		req, err := wire.DecodeDecideReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TDecideResp, wire.DecideResp{Kind: wire.DecideAbort}.Encode())
+			return
+		}
+		d := s.handleDecide(req)
+		reply(f.ID, wire.TDecideResp, wire.DecideResp{Kind: d.Kind, TS: d.TS}.Encode())
+	case wire.TPurgeReq:
+		req, err := wire.DecodePurgeReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TPurgeResp, wire.PurgeResp{}.Encode())
+			return
+		}
+		v, l := s.purgeBelow(req.Bound)
+		reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Versions: int64(v), Locks: int64(l)}.Encode())
+	case wire.TStatsReq:
+		reply(f.ID, wire.TStatsResp, s.stats().Encode())
+	default:
+		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type)
+	}
+}
+
+// --- handlers ----------------------------------------------------------------
+
+// handleReadLock runs the server-side read step: pick the latest version
+// below Upper, read-lock the interval above it (waiting on unfrozen
+// write locks when requested), retrying while newer frozen versions
+// appear.
+func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
+	ks := s.key(req.Key)
+	owner := lock.Owner(req.Txn)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
+	defer cancel()
+	for {
+		if ctx.Err() != nil {
+			return wire.ReadLockResp{Status: wire.StatusConflict, Err: "lock wait timeout"}
+		}
+		v, err := ks.versions.LatestBefore(req.Upper)
+		if err != nil {
+			return wire.ReadLockResp{Status: wire.StatusPurged, Err: err.Error()}
+		}
+		span := timestamp.Span(v.TS.Next(), req.Upper)
+		if span.IsEmpty() {
+			s.trackRead(req.Txn, req.Key)
+			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: timestamp.Empty}
+		}
+		res, err := ks.locks.AcquireRead(ctx, owner, span, lock.Options{Wait: req.Wait, Partial: true})
+		if err != nil {
+			return wire.ReadLockResp{Status: wire.StatusConflict, Err: err.Error()}
+		}
+		switch {
+		case res.FrozenAt == nil:
+			s.trackRead(req.Txn, req.Key)
+			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
+		case !res.FrozenAt.Lo.Before(req.Upper), !req.Wait && !res.Got.IsEmpty():
+			// Frozen at the top of the request, or no-wait with a
+			// usable prefix: settle.
+			s.trackRead(req.Txn, req.Key)
+			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
+		default:
+			if !res.Got.IsEmpty() {
+				ks.locks.ReleaseReadIn(owner, res.Got)
+			}
+		}
+	}
+}
+
+func (s *Server) trackRead(txn uint64, key string) {
+	s.mu.Lock()
+	s.txnLocked(txn).readKeys[key] = true
+	s.mu.Unlock()
+}
+
+// handleWriteLock acquires write locks and buffers the pending value.
+func (s *Server) handleWriteLock(req wire.WriteLockReq) wire.WriteLockResp {
+	t := s.txn(req.Txn)
+	s.mu.Lock()
+	if t.finished {
+		s.mu.Unlock()
+		return wire.WriteLockResp{Status: wire.StatusAborted, Err: "transaction already decided"}
+	}
+	if req.DecisionSrv != "" {
+		t.decisionSrv = req.DecisionSrv
+	}
+	s.mu.Unlock()
+
+	ks := s.key(req.Key)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
+	defer cancel()
+	res, err := ks.locks.AcquireWrite(ctx, lock.Owner(req.Txn), req.Set, lock.Options{Wait: req.Wait, Partial: true})
+	if err != nil {
+		status := wire.StatusConflict
+		if errors.Is(err, lock.ErrFrozen) {
+			status = wire.StatusFrozen
+		}
+		return wire.WriteLockResp{Status: status, Err: err.Error(), Denied: res.Denied}
+	}
+	if !res.Got.IsEmpty() {
+		s.mu.Lock()
+		t.pending[req.Key] = req.Value
+		t.writeKeys[req.Key] = true
+		if t.firstWriteLock.IsZero() {
+			t.firstWriteLock = time.Now()
+		}
+		s.mu.Unlock()
+	}
+	return wire.WriteLockResp{Status: wire.StatusOK, Got: res.Got, Denied: res.Denied}
+}
+
+// handleFreezeWrite applies a commit at req.TS for one key: install the
+// pending value, then freeze the write lock (install-before-freeze keeps
+// the frozen-implies-present invariant readers rely on).
+func (s *Server) handleFreezeWrite(req wire.FreezeWriteReq) wire.Ack {
+	s.mu.Lock()
+	t := s.txnLocked(req.Txn)
+	val, ok := t.pending[req.Key]
+	s.mu.Unlock()
+	if !ok {
+		return wire.Ack{Status: wire.StatusError, Err: "no pending value (timed out and aborted?)"}
+	}
+	ks := s.key(req.Key)
+	if err := ks.versions.Install(req.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
+		return wire.Ack{Status: wire.StatusError, Err: err.Error()}
+	}
+	if !ks.locks.FreezeWriteAt(lock.Owner(req.Txn), req.TS) {
+		return wire.Ack{Status: wire.StatusError, Err: "write lock not held at commit timestamp"}
+	}
+	s.mu.Lock()
+	delete(t.pending, req.Key)
+	if len(t.pending) == 0 {
+		// every buffered write on this server is exposed; stop
+		// suspecting the coordinator
+		t.finished = true
+	}
+	s.mu.Unlock()
+	return wire.Ack{Status: wire.StatusOK}
+}
+
+// handleRelease drops the transaction's unfrozen locks on a key.
+func (s *Server) handleRelease(req wire.ReleaseReq) wire.Ack {
+	ks := s.key(req.Key)
+	owner := lock.Owner(req.Txn)
+	if req.WritesOnly {
+		ks.locks.ReleaseWrites(owner)
+	} else {
+		ks.locks.ReleaseUnfrozen(owner)
+	}
+	s.mu.Lock()
+	t := s.txnLocked(req.Txn)
+	delete(t.pending, req.Key)
+	delete(t.writeKeys, req.Key)
+	if !req.WritesOnly {
+		delete(t.readKeys, req.Key)
+	}
+	if len(t.writeKeys) == 0 {
+		t.firstWriteLock = time.Time{}
+	}
+	s.mu.Unlock()
+	return wire.Ack{Status: wire.StatusOK}
+}
+
+// handleDecide runs the commitment object hosted on this server and
+// applies the decision to local state.
+func (s *Server) handleDecide(req wire.DecideReq) commitment.Decision {
+	d := s.registry.Object(req.Txn).Decide(commitment.Decision{Kind: req.Proposal, TS: req.TS})
+	s.applyDecision(req.Txn, d)
+	return d
+}
+
+// applyDecision finalizes a transaction locally: on abort, release its
+// locks and drop pending values; on commit, freeze-and-install any
+// pending writes at the decided timestamp (the write-lock-timeout path
+// of Alg. 13 reaches this with a commit decision when the coordinator
+// managed to decide before crashing).
+func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
+	s.mu.Lock()
+	t := s.txnLocked(txn)
+	if t.finished {
+		s.mu.Unlock()
+		return
+	}
+	t.finished = true
+	writeKeys := make([]string, 0, len(t.writeKeys))
+	for k := range t.writeKeys {
+		writeKeys = append(writeKeys, k)
+	}
+	pending := make(map[string][]byte, len(t.pending))
+	for k, v := range t.pending {
+		pending[k] = v
+	}
+	s.mu.Unlock()
+
+	owner := lock.Owner(txn)
+	if d.Kind == wire.DecideAbort {
+		for _, k := range writeKeys {
+			s.key(k).locks.ReleaseWrites(owner)
+		}
+		s.mu.Lock()
+		t.pending = map[string][]byte{}
+		t.writeKeys = map[string]bool{}
+		s.mu.Unlock()
+		return
+	}
+	for k, val := range pending {
+		ks := s.key(k)
+		if err := ks.versions.Install(d.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
+			s.logf("server %s: install %q at %v: %v", s.cfg.Addr, k, d.TS, err)
+			continue
+		}
+		ks.locks.FreezeWriteAt(owner, d.TS)
+	}
+}
+
+// --- suspicion scanner --------------------------------------------------------
+
+// suspectLoop periodically looks for transactions whose unfrozen write
+// locks have been held too long, suspects their coordinator and proposes
+// abort to the decision server (write-lock-timeout, Alg. 13).
+func (s *Server) suspectLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.scanOnce()
+		}
+	}
+}
+
+func (s *Server) scanOnce() {
+	type suspect struct {
+		txn         uint64
+		decisionSrv string
+	}
+	var suspects []suspect
+	now := time.Now()
+	s.mu.Lock()
+	for id, t := range s.txns {
+		if t.finished || t.firstWriteLock.IsZero() {
+			continue
+		}
+		if now.Sub(t.firstWriteLock) >= s.cfg.WriteLockTimeout {
+			suspects = append(suspects, suspect{txn: id, decisionSrv: t.decisionSrv})
+		}
+	}
+	s.mu.Unlock()
+	for _, sp := range suspects {
+		d, ok := s.proposeAbort(sp.txn, sp.decisionSrv)
+		if !ok {
+			continue // decision server unreachable; retry next scan
+		}
+		s.logf("server %s: suspected txn %d, decision %v", s.cfg.Addr, sp.txn, d.Kind)
+		s.applyDecision(sp.txn, d)
+	}
+}
+
+// proposeAbort reaches the transaction's commitment object — locally if
+// this server is the decision point, over the network otherwise — and
+// proposes abort.
+func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decision, bool) {
+	proposal := commitment.Decision{Kind: wire.DecideAbort}
+	if decisionSrv == "" || decisionSrv == s.cfg.Addr {
+		return s.registry.Object(txn).Decide(proposal), true
+	}
+	resp, err := s.callPeer(decisionSrv, wire.TDecideReq,
+		wire.DecideReq{Txn: txn, Proposal: wire.DecideAbort}.Encode())
+	if err != nil {
+		// Cannot reach the decision server: do not act unilaterally;
+		// the scanner retries later.
+		s.logf("server %s: decide via %s: %v", s.cfg.Addr, decisionSrv, err)
+		return commitment.Decision{}, false
+	}
+	d, err := wire.DecodeDecideResp(resp)
+	if err != nil {
+		return commitment.Decision{}, false
+	}
+	return commitment.Decision{Kind: d.Kind, TS: d.TS}, true
+}
+
+// callPeer performs one synchronous RPC to another server.
+func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, error) {
+	s.mu.Lock()
+	conn, ok := s.peers[addr]
+	s.mu.Unlock()
+	if !ok {
+		c, err := s.cfg.Network.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		if existing, exists := s.peers[addr]; exists {
+			s.mu.Unlock()
+			_ = c.Close()
+			conn = existing
+		} else {
+			s.peers[addr] = c
+			s.mu.Unlock()
+			conn = c
+		}
+	}
+	// Peer RPCs are rare (suspicion only); serialize them per peer.
+	if err := conn.Send(wire.Frame{ID: 1, Type: t, Body: body}); err != nil {
+		return nil, err
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return f.Body, nil
+}
+
+// --- maintenance ---------------------------------------------------------------
+
+func (s *Server) purgeBelow(bound timestamp.Timestamp) (versions, locks int) {
+	s.mu.Lock()
+	states := make([]*keyState, 0, len(s.keys))
+	for _, ks := range s.keys {
+		states = append(states, ks)
+	}
+	s.mu.Unlock()
+	for _, ks := range states {
+		versions += ks.versions.PurgeBelow(bound)
+		locks += ks.locks.PurgeFrozenBelow(bound)
+	}
+	return versions, locks
+}
+
+func (s *Server) stats() wire.StatsResp {
+	s.mu.Lock()
+	states := make([]*keyState, 0, len(s.keys))
+	for _, ks := range s.keys {
+		states = append(states, ks)
+	}
+	s.mu.Unlock()
+	var st wire.StatsResp
+	for _, ks := range states {
+		st.Keys++
+		ls := ks.locks.Stats()
+		st.LockEntries += int64(ls.Entries)
+		st.FrozenLocks += int64(ls.Frozen)
+		st.Versions += int64(ks.versions.Count())
+	}
+	return st
+}

@@ -1,0 +1,40 @@
+package timestamp
+
+import "testing"
+
+func BenchmarkSetAdd(b *testing.B) {
+	base := NewSet(iv(10, 20), iv(40, 50), iv(80, 90))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = base.Add(iv(int64(i%70), int64(i%70)+5))
+	}
+}
+
+func BenchmarkSetIntersect(b *testing.B) {
+	a := NewSet(iv(0, 25), iv(50, 75), iv(100, 125))
+	c := NewSet(iv(10, 60), iv(70, 110))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Intersect(c)
+	}
+}
+
+func BenchmarkSetContains(b *testing.B) {
+	s := NewSet(iv(0, 10), iv(20, 30), iv(40, 50), iv(60, 70), iv(80, 90))
+	probe := New(45, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Contains(probe) {
+			b.Fatal("probe must be contained")
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x, y := New(100, 5), New(100, 6)
+	for i := 0; i < b.N; i++ {
+		if x.Compare(y) >= 0 {
+			b.Fatal("wrong ordering")
+		}
+	}
+}

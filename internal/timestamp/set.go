@@ -1,0 +1,197 @@
+package timestamp
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a set of timestamps represented as a normalized sequence of
+// disjoint, non-adjacent, non-empty intervals sorted by Lo. The zero value
+// is the empty set.
+//
+// Sets represent the candidate commit timestamps a transaction still has
+// available: the generic commit step (§4.3, Alg. 1 line 13) intersects the
+// locked timestamps across all keys in the read and write sets, and
+// policies such as ε-clock shrink their set as lock acquisition partially
+// fails.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a set from the given intervals (which may overlap or be
+// unsorted; empty intervals are ignored).
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s = s.Add(iv)
+	}
+	return s
+}
+
+// SetOf returns the set containing exactly the given timestamps.
+func SetOf(ts ...Timestamp) Set {
+	var s Set
+	for _, t := range ts {
+		s = s.Add(Point(t))
+	}
+	return s
+}
+
+// IsEmpty reports whether the set contains no timestamps.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Intervals returns a copy of the normalized intervals making up the set.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// NumIntervals returns the number of maximal intervals in the set; it is a
+// measure of lock-state fragmentation (§6).
+func (s Set) NumIntervals() int { return len(s.ivs) }
+
+// Contains reports whether t is in the set.
+func (s Set) Contains(t Timestamp) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi.AtOrAfter(t) })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// ContainsInterval reports whether the entire interval iv is in the set.
+func (s Set) ContainsInterval(iv Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi.AtOrAfter(iv.Lo) })
+	return i < len(s.ivs) && s.ivs[i].ContainsInterval(iv)
+}
+
+// Min returns the smallest timestamp in the set. The second result is
+// false when the set is empty.
+func (s Set) Min() (Timestamp, bool) {
+	if len(s.ivs) == 0 {
+		return Timestamp{}, false
+	}
+	return s.ivs[0].Lo, true
+}
+
+// Max returns the largest timestamp in the set. The second result is
+// false when the set is empty.
+func (s Set) Max() (Timestamp, bool) {
+	if len(s.ivs) == 0 {
+		return Timestamp{}, false
+	}
+	return s.ivs[len(s.ivs)-1].Hi, true
+}
+
+// Add returns the set extended with interval iv, coalescing overlapping
+// and adjacent intervals. The receiver is not modified.
+func (s Set) Add(iv Interval) Set {
+	if iv.IsEmpty() {
+		return s
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	inserted := false
+	for _, cur := range s.ivs {
+		switch {
+		case inserted:
+			if iv.Overlaps(cur) || iv.Adjacent(cur) {
+				iv = iv.Merge(cur)
+				out[len(out)-1] = iv
+			} else {
+				out = append(out, cur)
+			}
+		case cur.Overlaps(iv) || cur.Adjacent(iv):
+			iv = iv.Merge(cur)
+			out = append(out, iv)
+			inserted = true
+		case cur.Lo.After(iv.Hi):
+			out = append(out, iv, cur)
+			inserted = true
+		default:
+			out = append(out, cur)
+		}
+	}
+	if !inserted {
+		out = append(out, iv)
+	}
+	return Set{ivs: out}
+}
+
+// Union returns the union of s and o.
+func (s Set) Union(o Set) Set {
+	for _, iv := range o.ivs {
+		s = s.Add(iv)
+	}
+	return s
+}
+
+// IntersectInterval returns the subset of s inside iv.
+func (s Set) IntersectInterval(iv Interval) Set {
+	if iv.IsEmpty() || len(s.ivs) == 0 {
+		return Set{}
+	}
+	out := make([]Interval, 0, len(s.ivs))
+	for _, cur := range s.ivs {
+		x := cur.Intersect(iv)
+		if !x.IsEmpty() {
+			out = append(out, x)
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Intersect returns the intersection of s and o.
+func (s Set) Intersect(o Set) Set {
+	var out Set
+	for _, iv := range o.ivs {
+		part := s.IntersectInterval(iv)
+		out.ivs = append(out.ivs, part.ivs...)
+	}
+	return out
+}
+
+// SubtractInterval returns the subset of s outside iv.
+func (s Set) SubtractInterval(iv Interval) Set {
+	if iv.IsEmpty() || len(s.ivs) == 0 {
+		return s
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	for _, cur := range s.ivs {
+		out = append(out, cur.Subtract(iv)...)
+	}
+	return Set{ivs: out}
+}
+
+// Subtract returns the set difference s \ o.
+func (s Set) Subtract(o Set) Set {
+	for _, iv := range o.ivs {
+		s = s.SubtractInterval(iv)
+	}
+	return s
+}
+
+// Equal reports whether two sets contain exactly the same timestamps.
+func (s Set) Equal(o Set) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a list of intervals.
+func (s Set) String() string {
+	if len(s.ivs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, "∪")
+}

@@ -1,0 +1,238 @@
+package timestamp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddCoalesces(t *testing.T) {
+	s := NewSet(iv(1, 3), iv(5, 7))
+	if s.NumIntervals() != 2 {
+		t.Fatalf("want 2 intervals, got %v", s)
+	}
+	// bridge the gap: [3+..5-] is adjacent on both sides
+	s = s.Add(Span(New(3, 0).Next(), New(5, 0).Prev()))
+	if s.NumIntervals() != 1 {
+		t.Fatalf("want 1 interval after coalescing, got %v", s)
+	}
+	if min, _ := s.Min(); min != New(1, 0) {
+		t.Errorf("Min = %v", min)
+	}
+	if max, _ := s.Max(); max != New(7, 0) {
+		t.Errorf("Max = %v", max)
+	}
+}
+
+func TestSetAddOverlapping(t *testing.T) {
+	s := NewSet(iv(1, 5), iv(4, 9), iv(20, 30), iv(8, 12))
+	want := NewSet(iv(1, 12), iv(20, 30))
+	if !s.Equal(want) {
+		t.Fatalf("got %v want %v", s, want)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(iv(1, 3), iv(7, 9))
+	for _, tc := range []struct {
+		t    Timestamp
+		want bool
+	}{
+		{New(1, 0), true},
+		{New(2, 55), true},
+		{New(3, 0), true},
+		{New(3, 1), false},
+		{New(5, 0), false},
+		{New(7, 0), true},
+		{New(9, 1), false},
+	} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%v)=%v want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet(iv(1, 5), iv(10, 20))
+	b := NewSet(iv(4, 12), iv(18, 30))
+	got := a.Intersect(b)
+	want := NewSet(iv(4, 5), iv(10, 12), iv(18, 20))
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSetSubtract(t *testing.T) {
+	a := NewSet(iv(1, 10))
+	b := NewSet(iv(3, 4), iv(7, 8))
+	got := a.Subtract(b)
+	want := NewSet(
+		Span(New(1, 0), New(3, 0).Prev()),
+		Span(New(4, 0).Next(), New(7, 0).Prev()),
+		Span(New(8, 0).Next(), New(10, 0)),
+	)
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestSetEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Fatal("zero set must be empty")
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min on empty must be !ok")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("Max on empty must be !ok")
+	}
+	if s.Contains(New(1, 1)) {
+		t.Fatal("empty contains nothing")
+	}
+	if s.String() != "∅" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSetContainsInterval(t *testing.T) {
+	s := NewSet(iv(1, 5), iv(8, 12))
+	if !s.ContainsInterval(iv(2, 4)) {
+		t.Fatal("expected containment")
+	}
+	if s.ContainsInterval(iv(4, 9)) {
+		t.Fatal("straddling interval is not contained")
+	}
+	if !s.ContainsInterval(iv(9, 2)) {
+		t.Fatal("empty interval always contained")
+	}
+}
+
+func TestSetIntervalsIsCopy(t *testing.T) {
+	s := NewSet(iv(1, 5))
+	got := s.Intervals()
+	got[0] = iv(100, 200)
+	if !s.Equal(NewSet(iv(1, 5))) {
+		t.Fatal("Intervals must return a copy")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genSet produces a random small set plus a random probe point, keeping the
+// value domain tight so intervals collide often.
+func genSmallTS(r *rand.Rand) Timestamp {
+	return New(int64(r.Intn(24)), int32(r.Intn(3)))
+}
+
+func genSmallSet(r *rand.Rand) Set {
+	var s Set
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		a, b := genSmallTS(r), genSmallTS(r)
+		s = s.Add(Span(Min(a, b), Max(a, b)))
+	}
+	return s
+}
+
+type setPair struct {
+	A, B  Set
+	Probe Timestamp
+}
+
+func (setPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setPair{A: genSmallSet(r), B: genSmallSet(r), Probe: genSmallTS(r)})
+}
+
+func normalized(s Set) bool {
+	ivs := s.Intervals()
+	for i, cur := range ivs {
+		if cur.IsEmpty() {
+			return false
+		}
+		if i > 0 {
+			prev := ivs[i-1]
+			// strictly increasing with a real gap (no adjacency)
+			if !prev.Hi.Next().Before(cur.Lo) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickSetUnionMembership(t *testing.T) {
+	f := func(p setPair) bool {
+		u := p.A.Union(p.B)
+		if !normalized(u) {
+			return false
+		}
+		return u.Contains(p.Probe) == (p.A.Contains(p.Probe) || p.B.Contains(p.Probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetIntersectMembership(t *testing.T) {
+	f := func(p setPair) bool {
+		x := p.A.Intersect(p.B)
+		if !normalized(x) {
+			return false
+		}
+		return x.Contains(p.Probe) == (p.A.Contains(p.Probe) && p.B.Contains(p.Probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetSubtractMembership(t *testing.T) {
+	f := func(p setPair) bool {
+		d := p.A.Subtract(p.B)
+		if !normalized(d) {
+			return false
+		}
+		return d.Contains(p.Probe) == (p.A.Contains(p.Probe) && !p.B.Contains(p.Probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetDeMorgan(t *testing.T) {
+	// A \ (B ∪ C) == (A \ B) \ C
+	type triple struct{ A, B, C Set }
+	gen := func(r *rand.Rand, _ int) reflect.Value {
+		return reflect.ValueOf(triple{genSmallSet(r), genSmallSet(r), genSmallSet(r)})
+	}
+	_ = gen
+	f := func(p setPair) bool {
+		c := genSmallSet(rand.New(rand.NewSource(int64(p.Probe.Time))))
+		left := p.A.Subtract(p.B.Union(c))
+		right := p.A.Subtract(p.B).Subtract(c)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	f := func(p setPair) bool {
+		return p.A.Intersect(p.B).Equal(p.B.Intersect(p.A))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionIdempotent(t *testing.T) {
+	f := func(p setPair) bool {
+		return p.A.Union(p.A).Equal(p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

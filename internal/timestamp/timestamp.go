@@ -1,0 +1,133 @@
+// Package timestamp defines the time domain used by MVTL: discrete time
+// points refined by a process id, plus intervals and interval sets over
+// that domain.
+//
+// The paper (§4.1) models a timestamp as a pair (v, p) ordered
+// lexicographically, where v is a clock value and p a process id; the
+// process id guarantees that concurrent processes can always pick distinct
+// timestamps. This package implements that domain together with the
+// interval algebra needed for interval-compressed lock state (§6).
+package timestamp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Timestamp is a point on the global time line. Ordering is lexicographic:
+// first by Time, then by Proc. The domain is discrete: every timestamp has
+// a well-defined successor (Next) and predecessor (Prev).
+type Timestamp struct {
+	// Time is the clock component (for example microseconds since the
+	// epoch, or a logical counter).
+	Time int64
+	// Proc is the process-id tiebreaker that makes timestamps unique
+	// across processes.
+	Proc int32
+}
+
+// Zero is the smallest timestamp. Every key implicitly holds the initial
+// version ⊥ at Zero (§4.1).
+var Zero = Timestamp{}
+
+// Infinity is the largest representable timestamp. It is used by the
+// pessimistic and prioritizer policies, which lock "all timestamps up
+// to +∞" (§5.2, §5.4).
+var Infinity = Timestamp{Time: math.MaxInt64, Proc: math.MaxInt32}
+
+// New returns the timestamp (time, proc).
+func New(time int64, proc int32) Timestamp {
+	return Timestamp{Time: time, Proc: proc}
+}
+
+// Compare returns -1, 0 or +1 depending on whether t is before, equal to,
+// or after o in the lexicographic order.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Time < o.Time:
+		return -1
+	case t.Time > o.Time:
+		return 1
+	case t.Proc < o.Proc:
+		return -1
+	case t.Proc > o.Proc:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Before reports whether t < o.
+func (t Timestamp) Before(o Timestamp) bool { return t.Compare(o) < 0 }
+
+// After reports whether t > o.
+func (t Timestamp) After(o Timestamp) bool { return t.Compare(o) > 0 }
+
+// AtOrBefore reports whether t <= o.
+func (t Timestamp) AtOrBefore(o Timestamp) bool { return t.Compare(o) <= 0 }
+
+// AtOrAfter reports whether t >= o.
+func (t Timestamp) AtOrAfter(o Timestamp) bool { return t.Compare(o) >= 0 }
+
+// Equal reports whether t == o.
+func (t Timestamp) Equal(o Timestamp) bool { return t == o }
+
+// IsZero reports whether t is the smallest timestamp.
+func (t Timestamp) IsZero() bool { return t == Zero }
+
+// IsInfinity reports whether t is the largest representable timestamp.
+func (t Timestamp) IsInfinity() bool { return t == Infinity }
+
+// Next returns the smallest timestamp strictly greater than t. Next
+// saturates at Infinity.
+func (t Timestamp) Next() Timestamp {
+	if t == Infinity {
+		return Infinity
+	}
+	if t.Proc == math.MaxInt32 {
+		return Timestamp{Time: t.Time + 1, Proc: math.MinInt32}
+	}
+	return Timestamp{Time: t.Time, Proc: t.Proc + 1}
+}
+
+// Prev returns the largest timestamp strictly smaller than t. Prev
+// saturates at Zero; note that Zero's true predecessor does not exist, so
+// Prev(Zero) == Zero.
+func (t Timestamp) Prev() Timestamp {
+	if t == Zero {
+		return Zero
+	}
+	if t.Proc == math.MinInt32 {
+		return Timestamp{Time: t.Time - 1, Proc: math.MaxInt32}
+	}
+	return Timestamp{Time: t.Time, Proc: t.Proc - 1}
+}
+
+// Min returns the smaller of t and o.
+func Min(t, o Timestamp) Timestamp {
+	if t.Before(o) {
+		return t
+	}
+	return o
+}
+
+// Max returns the larger of t and o.
+func Max(t, o Timestamp) Timestamp {
+	if t.After(o) {
+		return t
+	}
+	return o
+}
+
+// String renders the timestamp as "time.proc", with the special points
+// rendered symbolically.
+func (t Timestamp) String() string {
+	switch t {
+	case Zero:
+		return "0"
+	case Infinity:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%d.%d", t.Time, t.Proc)
+	}
+}

@@ -1,0 +1,112 @@
+package timestamp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want int
+	}{
+		{New(1, 0), New(2, 0), -1},
+		{New(2, 0), New(1, 0), 1},
+		{New(1, 1), New(1, 2), -1},
+		{New(1, 2), New(1, 1), 1},
+		{New(1, 1), New(1, 1), 0},
+		{Zero, New(0, 1), -1},
+		{New(5, 100), Infinity, -1},
+		{Infinity, Infinity, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v)=%d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBeforeAfterConsistency(t *testing.T) {
+	a, b := New(3, 1), New(3, 2)
+	if !a.Before(b) || b.Before(a) {
+		t.Fatalf("Before inconsistent for %v,%v", a, b)
+	}
+	if !b.After(a) || a.After(b) {
+		t.Fatalf("After inconsistent for %v,%v", a, b)
+	}
+	if !a.AtOrBefore(a) || !a.AtOrAfter(a) {
+		t.Fatalf("AtOr{Before,After} must be reflexive")
+	}
+}
+
+func TestNextPrevRoundTrip(t *testing.T) {
+	cases := []Timestamp{
+		New(0, 0),
+		New(1, 5),
+		New(7, math.MaxInt32),
+		New(9, math.MinInt32),
+	}
+	for _, ts := range cases {
+		n := ts.Next()
+		if !n.After(ts) {
+			t.Errorf("Next(%v)=%v not after", ts, n)
+		}
+		if n.Prev() != ts {
+			t.Errorf("Prev(Next(%v)) = %v", ts, n.Prev())
+		}
+	}
+}
+
+func TestNextSaturatesAtInfinity(t *testing.T) {
+	if Infinity.Next() != Infinity {
+		t.Fatal("Next(Infinity) must saturate")
+	}
+}
+
+func TestPrevSaturatesAtZero(t *testing.T) {
+	if Zero.Prev() != Zero {
+		t.Fatal("Prev(Zero) must saturate")
+	}
+}
+
+func TestNextCrossesTimeBoundary(t *testing.T) {
+	ts := New(4, math.MaxInt32)
+	want := New(5, math.MinInt32)
+	if got := ts.Next(); got != want {
+		t.Fatalf("Next(%v)=%v want %v", ts, got, want)
+	}
+	if got := want.Prev(); got != ts {
+		t.Fatalf("Prev(%v)=%v want %v", want, got, ts)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(1, 2), New(1, 3)
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Fatal("Min wrong")
+	}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestZeroAndInfinityPredicates(t *testing.T) {
+	if !Zero.IsZero() || Zero.IsInfinity() {
+		t.Fatal("Zero predicates wrong")
+	}
+	if !Infinity.IsInfinity() || Infinity.IsZero() {
+		t.Fatal("Infinity predicates wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Zero.String() != "0" {
+		t.Errorf("Zero.String() = %q", Zero.String())
+	}
+	if Infinity.String() != "+inf" {
+		t.Errorf("Infinity.String() = %q", Infinity.String())
+	}
+	if got := New(42, 7).String(); got != "42.7" {
+		t.Errorf("String() = %q", got)
+	}
+}

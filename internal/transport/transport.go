@@ -1,0 +1,317 @@
+// Package transport abstracts the network between coordinators and
+// storage servers, with two implementations:
+//
+//   - Mem: an in-process network with a configurable latency/jitter
+//     model, used to reproduce the paper's two test beds (§8.2) on one
+//     machine — the "local" bed with a fast predictable network and the
+//     "cloud" bed with slow, jittery links;
+//   - TCP: real sockets, for running servers and clients as separate
+//     processes.
+//
+// Both carry the framed binary protocol of package wire, so the codec is
+// exercised identically in either mode.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// ErrClosed reports use of a closed connection, listener or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional frame stream. Send and Recv are each safe for
+// one concurrent caller; use external locking for more.
+type Conn interface {
+	// Send transmits one frame.
+	Send(f wire.Frame) error
+	// Recv blocks for the next frame.
+	Recv() (wire.Frame, error)
+	// Close tears the connection down, unblocking Recv on both ends.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+	// Addr returns the listen address.
+	Addr() string
+}
+
+// Network dials and listens.
+type Network interface {
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+	// Listen starts accepting at addr.
+	Listen(addr string) (Listener, error)
+}
+
+// --- in-memory network ------------------------------------------------------
+
+// LatencyModel produces one-way frame delays.
+type LatencyModel struct {
+	// Base is the fixed one-way latency.
+	Base time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter).
+	Jitter time.Duration
+}
+
+// delay samples one delivery delay.
+func (m LatencyModel) delay(rng *rand.Rand) time.Duration {
+	d := m.Base
+	if m.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(m.Jitter)))
+	}
+	return d
+}
+
+// Mem is an in-process Network. The zero value is not usable; call
+// NewMem.
+type Mem struct {
+	model LatencyModel
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners map[string]*memListener
+}
+
+var _ Network = (*Mem)(nil)
+
+// NewMem returns an in-memory network with the given latency model.
+func NewMem(model LatencyModel) *Mem {
+	return &Mem{
+		model:     model,
+		rng:       rand.New(rand.NewSource(1)),
+		listeners: make(map[string]*memListener),
+	}
+}
+
+// Listen implements Network.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{addr: addr, network: m, backlog: make(chan *memConn, 64), closed: make(chan struct{})}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (m *Mem) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	seed := m.rng.Int63()
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	a2b := newMemPipe(m.model, seed)
+	b2a := newMemPipe(m.model, seed+1)
+	client := &memConn{send: a2b, recv: b2a}
+	server := &memConn{send: b2a, recv: a2b}
+	select {
+	case l.backlog <- server:
+		return client, nil
+	default:
+		return nil, fmt.Errorf("transport: backlog full at %q", addr)
+	}
+}
+
+// unregister removes a closed listener.
+func (m *Mem) unregister(addr string) {
+	m.mu.Lock()
+	delete(m.listeners, addr)
+	m.mu.Unlock()
+}
+
+type memListener struct {
+	addr    string
+	network *Mem
+	backlog chan *memConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.network.unregister(l.addr)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memPipe is one direction of a connection: frames with delivery times.
+type memPipe struct {
+	model LatencyModel
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	queue  []timedFrame
+	nextAt time.Time
+	wake   chan struct{}
+	closed bool
+}
+
+type timedFrame struct {
+	frame     wire.Frame
+	deliverAt time.Time
+}
+
+func newMemPipe(model LatencyModel, seed int64) *memPipe {
+	return &memPipe{model: model, rng: rand.New(rand.NewSource(seed)), wake: make(chan struct{}, 1)}
+}
+
+func (p *memPipe) send(f wire.Frame) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	at := time.Now().Add(p.model.delay(p.rng))
+	// FIFO: delivery times are monotone within the pipe.
+	if at.Before(p.nextAt) {
+		at = p.nextAt
+	}
+	p.nextAt = at
+	p.queue = append(p.queue, timedFrame{frame: f, deliverAt: at})
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (p *memPipe) recv() (wire.Frame, error) {
+	for {
+		p.mu.Lock()
+		if len(p.queue) > 0 {
+			tf := p.queue[0]
+			if wait := time.Until(tf.deliverAt); wait > 0 {
+				p.mu.Unlock()
+				time.Sleep(wait)
+				continue
+			}
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			return tf.frame, nil
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return wire.Frame{}, ErrClosed
+		}
+		p.mu.Unlock()
+		<-p.wake
+	}
+}
+
+func (p *memPipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+type memConn struct {
+	send *memPipe
+	recv *memPipe
+}
+
+var _ Conn = (*memConn)(nil)
+
+func (c *memConn) Send(f wire.Frame) error { return c.send.send(f) }
+
+func (c *memConn) Recv() (wire.Frame, error) { return c.recv.recv() }
+
+func (c *memConn) Close() error {
+	c.send.close()
+	c.recv.close()
+	return nil
+}
+
+// --- TCP network -------------------------------------------------------------
+
+// TCP is a Network over real sockets.
+type TCP struct{}
+
+var _ Network = TCP{}
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q: %w", addr, err)
+	}
+	return &tcpConn{c: nc}, nil
+}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	return &tcpListener{l: nl}, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{c: nc}, nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex
+	rm sync.Mutex
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func (c *tcpConn) Send(f wire.Frame) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	return wire.WriteFrame(c.c, f)
+}
+
+func (c *tcpConn) Recv() (wire.Frame, error) {
+	c.rm.Lock()
+	defer c.rm.Unlock()
+	return wire.ReadFrame(c.c)
+}
+
+func (c *tcpConn) Close() error { return c.c.Close() }

@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+func testNetworkRoundTrip(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				done <- nil
+				return
+			}
+			f.Body = append([]byte("echo:"), f.Body...)
+			if err := conn.Send(f); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		msg := fmt.Sprintf("ping-%d", i)
+		if err := c.Send(wire.Frame{ID: uint64(i), Type: 1, Body: []byte(msg)}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint64(i) || string(f.Body) != "echo:"+msg {
+			t.Fatalf("frame %d: %+v", i, f)
+		}
+	}
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server goroutine did not exit")
+	}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	testNetworkRoundTrip(t, NewMem(LatencyModel{}), "srv")
+}
+
+func TestMemWithLatency(t *testing.T) {
+	n := NewMem(LatencyModel{Base: 2 * time.Millisecond, Jitter: time.Millisecond})
+	start := time.Now()
+	testNetworkRoundTrip(t, n, "srv")
+	// 10 round trips at >=4ms RTT each
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency model not applied: took %v", elapsed)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	testNetworkRoundTrip(t, TCP{}, "127.0.0.1:0")
+}
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestMemAddressReuseAfterClose(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate listen should fail")
+	}
+	_ = l.Close()
+	l2, err := n.Listen("a")
+	if err != nil {
+		t.Fatalf("address should be reusable after close: %v", err)
+	}
+	_ = l2.Close()
+}
+
+func TestMemFIFOOrder(t *testing.T) {
+	n := NewMem(LatencyModel{Base: time.Millisecond, Jitter: 3 * time.Millisecond})
+	l, _ := n.Listen("srv")
+	defer func() { _ = l.Close() }()
+
+	received := make(chan uint64, 100)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				close(received)
+				return
+			}
+			received <- f.ID
+		}
+	}()
+
+	c, _ := n.Dial("srv")
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		if err := c.Send(wire.Frame{ID: uint64(i), Type: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		got := <-received
+		if got != uint64(i) {
+			t.Fatalf("out of order: got %d want %d (jitter must not reorder)", got, i)
+		}
+	}
+	_ = c.Close()
+}
+
+func TestMemRecvUnblocksOnClose(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	l, _ := n.Listen("srv")
+	defer func() { _ = l.Close() }()
+	go func() {
+		conn, _ := l.Accept()
+		_ = conn
+	}()
+	c, _ := n.Dial("srv")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		_, recvErr = c.Recv()
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = c.Close()
+	wg.Wait()
+	if !errors.Is(recvErr, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", recvErr)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	l, _ := n.Listen("srv")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}

@@ -1,0 +1,89 @@
+// Package tsservice implements the timestamp service of §8.1: a
+// component that periodically broadcasts a time T in the past — the
+// current time minus a retention constant K — with two effects: storage
+// servers purge versions (and lock state) older than T, and clients
+// advance their local clocks to at least T so that slow clocks do not
+// start transactions that would need purged versions.
+package tsservice
+
+import (
+	"sync"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Interval is the broadcast period (the paper purges every 15s on
+	// the local bed; scale down for tests).
+	Interval time.Duration
+	// Retention is K: the broadcast bound is now − K.
+	Retention time.Duration
+	// Clock supplies "now" in ticks; defaults to the system clock
+	// (microseconds).
+	Clock clock.Source
+	// TicksPerSecond converts Retention to ticks; defaults to 1e6
+	// (microsecond ticks).
+	TicksPerSecond int64
+	// Broadcast receives the bound on every period. Implementations
+	// purge servers and advance client clocks.
+	Broadcast func(bound timestamp.Timestamp)
+}
+
+// Service is a running timestamp service.
+type Service struct {
+	cfg  Config
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start launches the service.
+func Start(cfg Config) *Service {
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	if cfg.TicksPerSecond == 0 {
+		cfg.TicksPerSecond = 1_000_000
+	}
+	s := &Service{cfg: cfg, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Bound computes the current broadcast bound.
+func (s *Service) Bound() timestamp.Timestamp {
+	retentionTicks := int64(s.cfg.Retention.Seconds() * float64(s.cfg.TicksPerSecond))
+	t := s.cfg.Clock.Now() - retentionTicks
+	if t < 0 {
+		t = 0
+	}
+	return timestamp.New(t, 0)
+}
+
+func (s *Service) run() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if s.cfg.Broadcast != nil {
+				s.cfg.Broadcast(s.Bound())
+			}
+		}
+	}
+}
+
+// Stop halts the service and waits for the broadcast goroutine.
+func (s *Service) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}

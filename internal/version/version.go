@@ -1,0 +1,157 @@
+// Package version implements the multiversion store: for each key, an
+// ordered history of committed values indexed by timestamp.
+//
+// The paper models the data as an array Values[k, t] of write-once cells,
+// with Values[k, 0] = ⊥ for every key (§4.1). This package keeps, per key,
+// the committed versions sorted by timestamp, supports the latest-before
+// lookup that reads need, and implements version purging (§6): versions
+// older than a bound can be discarded — keeping the newest one below the
+// bound — and transactions that would need a purged version are aborted.
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// Sentinel errors.
+var (
+	// ErrExists reports an attempt to install a second version at the
+	// same timestamp; cells are write-once (§4.2).
+	ErrExists = errors.New("version: version already exists at timestamp")
+	// ErrPurged reports that the requested version may have been purged,
+	// so the lookup cannot be answered reliably; the transaction must
+	// abort (§6).
+	ErrPurged = errors.New("version: version purged")
+)
+
+// Version is one committed value of a key. A nil Value represents ⊥ (the
+// key holds no data at this version).
+type Version struct {
+	TS    timestamp.Timestamp
+	Value []byte
+}
+
+// IsBottom reports whether the version carries no data.
+func (v Version) IsBottom() bool { return v.Value == nil }
+
+// List is the version history of a single key. The zero value is not
+// ready for use; call NewList. A new List holds the initial version ⊥ at
+// timestamp Zero.
+type List struct {
+	mu       sync.RWMutex
+	versions []Version // sorted by TS ascending; never empty
+	// floor is the timestamp of the oldest version whose predecessors
+	// are all intact: lookups at or below floor are unreliable after a
+	// purge and return ErrPurged.
+	floor timestamp.Timestamp
+}
+
+// NewList returns a history containing only the initial version ⊥.
+func NewList() *List {
+	return &List{versions: []Version{{TS: timestamp.Zero}}}
+}
+
+// LatestBefore returns the version with the largest timestamp strictly
+// below t. It returns ErrPurged if that version may have been discarded,
+// and ErrPurged also when t is Zero (nothing precedes Zero).
+func (l *List) LatestBefore(t timestamp.Timestamp) (Version, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if t.AtOrBefore(l.floor) {
+		return Version{}, fmt.Errorf("latest before %v: %w", t, ErrPurged)
+	}
+	i := sort.Search(len(l.versions), func(i int) bool {
+		return l.versions[i].TS.AtOrAfter(t)
+	})
+	if i == 0 {
+		// No version below t survived; t <= floor was already handled,
+		// so this means t <= the initial version's timestamp.
+		return Version{}, fmt.Errorf("latest before %v: %w", t, ErrPurged)
+	}
+	return l.versions[i-1], nil
+}
+
+// At returns the version committed exactly at t, if any.
+func (l *List) At(t timestamp.Timestamp) (Version, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	i := sort.Search(len(l.versions), func(i int) bool {
+		return l.versions[i].TS.AtOrAfter(t)
+	})
+	if i < len(l.versions) && l.versions[i].TS == t {
+		return l.versions[i], true
+	}
+	return Version{}, false
+}
+
+// Latest returns the newest version.
+func (l *List) Latest() Version {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.versions[len(l.versions)-1]
+}
+
+// Install exposes a committed value at timestamp t (Alg. 1 line 19).
+// Cells are write-once: installing twice at the same timestamp fails with
+// ErrExists, and installing below the purge floor fails with ErrPurged.
+func (l *List) Install(t timestamp.Timestamp, value []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t.AtOrBefore(l.floor) {
+		return fmt.Errorf("install at %v: %w", t, ErrPurged)
+	}
+	i := sort.Search(len(l.versions), func(i int) bool {
+		return l.versions[i].TS.AtOrAfter(t)
+	})
+	if i < len(l.versions) && l.versions[i].TS == t {
+		return fmt.Errorf("install at %v: %w", t, ErrExists)
+	}
+	l.versions = append(l.versions, Version{})
+	copy(l.versions[i+1:], l.versions[i:])
+	l.versions[i] = Version{TS: t, Value: value}
+	return nil
+}
+
+// PurgeBelow discards versions with timestamps below t, keeping the
+// newest version below t (so that readers above t still find their
+// snapshot), and returns the number of versions discarded. The purge
+// floor rises to the kept boundary version's timestamp.
+func (l *List) PurgeBelow(t timestamp.Timestamp) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.versions), func(i int) bool {
+		return l.versions[i].TS.AtOrAfter(t)
+	})
+	// versions[0..i-1] are below t; keep the last of them.
+	if i <= 1 {
+		return 0
+	}
+	removed := i - 1
+	l.versions = append(l.versions[:0], l.versions[removed:]...)
+	if l.versions[0].TS.After(l.floor) {
+		l.floor = l.versions[0].TS
+	}
+	return removed
+}
+
+// Count returns the number of stored versions (including the boundary
+// and initial versions).
+func (l *List) Count() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.versions)
+}
+
+// Snapshot returns a copy of the history, oldest first.
+func (l *List) Snapshot() []Version {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Version, len(l.versions))
+	copy(out, l.versions)
+	return out
+}

@@ -1,0 +1,244 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+func ts(t int64) timestamp.Timestamp { return timestamp.New(t, 0) }
+
+func TestNewListHasBottom(t *testing.T) {
+	l := NewList()
+	v, err := l.LatestBefore(ts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsBottom() || v.TS != timestamp.Zero {
+		t.Fatalf("initial version = %+v", v)
+	}
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+func TestInstallAndLookup(t *testing.T) {
+	l := NewList()
+	for _, p := range []int64{9, 2, 4} { // out of order install
+		if err := l.Install(ts(p), []byte(fmt.Sprintf("v%d", p))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		at   int64
+		want string
+	}{
+		{3, "v2"},
+		{4, "v2"}, // strictly before
+		{5, "v4"},
+		{10, "v9"},
+	}
+	for _, c := range cases {
+		v, err := l.LatestBefore(ts(c.at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v.Value) != c.want {
+			t.Errorf("LatestBefore(%d) = %q want %q", c.at, v.Value, c.want)
+		}
+	}
+	if v, err := l.LatestBefore(ts(1)); err != nil || !v.IsBottom() {
+		t.Fatalf("LatestBefore(1) = %+v, %v", v, err)
+	}
+}
+
+func TestLatestBeforeZero(t *testing.T) {
+	l := NewList()
+	if _, err := l.LatestBefore(timestamp.Zero); !errors.Is(err, ErrPurged) {
+		t.Fatalf("nothing precedes Zero, got %v", err)
+	}
+}
+
+func TestInstallWriteOnce(t *testing.T) {
+	l := NewList()
+	if err := l.Install(ts(5), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Install(ts(5), []byte("b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("want ErrExists, got %v", err)
+	}
+}
+
+func TestAt(t *testing.T) {
+	l := NewList()
+	if err := l.Install(ts(5), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := l.At(ts(5)); !ok || string(v.Value) != "a" {
+		t.Fatalf("At(5) = %+v %v", v, ok)
+	}
+	if _, ok := l.At(ts(6)); ok {
+		t.Fatal("At(6) should miss")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	l := NewList()
+	if !l.Latest().IsBottom() {
+		t.Fatal("latest of fresh list is bottom")
+	}
+	_ = l.Install(ts(3), []byte("x"))
+	_ = l.Install(ts(9), []byte("y"))
+	_ = l.Install(ts(6), []byte("z"))
+	if got := l.Latest(); string(got.Value) != "y" {
+		t.Fatalf("Latest = %+v", got)
+	}
+}
+
+func TestPurgeBelowKeepsBoundary(t *testing.T) {
+	l := NewList()
+	for _, p := range []int64{2, 4, 6, 8} {
+		_ = l.Install(ts(p), []byte(fmt.Sprintf("v%d", p)))
+	}
+	// history: ⊥@0, 2, 4, 6, 8
+	removed := l.PurgeBelow(ts(7))
+	if removed != 3 { // ⊥@0, 2, 4 removed; 6 kept as boundary
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	if l.Count() != 2 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	// reads above the boundary still work
+	if v, err := l.LatestBefore(ts(7)); err != nil || string(v.Value) != "v6" {
+		t.Fatalf("LatestBefore(7) = %+v %v", v, err)
+	}
+	// reads at or below the boundary abort
+	if _, err := l.LatestBefore(ts(6)); !errors.Is(err, ErrPurged) {
+		t.Fatalf("want ErrPurged, got %v", err)
+	}
+	if _, err := l.LatestBefore(ts(3)); !errors.Is(err, ErrPurged) {
+		t.Fatalf("want ErrPurged, got %v", err)
+	}
+}
+
+func TestPurgeBelowNoop(t *testing.T) {
+	l := NewList()
+	_ = l.Install(ts(5), []byte("a"))
+	if removed := l.PurgeBelow(ts(2)); removed != 0 {
+		t.Fatalf("removed %d", removed)
+	}
+	if removed := l.PurgeBelow(timestamp.Zero); removed != 0 {
+		t.Fatalf("removed %d", removed)
+	}
+}
+
+func TestInstallBelowFloorFails(t *testing.T) {
+	l := NewList()
+	_ = l.Install(ts(4), []byte("a"))
+	_ = l.Install(ts(8), []byte("b"))
+	l.PurgeBelow(ts(8)) // floor becomes 4
+	if err := l.Install(ts(3), []byte("late")); !errors.Is(err, ErrPurged) {
+		t.Fatalf("want ErrPurged, got %v", err)
+	}
+	if err := l.Install(ts(9), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	l := NewList()
+	_ = l.Install(ts(1), []byte("a"))
+	snap := l.Snapshot()
+	snap[0] = Version{TS: ts(99)}
+	if l.Snapshot()[0].TS == ts(99) {
+		t.Fatal("Snapshot must copy")
+	}
+}
+
+func TestConcurrentInstallAndRead(t *testing.T) {
+	l := NewList()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				t := timestamp.New(int64(i), int32(g))
+				_ = l.Install(t, []byte{byte(g)})
+				if _, err := l.LatestBefore(timestamp.New(int64(i), int32(g+1))); err != nil {
+					panic(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Count() != 8*200+1 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	// snapshot sorted
+	snap := l.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if !snap[i-1].TS.Before(snap[i].TS) {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+	}
+}
+
+// Property: LatestBefore(t) over random installs matches a brute-force
+// model.
+func TestQuickLatestBeforeMatchesModel(t *testing.T) {
+	type probe struct {
+		Installs []int64
+		At       int64
+	}
+	gen := func(r *rand.Rand, _ int) reflect.Value {
+		n := r.Intn(12)
+		ins := make([]int64, n)
+		for i := range ins {
+			ins[i] = int64(r.Intn(40) + 1)
+		}
+		return reflect.ValueOf(probe{Installs: ins, At: int64(r.Intn(45))})
+	}
+	f := func(p probe) bool {
+		l := NewList()
+		installed := map[int64]bool{0: true}
+		for _, x := range p.Installs {
+			err := l.Install(ts(x), []byte{byte(x)})
+			if installed[x] {
+				if !errors.Is(err, ErrExists) {
+					return false
+				}
+			} else if err != nil {
+				return false
+			}
+			installed[x] = true
+		}
+		// model answer: largest installed < At
+		var best int64 = -1
+		for x := range installed {
+			if x < p.At && x > best {
+				best = x
+			}
+		}
+		v, err := l.LatestBefore(ts(p.At))
+		if best < 0 {
+			return errors.Is(err, ErrPurged)
+		}
+		if err != nil {
+			return false
+		}
+		return v.TS == ts(best)
+	}
+	cfg := &quick.Config{MaxCount: 1500, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = gen(r, 0)
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"fmt"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// Status codes carried by responses.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	// StatusConflict reports an unfrozen conflicting lock (retry may
+	// succeed).
+	StatusConflict
+	// StatusFrozen reports a frozen conflicting lock (permanent).
+	StatusFrozen
+	// StatusPurged reports that the needed version was purged.
+	StatusPurged
+	// StatusAborted reports the transaction was decided aborted.
+	StatusAborted
+	// StatusError carries a generic error message.
+	StatusError
+)
+
+// ReadLockReq asks the server to perform the read step for a key: pick
+// the latest committed version below Upper, read-lock from just above it
+// toward Upper (waiting on unfrozen write locks if Wait), and return the
+// version and the locked interval (Alg. 13, receive-read-lock-message).
+type ReadLockReq struct {
+	Txn   uint64
+	Key   string
+	Upper timestamp.Timestamp
+	Wait  bool
+}
+
+// Encode serializes the request.
+func (m ReadLockReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	e.TS(m.Upper)
+	e.Bool(m.Wait)
+	return e.Bytes()
+}
+
+// DecodeReadLockReq deserializes a ReadLockReq.
+func DecodeReadLockReq(b []byte) (ReadLockReq, error) {
+	d := NewDecoder(b)
+	m := ReadLockReq{Txn: d.U64(), Key: d.Str(), Upper: d.TS(), Wait: d.Bool()}
+	return m, d.Err()
+}
+
+// ReadLockResp answers a ReadLockReq.
+type ReadLockResp struct {
+	Status    Status
+	Err       string
+	VersionTS timestamp.Timestamp
+	Value     []byte
+	// Got is the read-locked interval [VersionTS+1, ...]; may be empty.
+	Got timestamp.Interval
+}
+
+// Encode serializes the response.
+func (m ReadLockResp) Encode() []byte {
+	var e Encoder
+	e.buf = append(e.buf, byte(m.Status))
+	e.Str(m.Err)
+	e.TS(m.VersionTS)
+	e.Blob(m.Value)
+	e.Interval(m.Got)
+	return e.Bytes()
+}
+
+// DecodeReadLockResp deserializes a ReadLockResp.
+func DecodeReadLockResp(b []byte) (ReadLockResp, error) {
+	d := NewDecoder(b)
+	var m ReadLockResp
+	st := d.take(1)
+	if st != nil {
+		m.Status = Status(st[0])
+	}
+	m.Err = d.Str()
+	m.VersionTS = d.TS()
+	m.Value = d.Blob()
+	m.Got = d.Interval()
+	return m, d.Err()
+}
+
+// WriteLockReq asks the server to write-lock a subset of Set for the
+// transaction and buffer Value as the pending write (Alg. 13,
+// receive-write-lock-message). DecisionSrv names the server hosting the
+// transaction's commitment object, so that a timeout on this server can
+// reach consensus on aborting (§H.1).
+type WriteLockReq struct {
+	Txn         uint64
+	Key         string
+	DecisionSrv string
+	Set         timestamp.Set
+	Wait        bool
+	Value       []byte
+}
+
+// Encode serializes the request.
+func (m WriteLockReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	e.Str(m.DecisionSrv)
+	e.Set(m.Set)
+	e.Bool(m.Wait)
+	e.Blob(m.Value)
+	return e.Bytes()
+}
+
+// DecodeWriteLockReq deserializes a WriteLockReq.
+func DecodeWriteLockReq(b []byte) (WriteLockReq, error) {
+	d := NewDecoder(b)
+	m := WriteLockReq{
+		Txn:         d.U64(),
+		Key:         d.Str(),
+		DecisionSrv: d.Str(),
+		Set:         d.Set(),
+		Wait:        d.Bool(),
+		Value:       d.Blob(),
+	}
+	return m, d.Err()
+}
+
+// WriteLockResp answers a WriteLockReq with the acquired and denied
+// subsets.
+type WriteLockResp struct {
+	Status Status
+	Err    string
+	Got    timestamp.Set
+	Denied timestamp.Set
+}
+
+// Encode serializes the response.
+func (m WriteLockResp) Encode() []byte {
+	var e Encoder
+	e.buf = append(e.buf, byte(m.Status))
+	e.Str(m.Err)
+	e.Set(m.Got)
+	e.Set(m.Denied)
+	return e.Bytes()
+}
+
+// DecodeWriteLockResp deserializes a WriteLockResp.
+func DecodeWriteLockResp(b []byte) (WriteLockResp, error) {
+	d := NewDecoder(b)
+	var m WriteLockResp
+	st := d.take(1)
+	if st != nil {
+		m.Status = Status(st[0])
+	}
+	m.Err = d.Str()
+	m.Got = d.Set()
+	m.Denied = d.Set()
+	return m, d.Err()
+}
+
+// FreezeWriteReq tells the server the transaction committed at TS: the
+// server freezes the write lock there and exposes the pending value
+// (Alg. 13, receive-freeze-write-lock-message).
+type FreezeWriteReq struct {
+	Txn uint64
+	Key string
+	TS  timestamp.Timestamp
+}
+
+// Encode serializes the request.
+func (m FreezeWriteReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	e.TS(m.TS)
+	return e.Bytes()
+}
+
+// DecodeFreezeWriteReq deserializes a FreezeWriteReq.
+func DecodeFreezeWriteReq(b []byte) (FreezeWriteReq, error) {
+	d := NewDecoder(b)
+	m := FreezeWriteReq{Txn: d.U64(), Key: d.Str(), TS: d.TS()}
+	return m, d.Err()
+}
+
+// FreezeReadReq freezes the transaction's read locks on [Lo, Hi]
+// (garbage collection, Alg. 11 line 33).
+type FreezeReadReq struct {
+	Txn uint64
+	Key string
+	Lo  timestamp.Timestamp
+	Hi  timestamp.Timestamp
+}
+
+// Encode serializes the request.
+func (m FreezeReadReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	e.TS(m.Lo)
+	e.TS(m.Hi)
+	return e.Bytes()
+}
+
+// DecodeFreezeReadReq deserializes a FreezeReadReq.
+func DecodeFreezeReadReq(b []byte) (FreezeReadReq, error) {
+	d := NewDecoder(b)
+	m := FreezeReadReq{Txn: d.U64(), Key: d.Str(), Lo: d.TS(), Hi: d.TS()}
+	return m, d.Err()
+}
+
+// ReleaseReq releases the transaction's unfrozen locks on Key (all of
+// them, or only write locks).
+type ReleaseReq struct {
+	Txn        uint64
+	Key        string
+	WritesOnly bool
+}
+
+// Encode serializes the request.
+func (m ReleaseReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	e.Bool(m.WritesOnly)
+	return e.Bytes()
+}
+
+// DecodeReleaseReq deserializes a ReleaseReq.
+func DecodeReleaseReq(b []byte) (ReleaseReq, error) {
+	d := NewDecoder(b)
+	m := ReleaseReq{Txn: d.U64(), Key: d.Str(), WritesOnly: d.Bool()}
+	return m, d.Err()
+}
+
+// Ack is the generic status-only response.
+type Ack struct {
+	Status Status
+	Err    string
+}
+
+// Encode serializes the ack.
+func (m Ack) Encode() []byte {
+	var e Encoder
+	e.buf = append(e.buf, byte(m.Status))
+	e.Str(m.Err)
+	return e.Bytes()
+}
+
+// DecodeAck deserializes an Ack.
+func DecodeAck(b []byte) (Ack, error) {
+	d := NewDecoder(b)
+	var m Ack
+	st := d.take(1)
+	if st != nil {
+		m.Status = Status(st[0])
+	}
+	m.Err = d.Str()
+	return m, d.Err()
+}
+
+// DecisionKind is a commitment-object outcome (§H).
+type DecisionKind uint8
+
+// Decision kinds.
+const (
+	DecideCommit DecisionKind = iota + 1
+	DecideAbort
+)
+
+// String renders the kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecideCommit:
+		return "commit"
+	case DecideAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("decision(%d)", uint8(k))
+	}
+}
+
+// DecideReq proposes an outcome for a transaction to its commitment
+// object (hosted at the decision server). The reply carries the agreed
+// decision, which may differ from the proposal.
+type DecideReq struct {
+	Txn      uint64
+	Proposal DecisionKind
+	TS       timestamp.Timestamp
+}
+
+// Encode serializes the request.
+func (m DecideReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.buf = append(e.buf, byte(m.Proposal))
+	e.TS(m.TS)
+	return e.Bytes()
+}
+
+// DecodeDecideReq deserializes a DecideReq.
+func DecodeDecideReq(b []byte) (DecideReq, error) {
+	d := NewDecoder(b)
+	m := DecideReq{Txn: d.U64()}
+	k := d.take(1)
+	if k != nil {
+		m.Proposal = DecisionKind(k[0])
+	}
+	m.TS = d.TS()
+	return m, d.Err()
+}
+
+// DecideResp carries the agreed outcome.
+type DecideResp struct {
+	Kind DecisionKind
+	TS   timestamp.Timestamp
+}
+
+// Encode serializes the response.
+func (m DecideResp) Encode() []byte {
+	var e Encoder
+	e.buf = append(e.buf, byte(m.Kind))
+	e.TS(m.TS)
+	return e.Bytes()
+}
+
+// DecodeDecideResp deserializes a DecideResp.
+func DecodeDecideResp(b []byte) (DecideResp, error) {
+	d := NewDecoder(b)
+	var m DecideResp
+	k := d.take(1)
+	if k != nil {
+		m.Kind = DecisionKind(k[0])
+	}
+	m.TS = d.TS()
+	return m, d.Err()
+}
+
+// PurgeReq tells the server to discard versions and frozen lock state
+// below Bound (issued by the timestamp service, §8.1).
+type PurgeReq struct {
+	Bound timestamp.Timestamp
+}
+
+// Encode serializes the request.
+func (m PurgeReq) Encode() []byte {
+	var e Encoder
+	e.TS(m.Bound)
+	return e.Bytes()
+}
+
+// DecodePurgeReq deserializes a PurgeReq.
+func DecodePurgeReq(b []byte) (PurgeReq, error) {
+	d := NewDecoder(b)
+	m := PurgeReq{Bound: d.TS()}
+	return m, d.Err()
+}
+
+// PurgeResp reports how much state was discarded.
+type PurgeResp struct {
+	Versions int64
+	Locks    int64
+}
+
+// Encode serializes the response.
+func (m PurgeResp) Encode() []byte {
+	var e Encoder
+	e.I64(m.Versions)
+	e.I64(m.Locks)
+	return e.Bytes()
+}
+
+// DecodePurgeResp deserializes a PurgeResp.
+func DecodePurgeResp(b []byte) (PurgeResp, error) {
+	d := NewDecoder(b)
+	m := PurgeResp{Versions: d.I64(), Locks: d.I64()}
+	return m, d.Err()
+}
+
+// StatsResp reports the server's state size (Figure 6). The request has
+// an empty body.
+type StatsResp struct {
+	Keys        int64
+	LockEntries int64
+	FrozenLocks int64
+	Versions    int64
+}
+
+// Encode serializes the response.
+func (m StatsResp) Encode() []byte {
+	var e Encoder
+	e.I64(m.Keys)
+	e.I64(m.LockEntries)
+	e.I64(m.FrozenLocks)
+	e.I64(m.Versions)
+	return e.Bytes()
+}
+
+// DecodeStatsResp deserializes a StatsResp.
+func DecodeStatsResp(b []byte) (StatsResp, error) {
+	d := NewDecoder(b)
+	m := StatsResp{Keys: d.I64(), LockEntries: d.I64(), FrozenLocks: d.I64(), Versions: d.I64()}
+	return m, d.Err()
+}

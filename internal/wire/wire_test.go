@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{ID: 42, Type: TReadLockReq, Body: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Type != in.Type || !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{ID: 1, Type: TStatsReq}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Body) != 0 {
+		t.Fatalf("body = %v", out.Body)
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	// length 3 < header size
+	buf := bytes.NewBuffer([]byte{3, 0, 0, 0})
+	if _, err := ReadFrame(buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, Frame{ID: 7, Type: TReadLockReq, Body: []byte("xyz")})
+	b := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewBuffer(b)); err == nil {
+		t.Fatal("expected error on truncated frame")
+	}
+}
+
+func ts(a int64, b int32) timestamp.Timestamp { return timestamp.New(a, b) }
+
+func TestReadLockReqRoundTrip(t *testing.T) {
+	in := ReadLockReq{Txn: 9, Key: "alpha", Upper: ts(55, 3), Wait: true}
+	out, err := DecodeReadLockReq(in.Encode())
+	if err != nil || out != in {
+		t.Fatalf("%+v %v", out, err)
+	}
+}
+
+func TestReadLockRespRoundTrip(t *testing.T) {
+	in := ReadLockResp{
+		Status:    StatusOK,
+		VersionTS: ts(10, 1),
+		Value:     []byte("val"),
+		Got:       timestamp.Span(ts(11, 0), ts(20, 5)),
+	}
+	out, err := DecodeReadLockResp(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != in.Status || out.VersionTS != in.VersionTS ||
+		!bytes.Equal(out.Value, in.Value) || out.Got != in.Got {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestReadLockRespNilValue(t *testing.T) {
+	in := ReadLockResp{Status: StatusOK, VersionTS: timestamp.Zero, Value: nil, Got: timestamp.Empty}
+	out, err := DecodeReadLockResp(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != nil {
+		t.Fatalf("⊥ must round-trip as nil, got %v", out.Value)
+	}
+}
+
+func TestWriteLockReqRoundTrip(t *testing.T) {
+	set := timestamp.NewSet(
+		timestamp.Span(ts(1, 0), ts(5, 0)),
+		timestamp.Span(ts(9, 0), ts(12, 0)),
+	)
+	in := WriteLockReq{Txn: 3, Key: "k", DecisionSrv: "server-2", Set: set, Wait: true, Value: []byte("v")}
+	out, err := DecodeWriteLockReq(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Txn != in.Txn || out.Key != in.Key || out.DecisionSrv != in.DecisionSrv ||
+		!out.Set.Equal(in.Set) || out.Wait != in.Wait || !bytes.Equal(out.Value, in.Value) {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestWriteLockRespRoundTrip(t *testing.T) {
+	in := WriteLockResp{
+		Status: StatusConflict,
+		Err:    "blocked",
+		Got:    timestamp.NewSet(timestamp.Span(ts(1, 0), ts(2, 0))),
+		Denied: timestamp.NewSet(timestamp.Span(ts(3, 0), ts(4, 0))),
+	}
+	out, err := DecodeWriteLockResp(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != in.Status || out.Err != in.Err || !out.Got.Equal(in.Got) || !out.Denied.Equal(in.Denied) {
+		t.Fatalf("%+v", out)
+	}
+}
+
+func TestSmallMessagesRoundTrip(t *testing.T) {
+	fw := FreezeWriteReq{Txn: 1, Key: "a", TS: ts(9, 9)}
+	if out, err := DecodeFreezeWriteReq(fw.Encode()); err != nil || out != fw {
+		t.Fatalf("%+v %v", out, err)
+	}
+	fr := FreezeReadReq{Txn: 2, Key: "b", Lo: ts(1, 0), Hi: ts(5, 0)}
+	if out, err := DecodeFreezeReadReq(fr.Encode()); err != nil || out != fr {
+		t.Fatalf("%+v %v", out, err)
+	}
+	rl := ReleaseReq{Txn: 3, Key: "c", WritesOnly: true}
+	if out, err := DecodeReleaseReq(rl.Encode()); err != nil || out != rl {
+		t.Fatalf("%+v %v", out, err)
+	}
+	ack := Ack{Status: StatusAborted, Err: "gone"}
+	if out, err := DecodeAck(ack.Encode()); err != nil || out != ack {
+		t.Fatalf("%+v %v", out, err)
+	}
+	dq := DecideReq{Txn: 4, Proposal: DecideCommit, TS: ts(77, 2)}
+	if out, err := DecodeDecideReq(dq.Encode()); err != nil || out != dq {
+		t.Fatalf("%+v %v", out, err)
+	}
+	dr := DecideResp{Kind: DecideAbort, TS: ts(0, 0)}
+	if out, err := DecodeDecideResp(dr.Encode()); err != nil || out != dr {
+		t.Fatalf("%+v %v", out, err)
+	}
+	pq := PurgeReq{Bound: ts(123, 0)}
+	if out, err := DecodePurgeReq(pq.Encode()); err != nil || out != pq {
+		t.Fatalf("%+v %v", out, err)
+	}
+	pr := PurgeResp{Versions: 10, Locks: 20}
+	if out, err := DecodePurgeResp(pr.Encode()); err != nil || out != pr {
+		t.Fatalf("%+v %v", out, err)
+	}
+	st := StatsResp{Keys: 1, LockEntries: 2, FrozenLocks: 3, Versions: 4}
+	if out, err := DecodeStatsResp(st.Encode()); err != nil || out != st {
+		t.Fatalf("%+v %v", out, err)
+	}
+}
+
+func TestDecodersRejectTruncation(t *testing.T) {
+	full := WriteLockReq{Txn: 3, Key: "key", Set: timestamp.NewSet(timestamp.Point(ts(1, 1))), Value: []byte("v")}.Encode()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeWriteLockReq(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// Property: random interval sets round-trip exactly through the codec.
+func TestQuickSetRoundTrip(t *testing.T) {
+	gen := func(r *rand.Rand) timestamp.Set {
+		var s timestamp.Set
+		for i := 0; i < r.Intn(5); i++ {
+			lo := int64(r.Intn(100))
+			s = s.Add(timestamp.Span(ts(lo, int32(r.Intn(3))), ts(lo+int64(r.Intn(10)), int32(r.Intn(3)))))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := gen(r)
+		var e Encoder
+		e.Set(in)
+		d := NewDecoder(e.Bytes())
+		out := d.Set()
+		return d.Err() == nil && out.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(r.Int63())
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random strings and blobs round-trip through the codec.
+func TestQuickPrimitivesRoundTrip(t *testing.T) {
+	f := func(s string, b []byte, u uint64, i int64, p int32, flag bool) bool {
+		var e Encoder
+		e.Str(s)
+		e.Blob(b)
+		e.U64(u)
+		e.I64(i)
+		e.I32(p)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		gs := d.Str()
+		gb := d.Blob()
+		gu := d.U64()
+		gi := d.I64()
+		gp := d.I32()
+		gf := d.Bool()
+		if d.Err() != nil {
+			return false
+		}
+		return gs == s && bytes.Equal(gb, b) && gu == u && gi == i && gp == p && gf == flag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
