@@ -1,0 +1,3 @@
+module github.com/lpd-epfl/mvtl
+
+go 1.24

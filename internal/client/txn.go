@@ -253,8 +253,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	case ModeTO:
 		commitTS, ok = tx.ts, candidates.Contains(tx.ts)
 	case ModePessimistic:
-		ivs := candidates.Intervals()
-		commitTS, ok = ivs[len(ivs)-1].Lo, true
+		commitTS, ok = candidates.At(candidates.NumIntervals()-1).Lo, true
 	}
 	if !ok {
 		return tx.abortErr(ctx, fmt.Errorf("no usable commit timestamp in %v", candidates))

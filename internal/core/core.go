@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
@@ -55,13 +56,15 @@ type DB struct {
 	// context timeouts (§4.3).
 	waits *lock.WaitGraph
 
-	mu     sync.Mutex
-	nextID uint64
+	// nextID is the transaction-id allocator. It is atomic rather than
+	// mutex-guarded so Begin never serializes transactions behind a
+	// store-wide lock.
+	nextID atomic.Uint64
 }
 
 // New returns an empty store governed by the given policy.
 func New(policy Policy, opts Options) *DB {
-	db := &DB{policy: policy, opts: opts, nextID: 1, waits: lock.NewWaitGraph()}
+	db := &DB{policy: policy, opts: opts, waits: lock.NewWaitGraph()}
 	for i := range db.shards {
 		db.shards[i].keys = make(map[string]*KeyState)
 	}
@@ -119,10 +122,7 @@ func (db *DB) Begin(ctx context.Context) (*Txn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	id := db.nextID
-	db.nextID++
-	db.mu.Unlock()
+	id := db.nextID.Add(1)
 	tx := &Txn{
 		id:      id,
 		db:      db,
@@ -147,20 +147,28 @@ type StateStats struct {
 	Versions int
 }
 
-// StateStats scans the store and returns its current state size.
+// StateStats scans the store and returns its current state size. Key
+// pointers are snapshotted per shard before the per-key statistics are
+// gathered, so the scan never holds a shard lock while taking per-key
+// locks and stats collection cannot stall writers.
 func (db *DB) StateStats() StateStats {
 	var st StateStats
+	var states []*KeyState
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
+		states = states[:0]
 		for _, ks := range sh.keys {
-			st.Keys++
+			states = append(states, ks)
+		}
+		sh.mu.RUnlock()
+		st.Keys += len(states)
+		for _, ks := range states {
 			ls := ks.Locks.Stats()
 			st.LockEntries += ls.Entries
 			st.FrozenLockEntries += ls.Frozen
 			st.Versions += ks.Versions.Count()
 		}
-		sh.mu.RUnlock()
 	}
 	return st
 }

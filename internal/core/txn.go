@@ -231,14 +231,14 @@ func (tx *Txn) candidateSet() timestamp.Set {
 			continue // the write-lock requirement below subsumes this key
 		}
 		readOrWrite, _ := tx.touched[k].Locks.Owned(tx.Owner())
-		candidates = candidates.Intersect(readOrWrite)
+		candidates.IntersectInto(readOrWrite)
 		if candidates.IsEmpty() {
 			return candidates
 		}
 	}
 	for _, k := range tx.writeOrder {
 		_, writeOnly := tx.touched[k].Locks.Owned(tx.Owner())
-		candidates = candidates.Intersect(writeOnly)
+		candidates.IntersectInto(writeOnly)
 		if candidates.IsEmpty() {
 			return candidates
 		}

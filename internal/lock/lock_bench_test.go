@@ -2,7 +2,9 @@ package lock
 
 import (
 	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 )
@@ -59,6 +61,54 @@ func BenchmarkOwned(b *testing.B) {
 			b.Fatal("owned must not be empty")
 		}
 	}
+}
+
+// BenchmarkLockTableContended measures the hot-key, high-waiter-count
+// shape: 64 readers are parked on a write-locked range while the
+// benchmark loop acquires and releases locks on a disjoint range of the
+// same table. Under a broadcast wakeup scheme every release wakes all 64
+// waiters (which rescan and re-block, contending on the table mutex);
+// under targeted wakeups a release of an unrelated range wakes nobody.
+func BenchmarkLockTableContended(b *testing.B) {
+	tbl := NewTable()
+	ctx := context.Background()
+	hot := iv(0, 99)
+	if _, err := tbl.AcquireWrite(ctx, Owner(1), timestamp.NewSet(hot), Options{}); err != nil {
+		b.Fatal(err)
+	}
+	const waiters = 64
+	wctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(o Owner) {
+			defer wg.Done()
+			_, _ = tbl.AcquireRead(wctx, o, hot, Options{Wait: true})
+		}(Owner(1_000_000 + i))
+	}
+	// Let the waiters park before timing starts.
+	for deadline := time.Now().Add(2 * time.Second); tbl.waiterCount() < waiters; {
+		if time.Now().After(deadline) {
+			b.Fatal("waiters failed to park")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cold := timestamp.NewSet(iv(1000, 1010))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Owner ids start above the waiter block so no iteration shares
+		// an identity (and hence conflict exemption) with a parked reader.
+		o := Owner(2_000_000 + i)
+		if _, err := tbl.AcquireWrite(ctx, o, cold, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		tbl.ReleaseWrites(o)
+	}
+	b.StopTimer()
+	cancel()
+	tbl.ReleaseUnfrozen(Owner(1))
+	wg.Wait()
 }
 
 // BenchmarkContendedPartialWrite measures partial write acquisition

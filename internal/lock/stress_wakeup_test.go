@@ -1,0 +1,239 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// TestTargetedWakeupNoLostWaiters hammers one table with mixed
+// AcquireRead / AcquireWrite / Freeze / Release traffic from many
+// goroutines. All waits use a background context, so the test only
+// terminates if every parked waiter is eventually woken: a lost wakeup
+// under the targeted-wakeup scheme shows up as a hang, caught by the
+// watchdog. Deadlock cycles are broken by the shared wait-for graph
+// (ErrDeadlock), exactly as the engine runs the table.
+func TestTargetedWakeupNoLostWaiters(t *testing.T) {
+	const (
+		goroutines = 40
+		iterations = 300
+		span       = 256 // timestamps [1, span]
+	)
+	tbl := NewTableDetected(NewWaitGraph())
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for it := 0; it < iterations; it++ {
+				owner := Owner(uint64(seed)<<32 | uint64(it+1))
+				lo := int64(1 + r.Intn(span))
+				width := int64(1 + r.Intn(16))
+				request := iv(lo, lo+width)
+				switch r.Intn(3) {
+				case 0: // reader: wait on unfrozen conflicts, then release
+					res, err := tbl.AcquireRead(ctx, owner, request, Options{Wait: true})
+					if err != nil && !errors.Is(err, ErrFrozen) && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("AcquireRead: %v", err)
+						return
+					}
+					_ = res
+					tbl.ReleaseUnfrozen(owner)
+				case 1: // writer: wait, freeze one point sometimes, release
+					res, err := tbl.AcquireWrite(ctx, owner, timestamp.NewSet(request), Options{Wait: true, Partial: true})
+					if err != nil && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("AcquireWrite: %v", err)
+						return
+					}
+					if err == nil && !res.Got.IsEmpty() && r.Intn(4) == 0 {
+						if min, ok := res.Got.Min(); ok {
+							tbl.FreezeWriteAt(owner, min)
+						}
+					}
+					tbl.ReleaseUnfrozen(owner)
+				case 2: // reader that freezes part of what it got
+					res, err := tbl.AcquireRead(ctx, owner, request, Options{Wait: true, Partial: true})
+					if err != nil && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("AcquireRead partial: %v", err)
+						return
+					}
+					if err == nil && !res.Got.IsEmpty() && r.Intn(8) == 0 {
+						tbl.FreezeReadIn(owner, timestamp.Point(res.Got.Lo))
+					}
+					tbl.ReleaseUnfrozen(owner)
+				}
+				if it%64 == 0 {
+					// Keep frozen state from saturating the keyspace.
+					tbl.PurgeFrozenBelow(timestamp.New(span+100, 0))
+				}
+			}
+		}(int64(g + 1))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("stress run hung: %d waiters still parked — lost wakeup?", tbl.waiterCount())
+	}
+	if n := tbl.waiterCount(); n != 0 {
+		t.Fatalf("%d waiters left parked after all goroutines finished", n)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("table invariant violated: %v", err)
+	}
+}
+
+// TestReleaseWakesOnlyOverlappingWaiters pins the targeted-wakeup
+// contract directly: two waiters park on disjoint ranges; releasing one
+// range must wake exactly that waiter and leave the other parked.
+func TestReleaseWakesOnlyOverlappingWaiters(t *testing.T) {
+	tbl := NewTable()
+	ctx := context.Background()
+	holderA, holderB := Owner(1), Owner(2)
+	if _, err := tbl.AcquireWrite(ctx, holderA, timestamp.NewSet(iv(0, 9)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.AcquireWrite(ctx, holderB, timestamp.NewSet(iv(100, 109)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	wokeA, wokeB := make(chan error, 1), make(chan error, 1)
+	go func() {
+		_, err := tbl.AcquireRead(ctx, Owner(10), iv(0, 9), Options{Wait: true})
+		wokeA <- err
+	}()
+	go func() {
+		_, err := tbl.AcquireRead(ctx, Owner(11), iv(100, 109), Options{Wait: true})
+		wokeB <- err
+	}()
+	waitForWaiters(t, tbl, 2)
+
+	tbl.ReleaseUnfrozen(holderA)
+	select {
+	case err := <-wokeA:
+		if err != nil {
+			t.Fatalf("waiter A failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter A not woken by overlapping release")
+	}
+	select {
+	case err := <-wokeB:
+		t.Fatalf("waiter B woke on a release of a disjoint range: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	waitForWaiters(t, tbl, 1)
+
+	tbl.ReleaseUnfrozen(holderB)
+	select {
+	case err := <-wokeB:
+		if err != nil {
+			t.Fatalf("waiter B failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter B not woken by overlapping release")
+	}
+}
+
+// TestFreezeWakesBlockedWriter checks that freezing — not just releasing
+// — wakes waiters, since a frozen conflict changes the outcome from
+// "wait" to "permanently denied".
+func TestFreezeWakesBlockedWriter(t *testing.T) {
+	tbl := NewTable()
+	ctx := context.Background()
+	holder := Owner(1)
+	if _, err := tbl.AcquireWrite(ctx, holder, timestamp.NewSet(iv(5, 5)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := tbl.AcquireWrite(ctx, Owner(2), timestamp.NewSet(iv(5, 5)), Options{Wait: true})
+		res <- err
+	}()
+	waitForWaiters(t, tbl, 1)
+	if !tbl.FreezeWriteAt(holder, ts(5)) {
+		t.Fatal("freeze failed")
+	}
+	select {
+	case err := <-res:
+		if !errors.Is(err, ErrFrozen) {
+			t.Fatalf("blocked writer returned %v, want ErrFrozen", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked writer not woken by freeze")
+	}
+}
+
+// TestDeadlockDetectedThroughInsertedConflict pins the wait-for-graph
+// upkeep under targeted wakeups: a lock inserted *after* a waiter parks
+// must extend the waiter's wait-for edges, so a cycle formed through
+// that new lock is detected immediately instead of after an unrelated
+// wakeup.
+func TestDeadlockDetectedThroughInsertedConflict(t *testing.T) {
+	g := NewWaitGraph()
+	k1, k2 := NewTableDetected(g), NewTableDetected(g)
+	ctx := context.Background()
+	w, a, c := Owner(1), Owner(2), Owner(3)
+
+	// W holds K2@[5,5]; A holds K1@[40,60].
+	if _, err := k2.AcquireWrite(ctx, w, timestamp.NewSet(iv(5, 5)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k1.AcquireWrite(ctx, a, timestamp.NewSet(iv(40, 60)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// W parks reading K1@[0,100], blocked by A (edge W->A).
+	wDone := make(chan error, 1)
+	go func() {
+		_, err := k1.AcquireRead(ctx, w, iv(0, 100), Options{Wait: true})
+		wDone <- err
+	}()
+	waitForWaiters(t, k1, 1)
+
+	// C write-locks K1@[70,80]: no held lock conflicts (W holds nothing
+	// there yet), but the insert conflicts with W's parked request, so
+	// the table must register W->C on W's behalf.
+	if _, err := k1.AcquireWrite(ctx, c, timestamp.NewSet(iv(70, 80)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// C blocking on W at K2 now closes the cycle W->C->W and must fail
+	// fast, not park until A happens to release.
+	if _, err := k2.AcquireWrite(ctx, c, timestamp.NewSet(iv(5, 5)), Options{Wait: true}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cycle through inserted conflict returned %v, want ErrDeadlock", err)
+	}
+
+	// Break the cycle the way the engine would (C aborts), and let W
+	// finish.
+	k1.ReleaseUnfrozen(c)
+	k1.ReleaseUnfrozen(a)
+	select {
+	case err := <-wDone:
+		if err != nil {
+			t.Fatalf("waiter failed after cycle broken: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken after blockers released")
+	}
+}
+
+// waitForWaiters blocks until the table has exactly n parked waiters.
+func waitForWaiters(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tbl.waiterCount() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d, want %d", tbl.waiterCount(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

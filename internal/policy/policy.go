@@ -127,9 +127,9 @@ func allWritable() timestamp.Set {
 // committed and every timestamp read on the keys they touched, which
 // reproduces 2PL's real-time serialization order.
 func tailMin(candidates timestamp.Set) (timestamp.Timestamp, bool) {
-	ivs := candidates.Intervals()
-	if len(ivs) == 0 {
+	n := candidates.NumIntervals()
+	if n == 0 {
 		return timestamp.Timestamp{}, false
 	}
-	return ivs[len(ivs)-1].Lo, true
+	return candidates.At(n - 1).Lo, true
 }

@@ -76,7 +76,7 @@ func (p *Pref) state(tx *core.Txn) *prefState {
 		st.pref = txnClock(tx, p.clk).Now()
 		st.poss = pointSet(st.pref)
 		for _, a := range p.alts(st.pref) {
-			st.poss = st.poss.Add(timestamp.Point(a))
+			st.poss.AddInPlace(timestamp.Point(a))
 		}
 		st.set = true
 	}
@@ -183,7 +183,8 @@ func (p *Pref) commitOrder(st *prefState) []timestamp.Timestamp {
 		out = append(out, st.pref)
 	}
 	var rest []timestamp.Timestamp
-	for _, iv := range st.poss.Intervals() {
+	for i := 0; i < st.poss.NumIntervals(); i++ {
+		iv := st.poss.At(i)
 		// PossTS is a set of discrete points by construction; walk it.
 		for t := iv.Lo; t.AtOrBefore(iv.Hi); t = t.Next() {
 			if t != st.pref {

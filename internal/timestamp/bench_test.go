@@ -30,6 +30,26 @@ func BenchmarkSetContains(b *testing.B) {
 	}
 }
 
+// BenchmarkCommitIntersection models the commit step (Alg. 1 line 13):
+// start from the full timeline and intersect the per-key locked sets of
+// an 8-key footprint, each holding 1-2 intervals.
+func BenchmarkCommitIntersection(b *testing.B) {
+	keys := make([]Set, 8)
+	for i := range keys {
+		keys[i] = NewSet(iv(int64(i), 100), iv(200+int64(i), 300))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cand := NewSet(Full)
+		for _, ks := range keys {
+			cand.IntersectInto(ks)
+		}
+		if cand.IsEmpty() {
+			b.Fatal("candidates must not be empty")
+		}
+	}
+}
+
 func BenchmarkCompare(b *testing.B) {
 	x, y := New(100, 5), New(100, 6)
 	for i := 0; i < b.N; i++ {

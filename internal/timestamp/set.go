@@ -5,6 +5,17 @@ import (
 	"strings"
 )
 
+// smallSetIvs is the number of intervals a Set can hold inline, without
+// touching the heap. Hot-path sets — a transaction's shrinking candidate
+// interval, the owned portion of a lock table, a conflict set — almost
+// always hold one or two intervals (one range, or a range split once
+// around a frozen point), so two covers the common case.
+const smallSetIvs = 2
+
+// spilledSet marks a Set whose intervals live in the heap slice instead
+// of the inline array.
+const spilledSet = -1
+
 // Set is a set of timestamps represented as a normalized sequence of
 // disjoint, non-adjacent, non-empty intervals sorted by Lo. The zero value
 // is the empty set.
@@ -14,8 +25,67 @@ import (
 // locked timestamps across all keys in the read and write sets, and
 // policies such as ε-clock shrink their set as lock acquisition partially
 // fails.
+//
+// Up to smallSetIvs intervals are stored inline in the struct, so small
+// sets never allocate and copying a small set by value copies its storage.
+// Larger sets spill to a heap slice.
+//
+// Two kinds of methods are provided. Value-receiver methods (Add, Union,
+// Intersect, Subtract, ...) are persistent: they leave the receiver
+// untouched and return a new set. Pointer-receiver methods (AddInPlace,
+// UnionInPlace, IntersectInto, SubtractInto) update the receiver without
+// allocating in the common case; they must only be called on a set this
+// code path uniquely owns (one it built locally or received as the sole
+// copy), because a spilled receiver shares its backing slice with any
+// value copies made of it.
 type Set struct {
-	ivs []Interval
+	// n is the number of intervals in inline, or spilledSet when the
+	// intervals live in ivs.
+	n      int8
+	inline [smallSetIvs]Interval
+	ivs    []Interval
+}
+
+// view returns the set's intervals without copying. The result aliases
+// the receiver's storage and must be treated as read-only.
+func (s *Set) view() []Interval {
+	if s.n >= 0 {
+		return s.inline[:s.n]
+	}
+	return s.ivs
+}
+
+// appendIv appends iv to the set. The caller guarantees normalization:
+// iv is non-empty and starts after the current last interval with a gap.
+func (s *Set) appendIv(iv Interval) {
+	if s.n >= 0 {
+		if int(s.n) < smallSetIvs {
+			s.inline[s.n] = iv
+			s.n++
+			return
+		}
+		ivs := make([]Interval, s.n, smallSetIvs*2)
+		copy(ivs, s.inline[:s.n])
+		s.ivs = ivs
+		s.n = spilledSet
+	}
+	s.ivs = append(s.ivs, iv)
+}
+
+// setLast replaces the last interval of a non-empty set.
+func (s *Set) setLast(iv Interval) {
+	if s.n >= 0 {
+		s.inline[s.n-1] = iv
+		return
+	}
+	s.ivs[len(s.ivs)-1] = iv
+}
+
+// clear empties the set, dropping any spilled storage (it may be aliased
+// by the caller's input view, so it is never reused).
+func (s *Set) clear() {
+	s.n = 0
+	s.ivs = nil
 }
 
 // NewSet builds a set from the given intervals (which may overlap or be
@@ -23,7 +93,7 @@ type Set struct {
 func NewSet(ivs ...Interval) Set {
 	var s Set
 	for _, iv := range ivs {
-		s = s.Add(iv)
+		s.AddInPlace(iv)
 	}
 	return s
 }
@@ -32,29 +102,44 @@ func NewSet(ivs ...Interval) Set {
 func SetOf(ts ...Timestamp) Set {
 	var s Set
 	for _, t := range ts {
-		s = s.Add(Point(t))
+		s.AddInPlace(Point(t))
 	}
 	return s
 }
 
 // IsEmpty reports whether the set contains no timestamps.
-func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+func (s Set) IsEmpty() bool {
+	return s.n == 0 || (s.n == spilledSet && len(s.ivs) == 0)
+}
 
 // Intervals returns a copy of the normalized intervals making up the set.
 func (s Set) Intervals() []Interval {
-	out := make([]Interval, len(s.ivs))
-	copy(out, s.ivs)
+	v := s.view()
+	out := make([]Interval, len(v))
+	copy(out, v)
 	return out
 }
 
 // NumIntervals returns the number of maximal intervals in the set; it is a
 // measure of lock-state fragmentation (§6).
-func (s Set) NumIntervals() int { return len(s.ivs) }
+func (s Set) NumIntervals() int { return len(s.view()) }
+
+// At returns the i-th maximal interval of the set (0-based, sorted by
+// Lo). Together with NumIntervals it allows iterating a set without the
+// copy Intervals makes.
+func (s Set) At(i int) Interval { return s.view()[i] }
+
+// AppendIntervals appends the set's intervals to dst and returns the
+// extended slice, letting callers reuse a scratch buffer.
+func (s Set) AppendIntervals(dst []Interval) []Interval {
+	return append(dst, s.view()...)
+}
 
 // Contains reports whether t is in the set.
 func (s Set) Contains(t Timestamp) bool {
-	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi.AtOrAfter(t) })
-	return i < len(s.ivs) && s.ivs[i].Contains(t)
+	v := s.view()
+	i := sort.Search(len(v), func(i int) bool { return v[i].Hi.AtOrAfter(t) })
+	return i < len(v) && v[i].Contains(t)
 }
 
 // ContainsInterval reports whether the entire interval iv is in the set.
@@ -62,122 +147,240 @@ func (s Set) ContainsInterval(iv Interval) bool {
 	if iv.IsEmpty() {
 		return true
 	}
-	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi.AtOrAfter(iv.Lo) })
-	return i < len(s.ivs) && s.ivs[i].ContainsInterval(iv)
+	v := s.view()
+	i := sort.Search(len(v), func(i int) bool { return v[i].Hi.AtOrAfter(iv.Lo) })
+	return i < len(v) && v[i].ContainsInterval(iv)
 }
 
 // Min returns the smallest timestamp in the set. The second result is
 // false when the set is empty.
 func (s Set) Min() (Timestamp, bool) {
-	if len(s.ivs) == 0 {
+	v := s.view()
+	if len(v) == 0 {
 		return Timestamp{}, false
 	}
-	return s.ivs[0].Lo, true
+	return v[0].Lo, true
 }
 
 // Max returns the largest timestamp in the set. The second result is
 // false when the set is empty.
 func (s Set) Max() (Timestamp, bool) {
-	if len(s.ivs) == 0 {
+	v := s.view()
+	if len(v) == 0 {
 		return Timestamp{}, false
 	}
-	return s.ivs[len(s.ivs)-1].Hi, true
+	return v[len(v)-1].Hi, true
+}
+
+// AddInPlace extends the set with interval iv, coalescing overlapping and
+// adjacent intervals. Appending at or merging into the top of the set —
+// the common case when a set is built in ascending order — is
+// allocation-free while the set fits inline.
+func (s *Set) AddInPlace(iv Interval) {
+	if iv.IsEmpty() {
+		return
+	}
+	v := s.view()
+	if len(v) == 0 {
+		s.appendIv(iv)
+		return
+	}
+	last := v[len(v)-1]
+	if iv.Lo.After(last.Hi.Next()) {
+		s.appendIv(iv)
+		return
+	}
+	if iv.Lo.AtOrAfter(last.Lo) {
+		// iv touches only the last interval: every earlier interval ends
+		// with a gap before last.Lo <= iv.Lo.
+		s.setLast(last.Merge(iv))
+		return
+	}
+	// General insert somewhere in the middle: rebuild.
+	*s = s.Add(iv)
 }
 
 // Add returns the set extended with interval iv, coalescing overlapping
 // and adjacent intervals. The receiver is not modified.
 func (s Set) Add(iv Interval) Set {
+	var out Set
 	if iv.IsEmpty() {
-		return s
+		out.copyOf(s.view())
+		return out
 	}
-	out := make([]Interval, 0, len(s.ivs)+1)
-	inserted := false
-	for _, cur := range s.ivs {
-		switch {
-		case inserted:
-			if iv.Overlaps(cur) || iv.Adjacent(cur) {
-				iv = iv.Merge(cur)
-				out[len(out)-1] = iv
-			} else {
-				out = append(out, cur)
-			}
-		case cur.Overlaps(iv) || cur.Adjacent(iv):
-			iv = iv.Merge(cur)
-			out = append(out, iv)
-			inserted = true
-		case cur.Lo.After(iv.Hi):
-			out = append(out, iv, cur)
-			inserted = true
-		default:
-			out = append(out, cur)
-		}
-	}
-	if !inserted {
-		out = append(out, iv)
-	}
-	return Set{ivs: out}
+	one := [1]Interval{iv}
+	unionAppend(&out, s.view(), one[:])
+	return out
 }
 
-// Union returns the union of s and o.
-func (s Set) Union(o Set) Set {
-	for _, iv := range o.ivs {
-		s = s.Add(iv)
+// copyOf fills the (empty) set with a copy of the given normalized
+// intervals.
+func (s *Set) copyOf(v []Interval) {
+	if len(v) <= smallSetIvs {
+		s.n = int8(copy(s.inline[:], v))
+		return
 	}
-	return s
+	s.n = spilledSet
+	s.ivs = append([]Interval(nil), v...)
+}
+
+// unionAppend appends the union of the normalized sequences a and b to
+// dst.
+func unionAppend(dst *Set, a, b []Interval) {
+	i, j := 0, 0
+	var cur Interval
+	have := false
+	for i < len(a) || j < len(b) {
+		var next Interval
+		if j >= len(b) || (i < len(a) && a[i].Lo.AtOrBefore(b[j].Lo)) {
+			next = a[i]
+			i++
+		} else {
+			next = b[j]
+			j++
+		}
+		switch {
+		case !have:
+			cur, have = next, true
+		case next.Lo.AtOrBefore(cur.Hi.Next()):
+			if next.Hi.After(cur.Hi) {
+				cur.Hi = next.Hi
+			}
+		default:
+			dst.appendIv(cur)
+			cur = next
+		}
+	}
+	if have {
+		dst.appendIv(cur)
+	}
+}
+
+// Union returns the union of s and o. The receiver is not modified.
+func (s Set) Union(o Set) Set {
+	var out Set
+	unionAppend(&out, s.view(), o.view())
+	return out
+}
+
+// UnionInPlace replaces s with s ∪ o.
+func (s *Set) UnionInPlace(o Set) {
+	if o.IsEmpty() {
+		return
+	}
+	snap := *s // keeps the input view alive while s is rebuilt
+	s.clear()
+	unionAppend(s, snap.view(), o.view())
+}
+
+// intersectAppend appends the intersection of the normalized sequences a
+// and b to dst.
+func intersectAppend(dst *Set, a, b []Interval) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if x := a[i].Intersect(b[j]); !x.IsEmpty() {
+			dst.appendIv(x)
+		}
+		if a[i].Hi.Before(b[j].Hi) {
+			i++
+		} else {
+			j++
+		}
+	}
 }
 
 // IntersectInterval returns the subset of s inside iv.
 func (s Set) IntersectInterval(iv Interval) Set {
-	if iv.IsEmpty() || len(s.ivs) == 0 {
-		return Set{}
+	var out Set
+	if iv.IsEmpty() {
+		return out
 	}
-	out := make([]Interval, 0, len(s.ivs))
-	for _, cur := range s.ivs {
-		x := cur.Intersect(iv)
-		if !x.IsEmpty() {
-			out = append(out, x)
-		}
-	}
-	return Set{ivs: out}
+	one := [1]Interval{iv}
+	intersectAppend(&out, s.view(), one[:])
+	return out
 }
 
-// Intersect returns the intersection of s and o.
+// Intersect returns the intersection of s and o. The receiver is not
+// modified.
 func (s Set) Intersect(o Set) Set {
 	var out Set
-	for _, iv := range o.ivs {
-		part := s.IntersectInterval(iv)
-		out.ivs = append(out.ivs, part.ivs...)
-	}
+	intersectAppend(&out, s.view(), o.view())
 	return out
+}
+
+// IntersectInto replaces s with s ∩ o. It is the allocation-free
+// workhorse of the commit step (Alg. 1 line 13), which intersects the
+// owned lock sets across the transaction's footprint.
+func (s *Set) IntersectInto(o Set) {
+	snap := *s
+	s.clear()
+	intersectAppend(s, snap.view(), o.view())
+}
+
+// subtractAppend appends the difference a \ b of the normalized
+// sequences to dst.
+func subtractAppend(dst *Set, a, b []Interval) {
+	j := 0
+	for i := 0; i < len(a); i++ {
+		cur := a[i]
+		for j < len(b) && b[j].Hi.Before(cur.Lo) {
+			j++
+		}
+		for k := j; k < len(b) && b[k].Lo.AtOrBefore(cur.Hi); k++ {
+			if cur.Lo.Before(b[k].Lo) {
+				dst.appendIv(Interval{Lo: cur.Lo, Hi: b[k].Lo.Prev()})
+			}
+			if b[k].Hi.Before(cur.Hi) {
+				cur.Lo = b[k].Hi.Next()
+			} else {
+				cur = Empty
+				break
+			}
+		}
+		if !cur.IsEmpty() {
+			dst.appendIv(cur)
+		}
+	}
 }
 
 // SubtractInterval returns the subset of s outside iv.
 func (s Set) SubtractInterval(iv Interval) Set {
-	if iv.IsEmpty() || len(s.ivs) == 0 {
-		return s
+	var out Set
+	if iv.IsEmpty() {
+		out.copyOf(s.view())
+		return out
 	}
-	out := make([]Interval, 0, len(s.ivs)+1)
-	for _, cur := range s.ivs {
-		out = append(out, cur.Subtract(iv)...)
-	}
-	return Set{ivs: out}
+	one := [1]Interval{iv}
+	subtractAppend(&out, s.view(), one[:])
+	return out
 }
 
-// Subtract returns the set difference s \ o.
+// Subtract returns the set difference s \ o. The receiver is not
+// modified.
 func (s Set) Subtract(o Set) Set {
-	for _, iv := range o.ivs {
-		s = s.SubtractInterval(iv)
+	var out Set
+	subtractAppend(&out, s.view(), o.view())
+	return out
+}
+
+// SubtractInto replaces s with s \ o.
+func (s *Set) SubtractInto(o Set) {
+	if o.IsEmpty() {
+		return
 	}
-	return s
+	snap := *s
+	s.clear()
+	subtractAppend(s, snap.view(), o.view())
 }
 
 // Equal reports whether two sets contain exactly the same timestamps.
 func (s Set) Equal(o Set) bool {
-	if len(s.ivs) != len(o.ivs) {
+	a, b := s.view(), o.view()
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range s.ivs {
-		if s.ivs[i] != o.ivs[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
@@ -186,11 +389,12 @@ func (s Set) Equal(o Set) bool {
 
 // String renders the set as a list of intervals.
 func (s Set) String() string {
-	if len(s.ivs) == 0 {
+	v := s.view()
+	if len(v) == 0 {
 		return "∅"
 	}
-	parts := make([]string, len(s.ivs))
-	for i, iv := range s.ivs {
+	parts := make([]string, len(v))
+	for i, iv := range v {
 		parts[i] = iv.String()
 	}
 	return strings.Join(parts, "∪")

@@ -1,0 +1,166 @@
+package timestamp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSetPair returns a random normalized set together with the raw
+// intervals it was built from.
+func randSet(r *rand.Rand, maxIvs int) Set {
+	var s Set
+	for i, n := 0, r.Intn(maxIvs+1); i < n; i++ {
+		lo := int64(r.Intn(200))
+		s.AddInPlace(iv(lo, lo+int64(r.Intn(20))))
+	}
+	return s
+}
+
+func TestAddInPlaceMatchesAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		s := randSet(r, 5)
+		lo := int64(r.Intn(220))
+		x := iv(lo, lo+int64(r.Intn(25)))
+		want := s.Add(x)
+		got := s
+		got.AddInPlace(x)
+		if !got.Equal(want) {
+			t.Fatalf("AddInPlace(%v, %v) = %v, want %v", s, x, got, want)
+		}
+	}
+}
+
+func TestUnionInPlaceMatchesUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randSet(r, 5), randSet(r, 5)
+		want := a.Union(b)
+		got := a
+		got.UnionInPlace(b)
+		if !got.Equal(want) {
+			t.Fatalf("UnionInPlace(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestIntersectIntoMatchesIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randSet(r, 5), randSet(r, 5)
+		want := a.Intersect(b)
+		got := a
+		got.IntersectInto(b)
+		if !got.Equal(want) {
+			t.Fatalf("IntersectInto(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestSubtractIntoMatchesSubtract(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randSet(r, 5), randSet(r, 5)
+		want := a.Subtract(b)
+		got := a
+		got.SubtractInto(b)
+		if !got.Equal(want) {
+			t.Fatalf("SubtractInto(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestInPlaceOpsPreserveNormalization checks the Set invariant — sorted,
+// disjoint, non-adjacent, non-empty intervals — after chains of in-place
+// mutations.
+func TestInPlaceOpsPreserveNormalization(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var s Set
+	for trial := 0; trial < 5000; trial++ {
+		lo := int64(r.Intn(300))
+		x := iv(lo, lo+int64(r.Intn(30)))
+		switch r.Intn(4) {
+		case 0:
+			s.AddInPlace(x)
+		case 1:
+			s.UnionInPlace(NewSet(x))
+		case 2:
+			s.IntersectInto(NewSet(x, iv(lo+40, lo+80)))
+		case 3:
+			s.SubtractInto(NewSet(iv(lo, lo+3)))
+		}
+		assertNormalized(t, s)
+	}
+}
+
+func assertNormalized(t *testing.T, s Set) {
+	t.Helper()
+	for i := 0; i < s.NumIntervals(); i++ {
+		cur := s.At(i)
+		if cur.IsEmpty() {
+			t.Fatalf("set %v holds empty interval at %d", s, i)
+		}
+		if i > 0 {
+			prev := s.At(i - 1)
+			if !prev.Hi.Next().Before(cur.Lo) {
+				t.Fatalf("set %v not normalized at %d: %v then %v", s, i, prev, cur)
+			}
+		}
+	}
+}
+
+// TestSubtractIntoDoesNotCorruptAliasedSource checks the documented
+// safety property the lock table relies on: subtracting into a value
+// copy must leave the original intact even when the set has spilled.
+func TestSubtractIntoDoesNotCorruptAliasedSource(t *testing.T) {
+	orig := NewSet(iv(0, 10), iv(20, 30), iv(40, 50), iv(60, 70)) // spilled
+	snapshot := orig.Intervals()
+	cpy := orig
+	cpy.SubtractInto(NewSet(iv(5, 45)))
+	for i, want := range snapshot {
+		if orig.At(i) != want {
+			t.Fatalf("source set corrupted: interval %d = %v, want %v", i, orig.At(i), want)
+		}
+	}
+	want := NewSet(
+		Span(New(0, 0), New(5, 0).Prev()),
+		Span(New(45, 0).Next(), New(50, 0)),
+		iv(60, 70))
+	if !cpy.Equal(want) {
+		t.Fatalf("difference = %v, want %v", cpy, want)
+	}
+}
+
+// TestInlineSpillBoundary exercises the transition from inline to heap
+// storage in both directions.
+func TestInlineSpillBoundary(t *testing.T) {
+	var s Set
+	for i := int64(0); i < 6; i++ {
+		s.AddInPlace(iv(i*10, i*10+4))
+		if got := s.NumIntervals(); got != int(i)+1 {
+			t.Fatalf("after %d adds: %d intervals (%v)", i+1, got, s)
+		}
+	}
+	// Shrink back under the inline capacity; the set stays correct.
+	s.IntersectInto(NewSet(iv(0, 14)))
+	if want := NewSet(iv(0, 4), iv(10, 14)); !s.Equal(want) {
+		t.Fatalf("shrunk set = %v, want %v", s, want)
+	}
+	s.SubtractInto(NewSet(iv(10, 14)))
+	if want := NewSet(iv(0, 4)); !s.Equal(want) {
+		t.Fatalf("shrunk set = %v, want %v", s, want)
+	}
+}
+
+// TestAppendIntervalsReusesBuffer checks the copy-free iteration helper.
+func TestAppendIntervalsReusesBuffer(t *testing.T) {
+	s := NewSet(iv(1, 2), iv(9, 12))
+	buf := make([]Interval, 0, 8)
+	out := s.AppendIntervals(buf)
+	if len(out) != 2 || out[0] != iv(1, 2) || out[1] != iv(9, 12) {
+		t.Fatalf("AppendIntervals = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendIntervals did not reuse the provided buffer")
+	}
+}

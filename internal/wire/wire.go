@@ -147,10 +147,10 @@ func (e *Encoder) Interval(iv timestamp.Interval) {
 
 // Set appends an interval set.
 func (e *Encoder) Set(s timestamp.Set) {
-	ivs := s.Intervals()
-	e.I32(int32(len(ivs)))
-	for _, iv := range ivs {
-		e.Interval(iv)
+	n := s.NumIntervals()
+	e.I32(int32(n))
+	for i := 0; i < n; i++ {
+		e.Interval(s.At(i))
 	}
 }
 
@@ -258,7 +258,7 @@ func (d *Decoder) Set() timestamp.Set {
 	}
 	var s timestamp.Set
 	for i := int32(0); i < n; i++ {
-		s = s.Add(d.Interval())
+		s.AddInPlace(d.Interval())
 	}
 	return s
 }
