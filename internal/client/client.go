@@ -25,6 +25,7 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/wire"
@@ -141,16 +142,7 @@ func (c *Client) AdvanceClock(t int64) { c.clk.AdvanceTo(t) }
 
 // serverFor maps a key to its server address.
 func (c *Client) serverFor(key string) string {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime
-	}
-	return c.cfg.Servers[h%uint32(len(c.cfg.Servers))]
+	return c.cfg.Servers[strhash.FNV1a(key)%uint32(len(c.cfg.Servers))]
 }
 
 // conn returns (dialing if needed) the connection to addr.

@@ -1,0 +1,107 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/server"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+)
+
+// benchCluster starts S storage servers on an in-memory network with the
+// given one-way latency and returns a coordinator in the given mode.
+func benchCluster(b *testing.B, servers int, mode client.Mode, latency time.Duration) *client.Client {
+	b.Helper()
+	n := transport.NewMem(transport.LatencyModel{Base: latency})
+	addrs := make([]string, servers)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("srv-%d", i)
+		srv, err := server.New(server.Config{Addr: addrs[i], Network: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = srv.Close() })
+	}
+	cl, err := client.New(client.Config{ID: 1, Servers: addrs, Network: n, Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = cl.Close() })
+	return cl
+}
+
+// BenchmarkDistributedCommitTO measures one W-write transaction across S
+// servers under timestamp ordering, whose commit step write-locks every
+// written key over the wire. The per-transaction wall time is dominated
+// by commit round trips, so it exposes whether the footprint travels
+// key-at-a-time (O(W) round trips) or batched per server (O(S)).
+func BenchmarkDistributedCommitTO(b *testing.B) {
+	for _, shape := range []struct{ servers, writes int }{{2, 8}, {4, 16}} {
+		b.Run(fmt.Sprintf("s%d_w%d", shape.servers, shape.writes), func(b *testing.B) {
+			cl := benchCluster(b, shape.servers, client.ModeTO, 200*time.Microsecond)
+			ctx := context.Background()
+			keys := make([]string, shape.writes)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%03d", i)
+			}
+			val := []byte("v")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx, err := cl.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, k := range keys {
+					if err := tx.Write(ctx, k, val); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+				// Keep server-side lock tables and version lists from
+				// growing across iterations, off the clock.
+				if i%64 == 63 {
+					b.StopTimer()
+					bound := timestamp.New(time.Now().UnixMicro()-1, 0)
+					if _, _, err := cl.PurgeServers(ctx, bound); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedAbortRelease measures the cleanup fan-out of an
+// aborting MVTIL transaction holding locks on W keys across S servers.
+func BenchmarkDistributedAbortRelease(b *testing.B) {
+	const servers, writes = 4, 16
+	cl := benchCluster(b, servers, client.ModeTILEarly, 200*time.Microsecond)
+	ctx := context.Background()
+	keys := make([]string, writes)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	val := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := cl.Begin(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := tx.Write(ctx, k, val); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Abort(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -198,6 +198,80 @@ func (tx *DTxn) bufferWrite(key string, value []byte) {
 	tx.touched[key] = true
 }
 
+// serverGroups partitions keys by their owning server, preserving the
+// given key order within each group.
+func (tx *DTxn) serverGroups(keys []string) map[string][]string {
+	groups := make(map[string][]string)
+	for _, k := range keys {
+		addr := tx.client.serverFor(k)
+		groups[addr] = append(groups[addr], k)
+	}
+	return groups
+}
+
+// writeLockBatches write-locks the transaction's whole write set at ts
+// with one batch request per server, fanning out across servers in
+// parallel: a W-write commit costs O(servers) round trips instead of
+// O(W). Acquired sets are folded into writeLocked; the first per-key
+// denial or transport failure is returned after all batches settle.
+func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) error {
+	groups := tx.serverGroups(tx.writeOrder)
+	type batchResult struct {
+		keys []string
+		resp wire.WriteLockBatchResp
+		err  error
+	}
+	results := make(chan batchResult, len(groups))
+	for addr, keys := range groups {
+		go func(addr string, keys []string) {
+			items := make([]wire.WriteLockItem, len(keys))
+			for i, k := range keys {
+				items[i] = wire.WriteLockItem{Key: k, Set: setOf(timestamp.Point(ts)), Value: tx.writes[k]}
+			}
+			f, err := tx.client.call(ctx, addr, wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
+				Txn:         tx.id,
+				DecisionSrv: tx.decisionSrv,
+				Items:       items,
+			}.Encode())
+			if err != nil {
+				results <- batchResult{keys: keys, err: err}
+				return
+			}
+			resp, err := wire.DecodeWriteLockBatchResp(f.Body)
+			results <- batchResult{keys: keys, resp: resp, err: err}
+		}(addr, keys)
+	}
+	var firstErr error
+	for range groups {
+		r := <-results
+		switch {
+		case r.err != nil:
+			// fall through with the transport/codec error
+		case r.resp.Status != wire.StatusOK:
+			r.err = fmt.Errorf("write-lock batch: %s", r.resp.Err)
+		case len(r.resp.Results) != len(r.keys):
+			r.err = fmt.Errorf("write-lock batch: %d results for %d keys", len(r.resp.Results), len(r.keys))
+		}
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for i, k := range r.keys {
+			res := r.resp.Results[i]
+			if res.Status != wire.StatusOK || !res.Got.Contains(ts) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("write-lock %q at %v denied: %s", k, ts, res.Err)
+				}
+				continue
+			}
+			tx.writeLocked[k] = tx.writeLocked[k].Union(res.Got)
+		}
+	}
+	return firstErr
+}
+
 // Commit implements kv.Txn (Alg. 11 lines 15-29).
 func (tx *DTxn) Commit(ctx context.Context) error {
 	if tx.done {
@@ -206,17 +280,14 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	mode := tx.client.cfg.Mode
 
 	// Commit-time locking: TO write-locks its timestamp on every
-	// written key, without waiting (Alg. 8 via the wire protocol).
-	if mode == ModeTO {
-		for _, key := range tx.writeOrder {
-			resp, err := tx.writeLock(ctx, key, setOf(timestamp.Point(tx.ts)), false, tx.writes[key])
-			if err != nil || !resp.Got.Contains(tx.ts) {
-				if err == nil {
-					err = fmt.Errorf("write-lock %q at %v denied", key, tx.ts)
-				}
-				return tx.abortErr(ctx, err)
-			}
-			tx.writeLocked[key] = tx.writeLocked[key].Union(resp.Got)
+	// written key, without waiting (Alg. 8 via the wire protocol),
+	// batched per server.
+	if mode == ModeTO && len(tx.writeOrder) > 0 {
+		if tx.decisionSrv == "" {
+			tx.decisionSrv = tx.client.serverFor(tx.writeOrder[0])
+		}
+		if err := tx.writeLockBatches(ctx, tx.ts); err != nil {
+			return tx.abortErr(ctx, err)
 		}
 	}
 
@@ -286,24 +357,46 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 		})
 	}
 
-	// Inform the write-set servers so they freeze the write locks and
-	// expose the values, without waiting for replies (Alg. 11 lines
-	// 27-28; the decision is already durable at the commitment object,
-	// and servers left waiting freeze through the timeout path).
-	for _, key := range tx.writeOrder {
+	// Inform the footprint's servers, one freeze batch per server and
+	// without waiting for replies (Alg. 11 lines 27-34; the decision is
+	// already durable at the commitment object, and servers left waiting
+	// freeze through the timeout path): freeze the write locks at the
+	// commit timestamp and expose the values, and — except under
+	// timestamp ordering, which leaves its read locks behind like MVTO+
+	// read timestamps — freeze the read locks between version read and
+	// commit timestamp. A release batch per server then drops the
+	// remaining unfrozen locks (garbage collection).
+	freeze := make(map[string]*wire.FreezeBatchReq)
+	batchFor := func(key string) *wire.FreezeBatchReq {
 		addr := tx.client.serverFor(key)
-		if err := tx.client.cast(addr, wire.TFreezeWriteReq,
-			wire.FreezeWriteReq{Txn: tx.id, Key: key, TS: commitTS}.Encode()); err != nil {
-			return fmt.Errorf("client: freeze %q: %w", key, err)
+		fb, ok := freeze[addr]
+		if !ok {
+			fb = &wire.FreezeBatchReq{Txn: tx.id, TS: commitTS}
+			freeze[addr] = fb
+		}
+		return fb
+	}
+	for _, key := range tx.writeOrder {
+		fb := batchFor(key)
+		fb.WriteKeys = append(fb.WriteKeys, key)
+	}
+	if mode != ModeTO {
+		for _, key := range tx.readOrder {
+			lo := tx.readVers[key].Next()
+			if lo.After(commitTS) {
+				continue
+			}
+			fb := batchFor(key)
+			fb.Reads = append(fb.Reads, wire.FreezeReadItem{Key: key, Lo: lo, Hi: commitTS})
 		}
 	}
-
-	// Garbage collection (Alg. 11 lines 29-34): freeze the read locks
-	// between version read and commit timestamp, release the rest.
-	// Timestamp ordering skips this, leaving its read locks behind like
-	// MVTO+ read timestamps.
+	for addr, fb := range freeze {
+		if err := tx.client.cast(addr, wire.TFreezeBatchReq, fb.Encode()); err != nil {
+			return fmt.Errorf("client: freeze batch via %s: %w", addr, err)
+		}
+	}
 	if mode != ModeTO {
-		tx.gc(ctx)
+		tx.releaseAll(false)
 	}
 	return nil
 }
@@ -329,30 +422,19 @@ func (tx *DTxn) abort(ctx context.Context) {
 		// their own (Lemma 4).
 		_, _ = tx.decide(ctx, wire.DecideAbort, timestamp.Timestamp{})
 	}
-	writesOnly := tx.client.cfg.Mode == ModeTO
-	for key := range tx.touched {
-		addr := tx.client.serverFor(key)
-		_ = tx.client.cast(addr, wire.TReleaseReq,
-			wire.ReleaseReq{Txn: tx.id, Key: key, WritesOnly: writesOnly}.Encode())
-	}
+	tx.releaseAll(tx.client.cfg.Mode == ModeTO)
 }
 
-// gc freezes read locks [tr+1, commitTS] per read key and releases all
-// remaining unfrozen locks, fire-and-forget (Alg. 11 lines 30-34).
-func (tx *DTxn) gc(context.Context) {
-	for _, key := range tx.readOrder {
-		addr := tx.client.serverFor(key)
-		lo := tx.readVers[key].Next()
-		if lo.After(tx.CommitTS) {
-			continue
-		}
-		_ = tx.client.cast(addr, wire.TFreezeReadReq,
-			wire.FreezeReadReq{Txn: tx.id, Key: key, Lo: lo, Hi: tx.CommitTS}.Encode())
-	}
+// releaseAll drops the transaction's unfrozen locks on every touched
+// key, one release batch per server, fire-and-forget (Alg. 11 line 34).
+func (tx *DTxn) releaseAll(writesOnly bool) {
+	touched := make([]string, 0, len(tx.touched))
 	for key := range tx.touched {
-		addr := tx.client.serverFor(key)
-		_ = tx.client.cast(addr, wire.TReleaseReq,
-			wire.ReleaseReq{Txn: tx.id, Key: key}.Encode())
+		touched = append(touched, key)
+	}
+	for addr, keys := range tx.serverGroups(touched) {
+		_ = tx.client.cast(addr, wire.TReleaseBatchReq,
+			wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly, Keys: keys}.Encode())
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
 	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/version"
 )
@@ -84,23 +85,9 @@ func (a kvAdapter) Begin(ctx context.Context) (kv.Txn, error) { return a.db.Begi
 // all engines uniformly.
 func (db *DB) KV() kv.DB { return kvAdapter{db: db} }
 
-// fnv1a hashes a key for shard selection.
-func fnv1a(s string) uint32 {
-	const (
-		offset = 2166136261
-		prime  = 16777619
-	)
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
-	}
-	return h
-}
-
 // keyState returns the state for k, creating it if needed.
 func (db *DB) keyState(k string) *KeyState {
-	sh := &db.shards[fnv1a(k)&(shardCount-1)]
+	sh := &db.shards[strhash.FNV1a(k)&(shardCount-1)]
 	sh.mu.RLock()
 	ks, ok := sh.keys[k]
 	sh.mu.RUnlock()

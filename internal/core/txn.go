@@ -212,6 +212,9 @@ func (tx *Txn) Abort(context.Context) error {
 
 // candidateSet computes T (Alg. 1 line 13): the timestamps read- or
 // write-locked on every key read, and write-locked on every key written.
+// One scratch pair of Owned snapshots is threaded through the whole
+// footprint, so per-key snapshot storage is reused instead of
+// reallocated key by key.
 func (tx *Txn) candidateSet() timestamp.Set {
 	candidates := timestamp.NewSet(timestamp.Full)
 
@@ -226,18 +229,19 @@ func (tx *Txn) candidateSet() timestamp.Set {
 	}
 	sort.Strings(orderedReads)
 
+	var readOrWrite, writeOnly timestamp.Set
 	for _, k := range orderedReads {
 		if _, alsoWritten := tx.writes[k]; alsoWritten {
 			continue // the write-lock requirement below subsumes this key
 		}
-		readOrWrite, _ := tx.touched[k].Locks.Owned(tx.Owner())
+		tx.touched[k].Locks.OwnedInto(tx.Owner(), &readOrWrite, &writeOnly)
 		candidates.IntersectInto(readOrWrite)
 		if candidates.IsEmpty() {
 			return candidates
 		}
 	}
 	for _, k := range tx.writeOrder {
-		_, writeOnly := tx.touched[k].Locks.Owned(tx.Owner())
+		tx.touched[k].Locks.OwnedInto(tx.Owner(), &readOrWrite, &writeOnly)
 		candidates.IntersectInto(writeOnly)
 		if candidates.IsEmpty() {
 			return candidates

@@ -15,17 +15,55 @@ type deadlockError struct{}
 
 func (deadlockError) Error() string { return "lock: deadlock detected" }
 
-// WaitGraph is a wait-for graph over lock owners, shared by all lock
-// tables of one store. The zero value is not ready; use NewWaitGraph.
-type WaitGraph struct {
+// waitStripes is the number of edge-map stripes; a power of two so
+// stripe selection is a mask.
+const waitStripes = 16
+
+// waitStripe is one shard of the wait-for edge map, holding the outgoing
+// edges of the waiters it owns.
+type waitStripe struct {
 	mu sync.Mutex
 	// edges[w] is the set of owners w currently waits for.
 	edges map[Owner]map[Owner]struct{}
 }
 
+// WaitGraph is a wait-for graph over lock owners, shared by all lock
+// tables of one store. Edges are sharded by waiter id so that
+// registering and clearing waits touches only one stripe, and blocked
+// acquisitions on different tables stop serializing on a single
+// graph-wide mutex. The zero value is not ready; use NewWaitGraph.
+//
+// Cycle detection publishes before it checks: Wait first inserts the
+// waiter's edges under the waiter's stripe lock, then runs an
+// optimistic traversal that hops stripe locks one node at a time.
+// Publish-before-check keeps detection deterministic under races: each
+// stripe's mutex totally orders accesses to it, so of two (or k) waits
+// racing to close a cycle, the last to publish must observe every
+// earlier edge when its traversal runs — some participant always sees
+// the cycle. A cycle seen optimistically may still be assembled from
+// per-stripe snapshots of different moments, so before aborting anyone
+// it is confirmed on a consistent view under all stripe locks, acquired
+// in ascending stripe order (deterministic, so concurrent confirmations
+// cannot deadlock with each other); on confirmation the just-published
+// edges are retracted and ErrDeadlock returned. Racing participants can
+// at worst both abort (the pre-sharding global-mutex graph aborted
+// exactly one); they can never both park on an undetected cycle.
+type WaitGraph struct {
+	stripes [waitStripes]waitStripe
+}
+
 // NewWaitGraph returns an empty graph.
 func NewWaitGraph() *WaitGraph {
-	return &WaitGraph{edges: make(map[Owner]map[Owner]struct{})}
+	g := &WaitGraph{}
+	for i := range g.stripes {
+		g.stripes[i].edges = make(map[Owner]map[Owner]struct{})
+	}
+	return g
+}
+
+// stripeOf returns the stripe owning o's outgoing edges.
+func (g *WaitGraph) stripeOf(o Owner) *waitStripe {
+	return &g.stripes[uint64(o)&(waitStripes-1)]
 }
 
 // Wait registers that waiter blocks on holders and reports ErrDeadlock
@@ -37,43 +75,145 @@ func (g *WaitGraph) Wait(waiter Owner, holders []Owner) error {
 	if len(holders) == 0 {
 		return nil
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	// A cycle through waiter exists iff waiter is reachable from any of
-	// the new holders.
-	if g.reachesLocked(holders, waiter) {
-		return ErrDeadlock
-	}
-	set, ok := g.edges[waiter]
-	if !ok {
-		set = make(map[Owner]struct{}, len(holders))
-		g.edges[waiter] = set
-	}
 	for _, h := range holders {
-		if h != waiter {
-			set[h] = struct{}{}
+		if h == waiter {
+			// Waiting for yourself is trivially a cycle.
+			return ErrDeadlock
 		}
+	}
+	// Publish first (see the type comment: this is what makes racing
+	// cycle formation always observable to at least one participant).
+	st := g.stripeOf(waiter)
+	st.mu.Lock()
+	insertEdges(st, waiter, holders)
+	st.mu.Unlock()
+	if !g.reaches(holders, waiter) {
+		return nil
+	}
+	// The optimistic traversal saw a cycle assembled from per-stripe
+	// snapshots taken at different moments; confirm it on a consistent
+	// view before aborting anyone.
+	g.lockAll()
+	defer g.unlockAll()
+	if g.reachesLocked(holders, waiter) {
+		// Retract the edges just published: on ErrDeadlock nothing
+		// stays registered. Removing all waiter→holder edges is safe
+		// even for a waiter that had earlier edges (the extend-parked
+		// case): its waker observes the error, wakes it, and the
+		// waiter's own Done clears the rest.
+		removeEdges(st, waiter, holders)
+		return ErrDeadlock
 	}
 	return nil
 }
 
-// Done clears every edge out of waiter.
+// removeEdges deletes the waiter→holder edges from waiter's stripe.
+// Callers hold st.mu (directly or via lockAll).
+func removeEdges(st *waitStripe, waiter Owner, holders []Owner) {
+	set, ok := st.edges[waiter]
+	if !ok {
+		return
+	}
+	for _, h := range holders {
+		delete(set, h)
+	}
+	if len(set) == 0 {
+		delete(st.edges, waiter)
+	}
+}
+
+// insertEdges adds waiter→holder edges to waiter's stripe. Callers hold
+// st.mu (at least); holders does not contain waiter.
+func insertEdges(st *waitStripe, waiter Owner, holders []Owner) {
+	set, ok := st.edges[waiter]
+	if !ok {
+		set = make(map[Owner]struct{}, len(holders))
+		st.edges[waiter] = set
+	}
+	for _, h := range holders {
+		set[h] = struct{}{}
+	}
+}
+
+// Done clears every edge out of waiter. Only the waiter's stripe is
+// touched.
 func (g *WaitGraph) Done(waiter Owner) {
-	g.mu.Lock()
-	delete(g.edges, waiter)
-	g.mu.Unlock()
+	st := g.stripeOf(waiter)
+	st.mu.Lock()
+	delete(st.edges, waiter)
+	st.mu.Unlock()
 }
 
 // Waiters returns the number of owners currently blocked, for
 // monitoring.
 func (g *WaitGraph) Waiters() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.edges)
+	n := 0
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		n += len(st.edges)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// lockAll acquires every stripe in ascending index order; unlockAll
+// releases them. The fixed order keeps concurrent full acquisitions
+// deadlock-free.
+func (g *WaitGraph) lockAll() {
+	for i := range g.stripes {
+		g.stripes[i].mu.Lock()
+	}
+}
+
+func (g *WaitGraph) unlockAll() {
+	for i := range g.stripes {
+		g.stripes[i].mu.Unlock()
+	}
+}
+
+// outEdges appends the owners cur currently waits for to dst, locking
+// only cur's stripe.
+func (g *WaitGraph) outEdges(cur Owner, dst []Owner) []Owner {
+	st := g.stripeOf(cur)
+	st.mu.Lock()
+	for next := range st.edges[cur] {
+		dst = append(dst, next)
+	}
+	st.mu.Unlock()
+	return dst
+}
+
+// reaches reports whether target is reachable from any of from,
+// traversing stripe by stripe without a global lock. The common case —
+// every holder is running, not waiting, so it has no outgoing edges —
+// terminates without allocating.
+func (g *WaitGraph) reaches(from []Owner, target Owner) bool {
+	var stack []Owner
+	for _, h := range from {
+		stack = g.outEdges(h, stack)
+	}
+	var seen map[Owner]bool
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		if seen == nil {
+			seen = make(map[Owner]bool)
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		stack = g.outEdges(cur, stack)
+	}
+	return false
 }
 
 // reachesLocked reports whether target is reachable from any of from via
-// the wait-for edges. Callers hold g.mu.
+// the wait-for edges. Callers hold every stripe lock.
 func (g *WaitGraph) reachesLocked(from []Owner, target Owner) bool {
 	seen := make(map[Owner]bool)
 	stack := append([]Owner(nil), from...)
@@ -87,7 +227,7 @@ func (g *WaitGraph) reachesLocked(from []Owner, target Owner) bool {
 			continue
 		}
 		seen[cur] = true
-		for next := range g.edges[cur] {
+		for next := range g.stripeOf(cur).edges[cur] {
 			stack = append(stack, next)
 		}
 	}

@@ -3,6 +3,7 @@ package lock
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -165,5 +166,26 @@ func TestNoFalsePositives(t *testing.T) {
 	}
 	if g.Waiters() != 0 {
 		t.Fatalf("graph not cleaned: %d waiters", g.Waiters())
+	}
+}
+
+// TestWaitGraphRacingCycleAlwaysDetected closes over the sharded
+// graph's publish-before-check guarantee: two waits racing to close a
+// 2-cycle must never both park — at least one of them observes the
+// cycle, however the stripe accesses interleave.
+func TestWaitGraphRacingCycleAlwaysDetected(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		g := NewWaitGraph()
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); errs[0] = g.Wait(1, []Owner{2}) }()
+		go func() { defer wg.Done(); errs[1] = g.Wait(2, []Owner{1}) }()
+		wg.Wait()
+		if errs[0] == nil && errs[1] == nil {
+			t.Fatalf("iteration %d: racing cycle went undetected", i)
+		}
+		g.Done(1)
+		g.Done(2)
 	}
 }

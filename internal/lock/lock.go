@@ -133,11 +133,14 @@ type entry struct {
 }
 
 // waiter is one parked acquisition: spans are the intervals it is
-// blocked on, and done is closed (exactly once, by the waker that also
-// unlinks the waiter from the table) when overlapping lock state is
-// released or frozen. owner and mode identify the parked request so
-// that later-inserted conflicting locks can extend the waiter's
-// wait-for edges.
+// blocked on, and done receives one signal (exactly once, from the
+// waker that also unlinks the waiter from the table) when overlapping
+// lock state is released or frozen. owner and mode identify the parked
+// request so that later-inserted conflicting locks can extend the
+// waiter's wait-for edges. Waiters are pooled per table: done is a
+// buffered channel that is drained, never closed, so the whole struct
+// (including its spans storage) is reused and the blocking path does
+// not allocate once the pool is warm.
 type waiter struct {
 	owner Owner
 	mode  Mode
@@ -171,11 +174,22 @@ type Table struct {
 	// waiter scan entirely.
 	waiters        []*waiter
 	waitLo, waitHi timestamp.Timestamp
+	// free is the waiter freelist (capped at maxFreeWaiters); parking
+	// reuses pooled waiters instead of allocating one per block.
+	free []*waiter
+	// blockerScratch is reused by the blocker scans feeding the
+	// wait-for graph; it is only touched with mu held, and its contents
+	// are consumed before the mutex is dropped.
+	blockerScratch []Owner
 	// graph, when non-nil, detects wait-for cycles across the tables
 	// sharing it; blocked acquisitions fail fast with ErrDeadlock
 	// instead of waiting for a timeout.
 	graph *WaitGraph
 }
+
+// maxFreeWaiters caps the per-table waiter freelist; more parked
+// waiters than this simply fall back to allocating.
+const maxFreeWaiters = 64
 
 // NewTable returns an empty lock table without deadlock detection
 // (waits are bounded by the caller's context only).
@@ -197,6 +211,7 @@ func (t *Table) AcquireRead(ctx context.Context, owner Owner, iv timestamp.Inter
 	if iv.IsEmpty() {
 		return ReadResult{Got: timestamp.Empty}, nil
 	}
+	var spanBuf [1]timestamp.Interval
 	var spans []timestamp.Interval
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -221,9 +236,11 @@ func (t *Table) AcquireRead(ctx context.Context, owner Owner, iv timestamp.Inter
 		// Unfrozen conflict.
 		if opts.Wait {
 			if spans == nil {
-				spans = []timestamp.Interval{iv}
+				spanBuf[0] = iv
+				spans = spanBuf[:]
 			}
-			if err := t.blockLocked(ctx, owner, ModeRead, t.blockersForReadLocked(owner, iv), spans); err != nil {
+			t.blockerScratch = t.blockersForReadLocked(owner, iv, t.blockerScratch[:0])
+			if err := t.blockLocked(ctx, owner, ModeRead, t.blockerScratch, spans); err != nil {
 				return ReadResult{}, err
 			}
 			continue
@@ -246,6 +263,7 @@ func (t *Table) AcquireWrite(ctx context.Context, owner Owner, req timestamp.Set
 	if req.IsEmpty() {
 		return WriteResult{}, nil
 	}
+	var spanBuf [4]timestamp.Interval
 	var spans []timestamp.Interval
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -253,9 +271,10 @@ func (t *Table) AcquireWrite(ctx context.Context, owner Owner, req timestamp.Set
 		frozenConf, unfrozenConf := t.conflictSetsLocked(owner, req, ModeWrite)
 		if !unfrozenConf.IsEmpty() && opts.Wait {
 			if spans == nil {
-				spans = req.AppendIntervals(nil)
+				spans = req.AppendIntervals(spanBuf[:0])
 			}
-			if err := t.blockLocked(ctx, owner, ModeWrite, t.blockersForWriteLocked(owner, req), spans); err != nil {
+			t.blockerScratch = t.blockersForWriteLocked(owner, req, t.blockerScratch[:0])
+			if err := t.blockLocked(ctx, owner, ModeWrite, t.blockerScratch, spans); err != nil {
 				return WriteResult{}, err
 			}
 			continue
@@ -391,6 +410,17 @@ func (t *Table) ReleaseReadIn(owner Owner, iv timestamp.Interval) {
 // timestamps (read or write) and the write-locked subset. The generic
 // commit step intersects these across keys (Alg. 1 line 13).
 func (t *Table) Owned(owner Owner) (readOrWrite, writeOnly timestamp.Set) {
+	t.OwnedInto(owner, &readOrWrite, &writeOnly)
+	return readOrWrite, writeOnly
+}
+
+// OwnedInto is Owned rebuilding the snapshots into caller-provided
+// scratch sets, which are reset first. A commit loop threading the same
+// pair through every key of its footprint reuses the sets' spilled
+// storage and stops allocating once they have grown.
+func (t *Table) OwnedInto(owner Owner, readOrWrite, writeOnly *timestamp.Set) {
+	readOrWrite.Reset()
+	writeOnly.Reset()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Entries are sorted by start, so the in-place adds stay on the
@@ -405,7 +435,6 @@ func (t *Table) Owned(owner Owner) (readOrWrite, writeOnly timestamp.Set) {
 			writeOnly.AddInPlace(e.iv)
 		}
 	}
-	return readOrWrite, writeOnly
 }
 
 // PurgeFrozenBelow drops frozen entries that lie entirely below ts,
@@ -541,8 +570,38 @@ func (t *Table) wakeOverlappingLocked(iv timestamp.Interval) {
 			i++
 			continue
 		}
-		close(w.done)
+		w.done <- struct{}{}
 		t.unlinkWaiterAtLocked(i)
+	}
+}
+
+// getWaiterLocked takes a waiter from the freelist (or allocates one)
+// and stamps it with the request's identity. Callers hold t.mu.
+func (t *Table) getWaiterLocked(owner Owner, mode Mode) *waiter {
+	if n := len(t.free); n > 0 {
+		w := t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		w.owner, w.mode = owner, mode
+		return w
+	}
+	// done is buffered so the waker can signal-and-unlink under the
+	// table mutex without a rendezvous.
+	return &waiter{owner: owner, mode: mode, done: make(chan struct{}, 1)}
+}
+
+// putWaiterLocked returns an unlinked waiter to the freelist, draining
+// the wake signal a concurrent waker may have left in done (a waiter
+// that timed out can be signalled between the context firing and the
+// table mutex being reacquired). Callers hold t.mu.
+func (t *Table) putWaiterLocked(w *waiter) {
+	select {
+	case <-w.done:
+	default:
+	}
+	w.spans = w.spans[:0]
+	if len(t.free) < maxFreeWaiters {
+		t.free = append(t.free, w)
 	}
 }
 
@@ -567,9 +626,9 @@ func (t *Table) removeWaiterLocked(w *waiter) {
 }
 
 // blockLocked registers the wait in the shared wait-for graph (failing
-// fast on a cycle), parks the caller on a waiter tagged with spans, and
-// blocks until overlapping lock state changes or the context expires.
-// Callers hold t.mu; it is held again on return.
+// fast on a cycle), parks the caller on a pooled waiter tagged with a
+// copy of spans, and blocks until overlapping lock state changes or the
+// context expires. Callers hold t.mu; it is held again on return.
 func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders []Owner, spans []timestamp.Interval) error {
 	if t.graph != nil {
 		if err := t.graph.Wait(owner, holders); err != nil {
@@ -577,11 +636,12 @@ func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders
 		}
 		defer t.graph.Done(owner)
 	}
-	w := &waiter{owner: owner, mode: mode, spans: spans, done: make(chan struct{})}
+	w := t.getWaiterLocked(owner, mode)
+	w.spans = append(w.spans[:0], spans...)
 	if len(t.waiters) == 0 {
-		t.waitLo, t.waitHi = spans[0].Lo, spans[0].Hi
+		t.waitLo, t.waitHi = w.spans[0].Lo, w.spans[0].Hi
 	}
-	for _, s := range spans {
+	for _, s := range w.spans {
 		t.waitLo = timestamp.Min(t.waitLo, s.Lo)
 		t.waitHi = timestamp.Max(t.waitHi, s.Hi)
 	}
@@ -590,45 +650,45 @@ func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders
 	select {
 	case <-w.done:
 		t.mu.Lock()
+		t.putWaiterLocked(w)
 		return nil
 	case <-ctx.Done():
 		t.mu.Lock()
 		t.removeWaiterLocked(w)
+		t.putWaiterLocked(w)
 		return ctx.Err()
 	}
 }
 
-// blockersForReadLocked lists the owners of unfrozen write locks
-// conflicting with a read of iv. Callers hold t.mu.
-func (t *Table) blockersForReadLocked(owner Owner, iv timestamp.Interval) []Owner {
-	var out []Owner
+// blockersForReadLocked appends the owners of unfrozen write locks
+// conflicting with a read of iv to dst. Callers hold t.mu.
+func (t *Table) blockersForReadLocked(owner Owner, iv timestamp.Interval, dst []Owner) []Owner {
 	lo, hi := t.overlapRangeLocked(iv)
 	for i := lo; i < hi; i++ {
 		e := &t.entries[i]
 		if e.owner != owner && e.mode == ModeWrite && !e.frozen && e.iv.Overlaps(iv) {
-			out = append(out, e.owner)
+			dst = append(dst, e.owner)
 		}
 	}
-	return out
+	return dst
 }
 
-// blockersForWriteLocked lists the owners of unfrozen locks conflicting
-// with a write of req. Callers hold t.mu. Owners holding several
-// conflicting records may appear more than once; the wait-for graph
-// deduplicates.
-func (t *Table) blockersForWriteLocked(owner Owner, req timestamp.Set) []Owner {
-	var out []Owner
+// blockersForWriteLocked appends the owners of unfrozen locks
+// conflicting with a write of req to dst. Callers hold t.mu. Owners
+// holding several conflicting records may appear more than once; the
+// wait-for graph deduplicates.
+func (t *Table) blockersForWriteLocked(owner Owner, req timestamp.Set, dst []Owner) []Owner {
 	for r := 0; r < req.NumIntervals(); r++ {
 		riv := req.At(r)
 		lo, hi := t.overlapRangeLocked(riv)
 		for i := lo; i < hi; i++ {
 			e := &t.entries[i]
 			if e.owner != owner && !e.frozen && e.iv.Overlaps(riv) {
-				out = append(out, e.owner)
+				dst = append(dst, e.owner)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // firstConflictLocked returns the conflicting entry with the smallest
@@ -787,7 +847,7 @@ func (t *Table) extendWaiterEdgesLocked(e entry) {
 			i++
 			continue
 		}
-		close(w.done)
+		w.done <- struct{}{}
 		t.unlinkWaiterAtLocked(i)
 	}
 }

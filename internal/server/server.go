@@ -2,7 +2,15 @@
 // algorithm (§7/§H, Algorithm 13). A server owns a partition of the key
 // space and holds, per key, the freezable interval lock table and the
 // version history. Coordinators (package client) drive it through the
-// wire protocol: read-lock, write-lock, freeze, release, decide, purge.
+// wire protocol: read-lock, write-lock, freeze, release, decide, purge —
+// either key-at-a-time or, preferably, as per-server footprint batches
+// (wire.WriteLockBatchReq and friends) that make one pass over the
+// transaction's keys per request.
+//
+// Shared state is striped: the key map and the transaction map are both
+// split over a fixed power-of-two number of shards, each behind its own
+// mutex, so concurrent coordinators touch disjoint stripes instead of
+// funnelling through one server-wide lock.
 //
 // Fault tolerance follows §H.1: each update transaction names a decision
 // server hosting its commitment object. If a coordinator disappears
@@ -22,6 +30,7 @@ import (
 
 	"github.com/lpd-epfl/mvtl/internal/commitment"
 	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/version"
@@ -60,13 +69,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// stripeCount is the number of key-map and txn-map stripes; a power of
+// two so stripe selection is a mask.
+const stripeCount = 32
+
 // keyState is the per-key server state.
 type keyState struct {
 	locks    *lock.Table
 	versions *version.List
 }
 
-// txnState tracks what this server knows about one transaction.
+// keyStripe is one shard of the key map.
+type keyStripe struct {
+	mu   sync.RWMutex
+	keys map[string]*keyState
+}
+
+// txnState tracks what this server knows about one transaction. Its
+// fields are guarded by the owning txnStripe's mutex.
 type txnState struct {
 	decisionSrv string
 	// pending holds buffered write values per key (Alg. 13 line 3).
@@ -82,6 +102,12 @@ type txnState struct {
 	finished bool
 }
 
+// txnStripe is one shard of the transaction map.
+type txnStripe struct {
+	mu   sync.Mutex
+	txns map[uint64]*txnState
+}
+
 // Server is one storage server.
 type Server struct {
 	cfg      Config
@@ -92,10 +118,11 @@ type Server struct {
 	// timeout instead.
 	waits *lock.WaitGraph
 
-	mu    sync.Mutex
-	keys  map[string]*keyState
-	txns  map[uint64]*txnState
-	peers map[string]transport.Conn
+	keyStripes [stripeCount]keyStripe
+	txnStripes [stripeCount]txnStripe
+
+	peersMu sync.Mutex
+	peers   map[string]transport.Conn
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -116,10 +143,14 @@ func New(cfg Config) (*Server, error) {
 		listener: l,
 		registry: commitment.NewRegistry(),
 		waits:    lock.NewWaitGraph(),
-		keys:     make(map[string]*keyState),
-		txns:     make(map[uint64]*txnState),
 		peers:    make(map[string]transport.Conn),
 		stop:     make(chan struct{}),
+	}
+	for i := range s.keyStripes {
+		s.keyStripes[i].keys = make(map[string]*keyState)
+	}
+	for i := range s.txnStripes {
+		s.txnStripes[i].txns = make(map[uint64]*txnState)
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -134,12 +165,12 @@ func (s *Server) Addr() string { return s.listener.Addr() }
 func (s *Server) Close() error {
 	close(s.stop)
 	err := s.listener.Close()
-	s.mu.Lock()
+	s.peersMu.Lock()
 	for _, c := range s.peers {
 		_ = c.Close()
 	}
 	s.peers = map[string]transport.Conn{}
-	s.mu.Unlock()
+	s.peersMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -150,30 +181,45 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// key returns the state for k, creating it if needed. Only the owning
+// stripe is locked, and only for the map access — per-key lock tables
+// and version lists synchronize themselves.
 func (s *Server) key(k string) *keyState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ks, ok := s.keys[k]
-	if !ok {
-		ks = &keyState{locks: lock.NewTableDetected(s.waits), versions: version.NewList()}
-		s.keys[k] = ks
+	st := &s.keyStripes[strhash.FNV1a(k)&(stripeCount-1)]
+	st.mu.RLock()
+	ks, ok := st.keys[k]
+	st.mu.RUnlock()
+	if ok {
+		return ks
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ks, ok = st.keys[k]; ok {
+		return ks
+	}
+	ks = &keyState{locks: lock.NewTableDetected(s.waits), versions: version.NewList()}
+	st.keys[k] = ks
 	return ks
 }
 
-func (s *Server) txn(id uint64) *txnState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.txnLocked(id)
+// txnStripeFor selects the stripe owning transaction id. The id layout
+// is clientID<<32|seq, so both halves are mixed into the stripe index.
+func (s *Server) txnStripeFor(id uint64) *txnStripe {
+	return &s.txnStripes[uint32(id^(id>>32))&(stripeCount-1)]
 }
 
-func (s *Server) txnLocked(id uint64) *txnState {
-	t, ok := s.txns[id]
+// withTxn runs fn with the transaction's state (created if absent) under
+// its stripe mutex. fn must not block or call back into the server.
+func (s *Server) withTxn(id uint64, fn func(*txnState)) {
+	st := s.txnStripeFor(id)
+	st.mu.Lock()
+	t, ok := st.txns[id]
 	if !ok {
 		t = &txnState{pending: map[string][]byte{}, writeKeys: map[string]bool{}, readKeys: map[string]bool{}}
-		s.txns[id] = t
+		st.txns[id] = t
 	}
-	return t
+	fn(t)
+	st.mu.Unlock()
 }
 
 // --- connection handling ----------------------------------------------------
@@ -220,7 +266,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 		// coordinators rely on when they fire-and-forget a freeze and
 		// then issue the next request on the same connection.
 		switch f.Type {
-		case wire.TReadLockReq, wire.TWriteLockReq:
+		case wire.TReadLockReq, wire.TWriteLockReq, wire.TWriteLockBatchReq:
 			handlers.Add(1)
 			go func(f wire.Frame) {
 				defer handlers.Done()
@@ -248,6 +294,13 @@ func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)
 			return
 		}
 		reply(f.ID, wire.TWriteLockResp, s.handleWriteLock(req).Encode())
+	case wire.TWriteLockBatchReq:
+		req, err := wire.DecodeWriteLockBatchReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TWriteLockBatchResp, wire.WriteLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TWriteLockBatchResp, s.handleWriteLockBatch(req).Encode())
 	case wire.TFreezeWriteReq:
 		req, err := wire.DecodeFreezeWriteReq(f.Body)
 		if err != nil {
@@ -263,6 +316,13 @@ func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)
 		}
 		s.key(req.Key).locks.FreezeReadIn(lock.Owner(req.Txn), timestamp.Span(req.Lo, req.Hi))
 		reply(f.ID, wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK}.Encode())
+	case wire.TFreezeBatchReq:
+		req, err := wire.DecodeFreezeBatchReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TFreezeBatchResp, wire.FreezeBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TFreezeBatchResp, s.handleFreezeBatch(req).Encode())
 	case wire.TReleaseReq:
 		req, err := wire.DecodeReleaseReq(f.Body)
 		if err != nil {
@@ -270,6 +330,13 @@ func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)
 			return
 		}
 		reply(f.ID, wire.TReleaseResp, s.handleRelease(req).Encode())
+	case wire.TReleaseBatchReq:
+		req, err := wire.DecodeReleaseBatchReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TReleaseBatchResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TReleaseBatchResp, s.handleReleaseBatch(req).Encode())
 	case wire.TDecideReq:
 		req, err := wire.DecodeDecideReq(f.Body)
 		if err != nil {
@@ -339,96 +406,198 @@ func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
 }
 
 func (s *Server) trackRead(txn uint64, key string) {
-	s.mu.Lock()
-	s.txnLocked(txn).readKeys[key] = true
-	s.mu.Unlock()
+	s.withTxn(txn, func(t *txnState) { t.readKeys[key] = true })
 }
 
 // handleWriteLock acquires write locks and buffers the pending value.
 func (s *Server) handleWriteLock(req wire.WriteLockReq) wire.WriteLockResp {
-	t := s.txn(req.Txn)
-	s.mu.Lock()
-	if t.finished {
-		s.mu.Unlock()
-		return wire.WriteLockResp{Status: wire.StatusAborted, Err: "transaction already decided"}
+	batch := s.handleWriteLockBatch(wire.WriteLockBatchReq{
+		Txn:         req.Txn,
+		DecisionSrv: req.DecisionSrv,
+		Wait:        req.Wait,
+		Items:       []wire.WriteLockItem{{Key: req.Key, Set: req.Set, Value: req.Value}},
+	})
+	if batch.Status != wire.StatusOK {
+		return wire.WriteLockResp{Status: batch.Status, Err: batch.Err}
 	}
-	if req.DecisionSrv != "" {
-		t.decisionSrv = req.DecisionSrv
-	}
-	s.mu.Unlock()
+	r := batch.Results[0]
+	return wire.WriteLockResp{Status: r.Status, Err: r.Err, Got: r.Got, Denied: r.Denied}
+}
 
-	ks := s.key(req.Key)
+// handleWriteLockBatch acquires write locks and buffers pending values
+// for a transaction's whole share of the footprint: per-key lock
+// acquisition, then a single pass over the transaction state to record
+// everything acquired (Alg. 13, receive-write-lock-message, batched).
+func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLockBatchResp {
+	finished := false
+	s.withTxn(req.Txn, func(t *txnState) {
+		if t.finished {
+			finished = true
+			return
+		}
+		if req.DecisionSrv != "" {
+			t.decisionSrv = req.DecisionSrv
+		}
+	})
+	if finished {
+		return wire.WriteLockBatchResp{Status: wire.StatusAborted, Err: "transaction already decided"}
+	}
+
+	owner := lock.Owner(req.Txn)
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
 	defer cancel()
-	res, err := ks.locks.AcquireWrite(ctx, lock.Owner(req.Txn), req.Set, lock.Options{Wait: req.Wait, Partial: true})
-	if err != nil {
-		status := wire.StatusConflict
-		if errors.Is(err, lock.ErrFrozen) {
-			status = wire.StatusFrozen
+	results := make([]wire.WriteLockResult, len(req.Items))
+	acquired := make([]bool, len(req.Items))
+	any := false
+	for i, it := range req.Items {
+		ks := s.key(it.Key)
+		res, err := ks.locks.AcquireWrite(ctx, owner, it.Set, lock.Options{Wait: req.Wait, Partial: true})
+		if err != nil {
+			status := wire.StatusConflict
+			if errors.Is(err, lock.ErrFrozen) {
+				status = wire.StatusFrozen
+			}
+			results[i] = wire.WriteLockResult{Status: status, Err: err.Error(), Denied: res.Denied}
+			continue
 		}
-		return wire.WriteLockResp{Status: status, Err: err.Error(), Denied: res.Denied}
-	}
-	if !res.Got.IsEmpty() {
-		s.mu.Lock()
-		t.pending[req.Key] = req.Value
-		t.writeKeys[req.Key] = true
-		if t.firstWriteLock.IsZero() {
-			t.firstWriteLock = time.Now()
+		results[i] = wire.WriteLockResult{Status: wire.StatusOK, Got: res.Got, Denied: res.Denied}
+		if !res.Got.IsEmpty() {
+			acquired[i] = true
+			any = true
 		}
-		s.mu.Unlock()
 	}
-	return wire.WriteLockResp{Status: wire.StatusOK, Got: res.Got, Denied: res.Denied}
+	if any {
+		finishedLate := false
+		s.withTxn(req.Txn, func(t *txnState) {
+			// Re-check: the suspicion scanner may have decided the
+			// transaction while this batch was acquiring locks;
+			// recording pending writes on a finished transaction would
+			// leak unfrozen write locks the scanner never revisits.
+			if t.finished {
+				finishedLate = true
+				return
+			}
+			for i, it := range req.Items {
+				if !acquired[i] {
+					continue
+				}
+				t.pending[it.Key] = it.Value
+				t.writeKeys[it.Key] = true
+			}
+			if t.firstWriteLock.IsZero() {
+				t.firstWriteLock = time.Now()
+			}
+		})
+		if finishedLate {
+			for i, it := range req.Items {
+				if acquired[i] {
+					s.key(it.Key).locks.ReleaseWrites(owner)
+				}
+			}
+			return wire.WriteLockBatchResp{Status: wire.StatusAborted, Err: "transaction already decided"}
+		}
+	}
+	return wire.WriteLockBatchResp{Status: wire.StatusOK, Results: results}
 }
 
 // handleFreezeWrite applies a commit at req.TS for one key: install the
 // pending value, then freeze the write lock (install-before-freeze keeps
 // the frozen-implies-present invariant readers rely on).
 func (s *Server) handleFreezeWrite(req wire.FreezeWriteReq) wire.Ack {
-	s.mu.Lock()
-	t := s.txnLocked(req.Txn)
-	val, ok := t.pending[req.Key]
-	s.mu.Unlock()
-	if !ok {
-		return wire.Ack{Status: wire.StatusError, Err: "no pending value (timed out and aborted?)"}
+	resp := s.handleFreezeBatch(wire.FreezeBatchReq{Txn: req.Txn, TS: req.TS, WriteKeys: []string{req.Key}})
+	if resp.Status != wire.StatusOK {
+		return wire.Ack{Status: resp.Status, Err: resp.Err}
 	}
-	ks := s.key(req.Key)
-	if err := ks.versions.Install(req.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
-		return wire.Ack{Status: wire.StatusError, Err: err.Error()}
+	return resp.WriteAcks[0]
+}
+
+// handleFreezeBatch applies a commit at req.TS across the transaction's
+// keys on this server: install every pending value and freeze its write
+// lock (install-before-freeze keeps the frozen-implies-present invariant
+// readers rely on), then freeze the requested read-lock ranges (garbage
+// collection, Alg. 11 line 33).
+func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp {
+	owner := lock.Owner(req.Txn)
+	resp := wire.FreezeBatchResp{Status: wire.StatusOK}
+	if len(req.WriteKeys) > 0 {
+		resp.WriteAcks = make([]wire.Ack, len(req.WriteKeys))
+		vals := make([][]byte, len(req.WriteKeys))
+		has := make([]bool, len(req.WriteKeys))
+		s.withTxn(req.Txn, func(t *txnState) {
+			for i, k := range req.WriteKeys {
+				vals[i], has[i] = t.pending[k]
+			}
+		})
+		frozen := make([]bool, len(req.WriteKeys))
+		anyFrozen := false
+		for i, k := range req.WriteKeys {
+			if !has[i] {
+				resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: "no pending value (timed out and aborted?)"}
+				continue
+			}
+			ks := s.key(k)
+			if err := ks.versions.Install(req.TS, vals[i]); err != nil && !errors.Is(err, version.ErrExists) {
+				resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: err.Error()}
+				continue
+			}
+			if !ks.locks.FreezeWriteAt(owner, req.TS) {
+				resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: "write lock not held at commit timestamp"}
+				continue
+			}
+			resp.WriteAcks[i] = wire.Ack{Status: wire.StatusOK}
+			frozen[i] = true
+			anyFrozen = true
+		}
+		if anyFrozen {
+			s.withTxn(req.Txn, func(t *txnState) {
+				for i, k := range req.WriteKeys {
+					if frozen[i] {
+						delete(t.pending, k)
+					}
+				}
+				if len(t.pending) == 0 {
+					// every buffered write on this server is exposed;
+					// stop suspecting the coordinator
+					t.finished = true
+				}
+			})
+		}
 	}
-	if !ks.locks.FreezeWriteAt(lock.Owner(req.Txn), req.TS) {
-		return wire.Ack{Status: wire.StatusError, Err: "write lock not held at commit timestamp"}
+	for _, r := range req.Reads {
+		s.key(r.Key).locks.FreezeReadIn(owner, timestamp.Span(r.Lo, r.Hi))
 	}
-	s.mu.Lock()
-	delete(t.pending, req.Key)
-	if len(t.pending) == 0 {
-		// every buffered write on this server is exposed; stop
-		// suspecting the coordinator
-		t.finished = true
-	}
-	s.mu.Unlock()
-	return wire.Ack{Status: wire.StatusOK}
+	return resp
 }
 
 // handleRelease drops the transaction's unfrozen locks on a key.
 func (s *Server) handleRelease(req wire.ReleaseReq) wire.Ack {
-	ks := s.key(req.Key)
+	return s.handleReleaseBatch(wire.ReleaseBatchReq{Txn: req.Txn, WritesOnly: req.WritesOnly, Keys: []string{req.Key}})
+}
+
+// handleReleaseBatch drops the transaction's unfrozen locks on every
+// listed key, then updates the transaction state in one pass.
+func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
 	owner := lock.Owner(req.Txn)
-	if req.WritesOnly {
-		ks.locks.ReleaseWrites(owner)
-	} else {
-		ks.locks.ReleaseUnfrozen(owner)
+	for _, k := range req.Keys {
+		ks := s.key(k)
+		if req.WritesOnly {
+			ks.locks.ReleaseWrites(owner)
+		} else {
+			ks.locks.ReleaseUnfrozen(owner)
+		}
 	}
-	s.mu.Lock()
-	t := s.txnLocked(req.Txn)
-	delete(t.pending, req.Key)
-	delete(t.writeKeys, req.Key)
-	if !req.WritesOnly {
-		delete(t.readKeys, req.Key)
-	}
-	if len(t.writeKeys) == 0 {
-		t.firstWriteLock = time.Time{}
-	}
-	s.mu.Unlock()
+	s.withTxn(req.Txn, func(t *txnState) {
+		for _, k := range req.Keys {
+			delete(t.pending, k)
+			delete(t.writeKeys, k)
+			if !req.WritesOnly {
+				delete(t.readKeys, k)
+			}
+		}
+		if len(t.writeKeys) == 0 {
+			t.firstWriteLock = time.Time{}
+		}
+	})
 	return wire.Ack{Status: wire.StatusOK}
 }
 
@@ -446,32 +615,37 @@ func (s *Server) handleDecide(req wire.DecideReq) commitment.Decision {
 // of Alg. 13 reaches this with a commit decision when the coordinator
 // managed to decide before crashing).
 func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
-	s.mu.Lock()
-	t := s.txnLocked(txn)
-	if t.finished {
-		s.mu.Unlock()
+	var writeKeys []string
+	var pending map[string][]byte
+	alreadyDone := false
+	s.withTxn(txn, func(t *txnState) {
+		if t.finished {
+			alreadyDone = true
+			return
+		}
+		t.finished = true
+		writeKeys = make([]string, 0, len(t.writeKeys))
+		for k := range t.writeKeys {
+			writeKeys = append(writeKeys, k)
+		}
+		pending = make(map[string][]byte, len(t.pending))
+		for k, v := range t.pending {
+			pending[k] = v
+		}
+	})
+	if alreadyDone {
 		return
 	}
-	t.finished = true
-	writeKeys := make([]string, 0, len(t.writeKeys))
-	for k := range t.writeKeys {
-		writeKeys = append(writeKeys, k)
-	}
-	pending := make(map[string][]byte, len(t.pending))
-	for k, v := range t.pending {
-		pending[k] = v
-	}
-	s.mu.Unlock()
 
 	owner := lock.Owner(txn)
 	if d.Kind == wire.DecideAbort {
 		for _, k := range writeKeys {
 			s.key(k).locks.ReleaseWrites(owner)
 		}
-		s.mu.Lock()
-		t.pending = map[string][]byte{}
-		t.writeKeys = map[string]bool{}
-		s.mu.Unlock()
+		s.withTxn(txn, func(t *txnState) {
+			t.pending = map[string][]byte{}
+			t.writeKeys = map[string]bool{}
+		})
 		return
 	}
 	for k, val := range pending {
@@ -510,16 +684,19 @@ func (s *Server) scanOnce() {
 	}
 	var suspects []suspect
 	now := time.Now()
-	s.mu.Lock()
-	for id, t := range s.txns {
-		if t.finished || t.firstWriteLock.IsZero() {
-			continue
+	for i := range s.txnStripes {
+		st := &s.txnStripes[i]
+		st.mu.Lock()
+		for id, t := range st.txns {
+			if t.finished || t.firstWriteLock.IsZero() {
+				continue
+			}
+			if now.Sub(t.firstWriteLock) >= s.cfg.WriteLockTimeout {
+				suspects = append(suspects, suspect{txn: id, decisionSrv: t.decisionSrv})
+			}
 		}
-		if now.Sub(t.firstWriteLock) >= s.cfg.WriteLockTimeout {
-			suspects = append(suspects, suspect{txn: id, decisionSrv: t.decisionSrv})
-		}
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
 	for _, sp := range suspects {
 		d, ok := s.proposeAbort(sp.txn, sp.decisionSrv)
 		if !ok {
@@ -555,22 +732,22 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 
 // callPeer performs one synchronous RPC to another server.
 func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, error) {
-	s.mu.Lock()
+	s.peersMu.Lock()
 	conn, ok := s.peers[addr]
-	s.mu.Unlock()
+	s.peersMu.Unlock()
 	if !ok {
 		c, err := s.cfg.Network.Dial(addr)
 		if err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
+		s.peersMu.Lock()
 		if existing, exists := s.peers[addr]; exists {
-			s.mu.Unlock()
+			s.peersMu.Unlock()
 			_ = c.Close()
 			conn = existing
 		} else {
 			s.peers[addr] = c
-			s.mu.Unlock()
+			s.peersMu.Unlock()
 			conn = c
 		}
 	}
@@ -587,34 +764,41 @@ func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, err
 
 // --- maintenance ---------------------------------------------------------------
 
-func (s *Server) purgeBelow(bound timestamp.Timestamp) (versions, locks int) {
-	s.mu.Lock()
-	states := make([]*keyState, 0, len(s.keys))
-	for _, ks := range s.keys {
-		states = append(states, ks)
+// forEachKeyState calls fn on every key's state. Key pointers are
+// snapshotted per stripe before fn runs, so no stripe lock is held while
+// per-key locks are taken.
+func (s *Server) forEachKeyState(fn func(*keyState)) {
+	var states []*keyState
+	for i := range s.keyStripes {
+		st := &s.keyStripes[i]
+		st.mu.RLock()
+		states = states[:0]
+		for _, ks := range st.keys {
+			states = append(states, ks)
+		}
+		st.mu.RUnlock()
+		for _, ks := range states {
+			fn(ks)
+		}
 	}
-	s.mu.Unlock()
-	for _, ks := range states {
+}
+
+func (s *Server) purgeBelow(bound timestamp.Timestamp) (versions, locks int) {
+	s.forEachKeyState(func(ks *keyState) {
 		versions += ks.versions.PurgeBelow(bound)
 		locks += ks.locks.PurgeFrozenBelow(bound)
-	}
+	})
 	return versions, locks
 }
 
 func (s *Server) stats() wire.StatsResp {
-	s.mu.Lock()
-	states := make([]*keyState, 0, len(s.keys))
-	for _, ks := range s.keys {
-		states = append(states, ks)
-	}
-	s.mu.Unlock()
 	var st wire.StatsResp
-	for _, ks := range states {
+	s.forEachKeyState(func(ks *keyState) {
 		st.Keys++
 		ls := ks.locks.Stats()
 		st.LockEntries += int64(ls.Entries)
 		st.FrozenLocks += int64(ls.Frozen)
 		st.Versions += int64(ks.versions.Count())
-	}
+	})
 	return st
 }

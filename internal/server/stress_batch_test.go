@@ -1,0 +1,225 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/server"
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// TestBatchedCommitAgainstSingleKeyRequests hammers the same small key
+// space from two coordinator populations at once: timestamp-ordering
+// clients whose commits travel as per-server write-lock/freeze/release
+// batches, and MVTIL clients whose write path issues single-key
+// requests. Run with -race this exercises the striped key/txn shards
+// and both protocol generations against each other; the recorded
+// history must stay serializable.
+func TestBatchedCommitAgainstSingleKeyRequests(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	const servers = 3
+	addrs := make([]string, servers)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("srv-%d", i)
+		srv, err := server.New(server.Config{
+			Addr:            addrs[i],
+			Network:         n,
+			LockWaitTimeout: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+	}
+
+	var rec history.Recorder
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hot-%d", i)
+	}
+	newClient := func(id int32, mode client.Mode) *client.Client {
+		cl, err := client.New(client.Config{
+			ID: id, Servers: addrs, Network: n, Mode: mode, Recorder: &rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = cl.Close() })
+		return cl
+	}
+
+	const (
+		coordinators = 4 // per population
+		txnsPerCoord = 40
+	)
+	run := func(cl *client.Client, seed int) {
+		ctx := context.Background()
+		for i := 0; i < txnsPerCoord; i++ {
+			tx, err := cl.Begin(ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Touch an overlapping window of the hot keys: read two,
+			// write three, spanning all servers.
+			base := (seed + i) % len(keys)
+			aborted := false
+			for _, off := range []int{0, 3} {
+				if _, err := tx.Read(ctx, keys[(base+off)%len(keys)]); err != nil {
+					aborted = true
+					break
+				}
+			}
+			if !aborted {
+				for _, off := range []int{1, 4, 6} {
+					k := keys[(base+off)%len(keys)]
+					if err := tx.Write(ctx, k, []byte(fmt.Sprintf("v%d-%d", seed, i))); err != nil {
+						aborted = true
+						break
+					}
+				}
+			}
+			if aborted {
+				continue // Read/Write failures already aborted the txn
+			}
+			if err := tx.Commit(ctx); err != nil && !errors.Is(err, kv.ErrAborted) {
+				t.Errorf("unexpected commit error: %v", err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < coordinators; c++ {
+		batched := newClient(int32(100+c), client.ModeTO)
+		single := newClient(int32(200+c), client.ModeTILEarly)
+		wg.Add(2)
+		go func(c int) { defer wg.Done(); run(batched, c) }(c)
+		go func(c int) { defer wg.Done(); run(single, c+1) }(c)
+	}
+	wg.Wait()
+
+	if rec.Len() == 0 {
+		t.Fatal("no transaction committed under contention")
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("history not serializable: %v", err)
+	}
+}
+
+// TestServerWriteLockBatch drives the batch handler directly: one frame
+// locks three keys, a conflicting key reports its denial in the per-key
+// sub-result without failing the siblings.
+func TestServerWriteLockBatch(t *testing.T) {
+	_, n := startServer(t, time.Minute)
+	c := dialRaw(t, n, "srv")
+
+	// Txn 1 pre-locks key "b" at 5 so the batch below partially fails.
+	pre := timestamp.NewSet(timestamp.Point(ts(5)))
+	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 1, Key: "b", Set: pre, Value: []byte("pre")}.Encode())
+
+	set := timestamp.NewSet(timestamp.Span(ts(1), ts(10)))
+	f := c.call(wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
+		Txn:         2,
+		DecisionSrv: "srv",
+		Items: []wire.WriteLockItem{
+			{Key: "a", Set: set, Value: []byte("va")},
+			{Key: "b", Set: set, Value: []byte("vb")},
+			{Key: "c", Set: set, Value: []byte("vc")},
+		},
+	}.Encode())
+	resp, err := wire.DecodeWriteLockBatchResp(f.Body)
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", resp, err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if !resp.Results[0].Got.Equal(set) || !resp.Results[2].Got.Equal(set) {
+		t.Fatalf("full acquisitions mangled: %+v", resp.Results)
+	}
+	if resp.Results[1].Got.Contains(ts(5)) || !resp.Results[1].Denied.Contains(ts(5)) {
+		t.Fatalf("conflicting key result wrong: %+v", resp.Results[1])
+	}
+
+	// Freeze batch commits txn 2 at 7 on all three keys.
+	f = c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{
+		Txn: 2, TS: ts(7), WriteKeys: []string{"a", "b", "c"},
+	}.Encode())
+	fresp, err := wire.DecodeFreezeBatchResp(f.Body)
+	if err != nil || fresp.Status != wire.StatusOK || len(fresp.WriteAcks) != 3 {
+		t.Fatalf("%+v %v", fresp, err)
+	}
+	for i, ack := range fresp.WriteAcks {
+		if ack.Status != wire.StatusOK {
+			t.Fatalf("freeze of key %d failed: %+v", i, ack)
+		}
+	}
+	// Release batch drops the leftovers.
+	f = c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 2, Keys: []string{"a", "b", "c"}}.Encode())
+	if ack, err := wire.DecodeAck(f.Body); err != nil || ack.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", ack, err)
+	}
+
+	// A later reader observes the batched commit on every key.
+	for _, k := range []string{"a", "c"} {
+		f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 9, Key: k, Upper: ts(100)}.Encode())
+		rresp, err := wire.DecodeReadLockResp(f.Body)
+		if err != nil || rresp.Status != wire.StatusOK {
+			t.Fatalf("%+v %v", rresp, err)
+		}
+		if rresp.VersionTS != ts(7) || string(rresp.Value) != "v"+k {
+			t.Fatalf("read %q: value %q at %v", k, rresp.Value, rresp.VersionTS)
+		}
+	}
+}
+
+// TestServerFreezeBatchWithoutPendingFails mirrors the single-key freeze
+// misuse test for the batched handler.
+func TestServerFreezeBatchWithoutPendingFails(t *testing.T) {
+	_, n := startServer(t, time.Minute)
+	c := dialRaw(t, n, "srv")
+	f := c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 42, TS: ts(5), WriteKeys: []string{"x"}}.Encode())
+	resp, err := wire.DecodeFreezeBatchResp(f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.WriteAcks) != 1 || resp.WriteAcks[0].Status == wire.StatusOK {
+		t.Fatalf("freeze without a pending write must fail per key: %+v", resp)
+	}
+}
+
+// TestServerBatchOfOneMatchesSingleKey checks the degenerate batch: a
+// batch of size one behaves exactly like the legacy single-key message.
+func TestServerBatchOfOneMatchesSingleKey(t *testing.T) {
+	_, n := startServer(t, time.Minute)
+	c := dialRaw(t, n, "srv")
+	set := timestamp.NewSet(timestamp.Span(ts(10), ts(20)))
+
+	f := c.call(wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
+		Txn: 1, DecisionSrv: "srv",
+		Items: []wire.WriteLockItem{{Key: "x", Set: set, Value: []byte("v1")}},
+	}.Encode())
+	bresp, err := wire.DecodeWriteLockBatchResp(f.Body)
+	if err != nil || bresp.Status != wire.StatusOK || len(bresp.Results) != 1 || !bresp.Results[0].Got.Equal(set) {
+		t.Fatalf("%+v %v", bresp, err)
+	}
+
+	f = c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 2, Key: "x", Set: set, Value: []byte("v2")}.Encode())
+	sresp, err := wire.DecodeWriteLockResp(f.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sresp.Got.IsEmpty() || !sresp.Denied.Equal(set) {
+		t.Fatalf("single-key request against batch-held locks: %+v", sresp)
+	}
+}

@@ -1,0 +1,19 @@
+// Package strhash provides the string hash shared by every component
+// that partitions keys: the coordinator's server selection, the
+// in-process engine's shard selection, and the storage server's stripe
+// selection. One definition keeps the three in agreement.
+package strhash
+
+// FNV1a returns the 32-bit FNV-1a hash of s.
+func FNV1a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -64,9 +64,14 @@ func (s *Set) appendIv(iv Interval) {
 			s.n++
 			return
 		}
-		ivs := make([]Interval, s.n, smallSetIvs*2)
-		copy(ivs, s.inline[:s.n])
-		s.ivs = ivs
+		if cap(s.ivs) >= smallSetIvs {
+			// A Reset left reusable spilled capacity behind (normal
+			// operations always enter the spill with ivs == nil).
+			s.ivs = s.ivs[:smallSetIvs]
+		} else {
+			s.ivs = make([]Interval, s.n, smallSetIvs*2)
+		}
+		copy(s.ivs, s.inline[:s.n])
 		s.n = spilledSet
 	}
 	s.ivs = append(s.ivs, iv)
@@ -86,6 +91,16 @@ func (s *Set) setLast(iv Interval) {
 func (s *Set) clear() {
 	s.n = 0
 	s.ivs = nil
+}
+
+// Reset empties the set but keeps any spilled storage for reuse, so a
+// scratch set that is repeatedly rebuilt (for example the Owned
+// snapshots of the commit step) stops allocating once it has grown. The
+// receiver must be uniquely owned: value copies of a spilled set share
+// its backing slice, and a rebuild after Reset overwrites it.
+func (s *Set) Reset() {
+	s.n = 0
+	s.ivs = s.ivs[:0]
 }
 
 // NewSet builds a set from the given intervals (which may overlap or be

@@ -164,3 +164,47 @@ func TestAppendIntervalsReusesBuffer(t *testing.T) {
 		t.Fatal("AppendIntervals did not reuse the provided buffer")
 	}
 }
+
+// TestResetKeepsCapacity checks that a Reset set rebuilds into its old
+// spilled storage without allocating, and still behaves as empty.
+func TestResetKeepsCapacity(t *testing.T) {
+	var s Set
+	for i := int64(0); i < 6; i++ {
+		s.AddInPlace(iv(i*10, i*10+4))
+	}
+	s.Reset()
+	if !s.IsEmpty() || s.NumIntervals() != 0 {
+		t.Fatalf("after Reset: %v", s)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		for i := int64(0); i < 6; i++ {
+			s.AddInPlace(iv(i*10, i*10+4))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("rebuild after Reset allocated %.1f times per run", allocs)
+	}
+	want := NewSet(iv(0, 4), iv(10, 14), iv(20, 24), iv(30, 34), iv(40, 44), iv(50, 54))
+	if !s.Equal(want) {
+		t.Fatalf("rebuilt set = %v, want %v", s, want)
+	}
+}
+
+// TestResetOnInlineAndZeroSets checks Reset on sets that never spilled.
+func TestResetOnInlineAndZeroSets(t *testing.T) {
+	var zero Set
+	zero.Reset()
+	if !zero.IsEmpty() {
+		t.Fatalf("zero set after Reset: %v", zero)
+	}
+	s := NewSet(iv(1, 2))
+	s.Reset()
+	if !s.IsEmpty() {
+		t.Fatalf("inline set after Reset: %v", s)
+	}
+	s.AddInPlace(iv(7, 9))
+	if want := NewSet(iv(7, 9)); !s.Equal(want) {
+		t.Fatalf("rebuilt inline set = %v, want %v", s, want)
+	}
+}

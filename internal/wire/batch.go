@@ -1,0 +1,223 @@
+package wire
+
+import (
+	"fmt"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// Batch messages carry a transaction's whole per-server footprint in one
+// frame, so that a commit or abort costs O(servers) round trips instead
+// of O(keys) (§7: the coordinator groups Alg. 11's per-key messages by
+// the server owning each key). Servers answer with per-key sub-results;
+// a batch of size one is exactly equivalent to the corresponding
+// single-key message, which remains supported.
+
+// maxBatchItems bounds the per-key item count of a batch so a malformed
+// frame cannot force a huge allocation before the body length check.
+const maxBatchItems = MaxFrameSize / 8
+
+// WriteLockItem is one key of a WriteLockBatchReq: the requested lock
+// set and the pending value to buffer.
+type WriteLockItem struct {
+	Key   string
+	Set   timestamp.Set
+	Value []byte
+}
+
+// WriteLockBatchReq asks the server to write-lock every listed key for
+// the transaction in one pass (the batched form of WriteLockReq).
+// DecisionSrv names the server hosting the transaction's commitment
+// object, as in WriteLockReq.
+type WriteLockBatchReq struct {
+	Txn         uint64
+	DecisionSrv string
+	Wait        bool
+	Items       []WriteLockItem
+}
+
+// Encode serializes the request.
+func (m WriteLockBatchReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.DecisionSrv)
+	e.Bool(m.Wait)
+	e.I32(int32(len(m.Items)))
+	for _, it := range m.Items {
+		e.Str(it.Key)
+		e.Set(it.Set)
+		e.Blob(it.Value)
+	}
+	return e.Bytes()
+}
+
+// DecodeWriteLockBatchReq deserializes a WriteLockBatchReq.
+func DecodeWriteLockBatchReq(b []byte) (WriteLockBatchReq, error) {
+	d := NewDecoder(b)
+	m := WriteLockBatchReq{Txn: d.U64(), DecisionSrv: d.Str(), Wait: d.Bool()}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		m.Items = append(m.Items, WriteLockItem{Key: d.Str(), Set: d.Set(), Value: d.Blob()})
+	}
+	return m, d.Err()
+}
+
+// WriteLockResult is the per-key outcome of a batch write-lock, with the
+// same fields as WriteLockResp.
+type WriteLockResult struct {
+	Status Status
+	Err    string
+	Got    timestamp.Set
+	Denied timestamp.Set
+}
+
+// WriteLockBatchResp answers a WriteLockBatchReq. Results is parallel to
+// the request's Items; Status reports request-level failures (malformed
+// frame, transaction already decided) in which case Results may be nil.
+type WriteLockBatchResp struct {
+	Status  Status
+	Err     string
+	Results []WriteLockResult
+}
+
+// Encode serializes the response.
+func (m WriteLockBatchResp) Encode() []byte {
+	var e Encoder
+	e.status(m.Status)
+	e.Str(m.Err)
+	e.I32(int32(len(m.Results)))
+	for _, r := range m.Results {
+		e.status(r.Status)
+		e.Str(r.Err)
+		e.Set(r.Got)
+		e.Set(r.Denied)
+	}
+	return e.Bytes()
+}
+
+// DecodeWriteLockBatchResp deserializes a WriteLockBatchResp.
+func DecodeWriteLockBatchResp(b []byte) (WriteLockBatchResp, error) {
+	d := NewDecoder(b)
+	m := WriteLockBatchResp{Status: d.status(), Err: d.Str()}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, WriteLockResult{
+			Status: d.status(), Err: d.Str(), Got: d.Set(), Denied: d.Set(),
+		})
+	}
+	return m, d.Err()
+}
+
+// FreezeReadItem is one read-lock range to freeze, as in FreezeReadReq.
+type FreezeReadItem struct {
+	Key    string
+	Lo, Hi timestamp.Timestamp
+}
+
+// FreezeBatchReq applies a commit decision to this server's share of the
+// footprint in one pass: freeze the write locks of WriteKeys at TS
+// (installing the pending values first), and freeze the read-lock ranges
+// of Reads (the batched form of FreezeWriteReq plus FreezeReadReq).
+type FreezeBatchReq struct {
+	Txn       uint64
+	TS        timestamp.Timestamp
+	WriteKeys []string
+	Reads     []FreezeReadItem
+}
+
+// Encode serializes the request.
+func (m FreezeBatchReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.TS(m.TS)
+	e.StrSlice(m.WriteKeys)
+	e.I32(int32(len(m.Reads)))
+	for _, r := range m.Reads {
+		e.Str(r.Key)
+		e.TS(r.Lo)
+		e.TS(r.Hi)
+	}
+	return e.Bytes()
+}
+
+// DecodeFreezeBatchReq deserializes a FreezeBatchReq.
+func DecodeFreezeBatchReq(b []byte) (FreezeBatchReq, error) {
+	d := NewDecoder(b)
+	m := FreezeBatchReq{Txn: d.U64(), TS: d.TS(), WriteKeys: d.StrSlice()}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		m.Reads = append(m.Reads, FreezeReadItem{Key: d.Str(), Lo: d.TS(), Hi: d.TS()})
+	}
+	return m, d.Err()
+}
+
+// FreezeBatchResp answers a FreezeBatchReq with one ack per write key
+// (read freezes cannot fail). Coordinators fire-and-forget freezes, but
+// the acks make the handler testable and keep the protocol symmetric.
+type FreezeBatchResp struct {
+	Status Status
+	Err    string
+	// WriteAcks is parallel to the request's WriteKeys.
+	WriteAcks []Ack
+}
+
+// Encode serializes the response.
+func (m FreezeBatchResp) Encode() []byte {
+	var e Encoder
+	e.status(m.Status)
+	e.Str(m.Err)
+	e.I32(int32(len(m.WriteAcks)))
+	for _, a := range m.WriteAcks {
+		e.status(a.Status)
+		e.Str(a.Err)
+	}
+	return e.Bytes()
+}
+
+// DecodeFreezeBatchResp deserializes a FreezeBatchResp.
+func DecodeFreezeBatchResp(b []byte) (FreezeBatchResp, error) {
+	d := NewDecoder(b)
+	m := FreezeBatchResp{Status: d.status(), Err: d.Str()}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		m.WriteAcks = append(m.WriteAcks, Ack{Status: d.status(), Err: d.Str()})
+	}
+	return m, d.Err()
+}
+
+// ReleaseBatchReq releases the transaction's unfrozen locks on every
+// listed key in one pass (the batched form of ReleaseReq).
+type ReleaseBatchReq struct {
+	Txn        uint64
+	WritesOnly bool
+	Keys       []string
+}
+
+// Encode serializes the request.
+func (m ReleaseBatchReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Bool(m.WritesOnly)
+	e.StrSlice(m.Keys)
+	return e.Bytes()
+}
+
+// DecodeReleaseBatchReq deserializes a ReleaseBatchReq.
+func DecodeReleaseBatchReq(b []byte) (ReleaseBatchReq, error) {
+	d := NewDecoder(b)
+	m := ReleaseBatchReq{Txn: d.U64(), WritesOnly: d.Bool(), Keys: d.StrSlice()}
+	return m, d.Err()
+}
+
+// count consumes a batch item count, validating its range.
+func (d *Decoder) count() int {
+	n := d.I32()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || int(n) > maxBatchItems {
+		d.err = fmt.Errorf("wire: batch count %d invalid", n)
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/timestamp"
+)
+
+// --- random payload generators ----------------------------------------------
+
+func randTS(r *rand.Rand) timestamp.Timestamp {
+	return timestamp.New(r.Int63n(1_000_000), int32(r.Intn(64)-32))
+}
+
+func randIv(r *rand.Rand) timestamp.Interval {
+	lo := r.Int63n(1000)
+	return timestamp.Span(timestamp.New(lo, 0), timestamp.New(lo+r.Int63n(50), 0))
+}
+
+func randTSSet(r *rand.Rand) timestamp.Set {
+	var s timestamp.Set
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		s.AddInPlace(randIv(r))
+	}
+	return s
+}
+
+func randWord(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func randBlob(r *rand.Rand) []byte {
+	if r.Intn(4) == 0 {
+		return nil
+	}
+	b := make([]byte, r.Intn(20))
+	r.Read(b)
+	return b
+}
+
+func randStatus(r *rand.Rand) Status { return Status(1 + r.Intn(6)) }
+
+func randAck(r *rand.Rand) Ack { return Ack{Status: randStatus(r), Err: randWord(r)} }
+
+// --- generic round-trip / truncation harness ---------------------------------
+
+// codecCase generates one random message instance: enc is its encoding,
+// recheck decodes a buffer and reports whether it equals the instance.
+type codecCase struct {
+	enc     []byte
+	recheck func([]byte) (bool, error)
+}
+
+var codecCases = map[string]func(r *rand.Rand) codecCase{
+	"ReadLockReq": func(r *rand.Rand) codecCase {
+		in := ReadLockReq{Txn: r.Uint64(), Key: randWord(r), Upper: randTS(r), Wait: r.Intn(2) == 0}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReadLockReq(b)
+			return out == in, err
+		}}
+	},
+	"ReadLockResp": func(r *rand.Rand) codecCase {
+		in := ReadLockResp{Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReadLockResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && out.VersionTS == in.VersionTS &&
+				bytes.Equal(out.Value, in.Value) && (out.Value == nil) == (in.Value == nil) && out.Got == in.Got
+			return ok, err
+		}}
+	},
+	"WriteLockReq": func(r *rand.Rand) codecCase {
+		in := WriteLockReq{Txn: r.Uint64(), Key: randWord(r), DecisionSrv: randWord(r), Set: randTSSet(r), Wait: r.Intn(2) == 0, Value: randBlob(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeWriteLockReq(b)
+			ok := out.Txn == in.Txn && out.Key == in.Key && out.DecisionSrv == in.DecisionSrv &&
+				out.Set.Equal(in.Set) && out.Wait == in.Wait && bytes.Equal(out.Value, in.Value)
+			return ok, err
+		}}
+	},
+	"WriteLockResp": func(r *rand.Rand) codecCase {
+		in := WriteLockResp{Status: randStatus(r), Err: randWord(r), Got: randTSSet(r), Denied: randTSSet(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeWriteLockResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && out.Got.Equal(in.Got) && out.Denied.Equal(in.Denied)
+			return ok, err
+		}}
+	},
+	"FreezeWriteReq": func(r *rand.Rand) codecCase {
+		in := FreezeWriteReq{Txn: r.Uint64(), Key: randWord(r), TS: randTS(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeFreezeWriteReq(b)
+			return out == in, err
+		}}
+	},
+	"FreezeReadReq": func(r *rand.Rand) codecCase {
+		in := FreezeReadReq{Txn: r.Uint64(), Key: randWord(r), Lo: randTS(r), Hi: randTS(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeFreezeReadReq(b)
+			return out == in, err
+		}}
+	},
+	"ReleaseReq": func(r *rand.Rand) codecCase {
+		in := ReleaseReq{Txn: r.Uint64(), Key: randWord(r), WritesOnly: r.Intn(2) == 0}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReleaseReq(b)
+			return out == in, err
+		}}
+	},
+	"Ack": func(r *rand.Rand) codecCase {
+		in := randAck(r)
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeAck(b)
+			return out == in, err
+		}}
+	},
+	"DecideReq": func(r *rand.Rand) codecCase {
+		in := DecideReq{Txn: r.Uint64(), Proposal: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeDecideReq(b)
+			return out == in, err
+		}}
+	},
+	"DecideResp": func(r *rand.Rand) codecCase {
+		in := DecideResp{Kind: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeDecideResp(b)
+			return out == in, err
+		}}
+	},
+	"PurgeReq": func(r *rand.Rand) codecCase {
+		in := PurgeReq{Bound: randTS(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodePurgeReq(b)
+			return out == in, err
+		}}
+	},
+	"PurgeResp": func(r *rand.Rand) codecCase {
+		in := PurgeResp{Versions: r.Int63(), Locks: r.Int63()}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodePurgeResp(b)
+			return out == in, err
+		}}
+	},
+	"StatsResp": func(r *rand.Rand) codecCase {
+		in := StatsResp{Keys: r.Int63(), LockEntries: r.Int63(), FrozenLocks: r.Int63(), Versions: r.Int63()}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeStatsResp(b)
+			return out == in, err
+		}}
+	},
+	"WriteLockBatchReq": func(r *rand.Rand) codecCase {
+		in := WriteLockBatchReq{Txn: r.Uint64(), DecisionSrv: randWord(r), Wait: r.Intn(2) == 0}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Items = append(in.Items, WriteLockItem{Key: randWord(r), Set: randTSSet(r), Value: randBlob(r)})
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeWriteLockBatchReq(b)
+			ok := out.Txn == in.Txn && out.DecisionSrv == in.DecisionSrv && out.Wait == in.Wait &&
+				len(out.Items) == len(in.Items)
+			if ok {
+				for i := range in.Items {
+					ok = ok && out.Items[i].Key == in.Items[i].Key &&
+						out.Items[i].Set.Equal(in.Items[i].Set) &&
+						bytes.Equal(out.Items[i].Value, in.Items[i].Value)
+				}
+			}
+			return ok, err
+		}}
+	},
+	"WriteLockBatchResp": func(r *rand.Rand) codecCase {
+		in := WriteLockBatchResp{Status: randStatus(r), Err: randWord(r)}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Results = append(in.Results, WriteLockResult{Status: randStatus(r), Err: randWord(r), Got: randTSSet(r), Denied: randTSSet(r)})
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeWriteLockBatchResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results)
+			if ok {
+				for i := range in.Results {
+					ok = ok && out.Results[i].Status == in.Results[i].Status &&
+						out.Results[i].Err == in.Results[i].Err &&
+						out.Results[i].Got.Equal(in.Results[i].Got) &&
+						out.Results[i].Denied.Equal(in.Results[i].Denied)
+				}
+			}
+			return ok, err
+		}}
+	},
+	"FreezeBatchReq": func(r *rand.Rand) codecCase {
+		in := FreezeBatchReq{Txn: r.Uint64(), TS: randTS(r)}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.WriteKeys = append(in.WriteKeys, randWord(r))
+		}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Reads = append(in.Reads, FreezeReadItem{Key: randWord(r), Lo: randTS(r), Hi: randTS(r)})
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeFreezeBatchReq(b)
+			ok := out.Txn == in.Txn && out.TS == in.TS &&
+				slices.Equal(out.WriteKeys, in.WriteKeys) && slices.Equal(out.Reads, in.Reads)
+			return ok, err
+		}}
+	},
+	"FreezeBatchResp": func(r *rand.Rand) codecCase {
+		in := FreezeBatchResp{Status: randStatus(r), Err: randWord(r)}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.WriteAcks = append(in.WriteAcks, randAck(r))
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeFreezeBatchResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && slices.Equal(out.WriteAcks, in.WriteAcks)
+			return ok, err
+		}}
+	},
+	"ReleaseBatchReq": func(r *rand.Rand) codecCase {
+		in := ReleaseBatchReq{Txn: r.Uint64(), WritesOnly: r.Intn(2) == 0}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Keys = append(in.Keys, randWord(r))
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReleaseBatchReq(b)
+			ok := out.Txn == in.Txn && out.WritesOnly == in.WritesOnly && slices.Equal(out.Keys, in.Keys)
+			return ok, err
+		}}
+	},
+}
+
+// TestAllMessagesRoundTripRandom drives every message codec with random
+// payloads: the decode of an encode must reproduce the message exactly.
+func TestAllMessagesRoundTripRandom(t *testing.T) {
+	for name, gen := range codecCases {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(0xbadc + int64(len(name))))
+			for i := 0; i < 300; i++ {
+				c := gen(r)
+				ok, err := c.recheck(c.enc)
+				if err != nil {
+					t.Fatalf("iteration %d: decode: %v", i, err)
+				}
+				if !ok {
+					t.Fatalf("iteration %d: round trip mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestAllMessagesRejectTruncation checks that decoding any strict prefix
+// of a valid encoding reports an error instead of fabricating fields.
+func TestAllMessagesRejectTruncation(t *testing.T) {
+	for name, gen := range codecCases {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			for i := 0; i < 50; i++ {
+				c := gen(r)
+				for cut := 0; cut < len(c.enc); cut++ {
+					if _, err := c.recheck(c.enc[:cut]); err == nil {
+						t.Fatalf("iteration %d: truncation at %d/%d not detected", i, cut, len(c.enc))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchDecodersRejectHugeCounts checks the item-count guards: a
+// small buffer claiming an enormous batch must fail fast, not allocate.
+func TestBatchDecodersRejectHugeCounts(t *testing.T) {
+	var e Encoder
+	e.U64(1)          // txn
+	e.Str("")         // decision server
+	e.Bool(false)     // wait
+	e.I32(1 << 30)    // absurd item count
+	if _, err := DecodeWriteLockBatchReq(e.Bytes()); err == nil {
+		t.Fatal("huge item count not rejected")
+	}
+	var e2 Encoder
+	e2.U64(1)
+	e2.Bool(false)
+	e2.I32(-1)
+	if _, err := DecodeReleaseBatchReq(e2.Bytes()); err == nil {
+		t.Fatal("negative key count not rejected")
+	}
+}

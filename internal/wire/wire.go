@@ -40,6 +40,14 @@ const (
 	TPurgeResp
 	TStatsReq
 	TStatsResp
+	// Batched footprint messages (see batch.go): one frame per server
+	// carries a transaction's whole share of the footprint.
+	TWriteLockBatchReq
+	TWriteLockBatchResp
+	TFreezeBatchReq
+	TFreezeBatchResp
+	TReleaseBatchReq
+	TReleaseBatchResp
 )
 
 // MaxFrameSize bounds a frame to keep a malformed peer from forcing a
@@ -132,6 +140,17 @@ func (e *Encoder) Str(v string) {
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(v)))
 	e.buf = append(e.buf, v...)
 }
+
+// StrSlice appends a length-prefixed sequence of strings.
+func (e *Encoder) StrSlice(v []string) {
+	e.I32(int32(len(v)))
+	for _, s := range v {
+		e.Str(s)
+	}
+}
+
+// status appends a status byte.
+func (e *Encoder) status(s Status) { e.buf = append(e.buf, byte(s)) }
 
 // TS appends a timestamp.
 func (e *Encoder) TS(t timestamp.Timestamp) {
@@ -234,6 +253,31 @@ func (d *Decoder) Blob() []byte {
 
 // Str consumes a length-prefixed string.
 func (d *Decoder) Str() string { return string(d.Blob()) }
+
+// StrSlice consumes a length-prefixed sequence of strings.
+func (d *Decoder) StrSlice() []string {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, d.Str())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// status consumes a status byte.
+func (d *Decoder) status() Status {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return Status(b[0])
+}
 
 // TS consumes a timestamp.
 func (d *Decoder) TS() timestamp.Timestamp {
