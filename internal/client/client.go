@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/history"
@@ -80,12 +81,22 @@ type Config struct {
 	// Recorder, when non-nil, receives committed transaction footprints
 	// for offline serializability checking (tests only).
 	Recorder *history.Recorder
+	// DeadlockPoll is the cross-server deadlock detector's poll
+	// interval: while one of this coordinator's lock requests is
+	// blocked, every server's wait-for edges are polled this often and
+	// victims of confirmed global cycles are aborted (see package
+	// deadlock). Zero selects the 10ms default; a negative value
+	// disables the detector, leaving cross-server cycles to the
+	// server-side lock-wait timeout.
+	DeadlockPoll time.Duration
 }
 
 // Client coordinates transactions from one client process.
 type Client struct {
 	cfg Config
 	clk *clock.Process
+	// det is the cross-server deadlock detector; nil when disabled.
+	det *detector
 
 	mu     sync.Mutex
 	conns  map[string]*rpcConn
@@ -116,15 +127,27 @@ func New(cfg Config) (*Client, error) {
 	if src == nil {
 		src = clock.System{}
 	}
-	return &Client{
+	c := &Client{
 		cfg:   cfg,
 		clk:   clock.NewProcess(src, cfg.ID),
 		conns: make(map[string]*rpcConn),
-	}, nil
+	}
+	if cfg.DeadlockPoll >= 0 {
+		poll := cfg.DeadlockPoll
+		if poll == 0 {
+			poll = 10 * time.Millisecond
+		}
+		c.det = newDetector(c, poll)
+	}
+	return c, nil
 }
 
-// Close tears down all server connections.
+// Close stops the deadlock detector and tears down all server
+// connections.
 func (c *Client) Close() error {
+	if c.det != nil {
+		c.det.close()
+	}
 	c.mu.Lock()
 	conns := c.conns
 	c.conns = map[string]*rpcConn{}
@@ -175,6 +198,17 @@ func (c *Client) call(ctx context.Context, addr string, t wire.MsgType, body []b
 		return wire.Frame{}, err
 	}
 	return rc.call(ctx, t, body)
+}
+
+// callWaitable is call for lock requests that may park server-side:
+// when wait is set, the RPC is bracketed by the deadlock detector's
+// blocked-call tracking, which is what switches its polling on.
+func (c *Client) callWaitable(ctx context.Context, addr string, t wire.MsgType, body []byte, wait bool) (wire.Frame, error) {
+	if wait && c.det != nil {
+		c.det.enter()
+		defer c.det.exit()
+	}
+	return c.call(ctx, addr, t, body)
 }
 
 // cast sends a one-way message to addr without waiting for the reply
@@ -246,6 +280,9 @@ func (c *Client) PurgeServers(ctx context.Context, bound timestamp.Timestamp) (v
 		resp, decErr := wire.DecodePurgeResp(f.Body)
 		if decErr != nil {
 			return versions, locks, decErr
+		}
+		if resp.Status != wire.StatusOK {
+			return versions, locks, fmt.Errorf("client: purge via %s: %s", addr, resp.Err)
 		}
 		versions += resp.Versions
 		locks += resp.Locks

@@ -1,0 +1,181 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/deadlock"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// firedWindow suppresses re-firing a victim abort for the same
+// transaction while the previous one is still taking effect.
+const firedWindow = 500 * time.Millisecond
+
+// detector is the per-coordinator half of cross-server deadlock
+// detection (see package deadlock for the protocol). While any of this
+// client's lock RPCs may be parked server-side, it polls every server's
+// wait-for edges on a short interval, merges them with the snapshots
+// piggybacked on conflicted lock responses, and — for each cycle
+// observed on two consecutive merges — sends a victim abort for the
+// cycle's lowest transaction id to the server where that transaction is
+// parked.
+type detector struct {
+	c        *Client
+	poll     time.Duration
+	graph    *deadlock.Graph
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu sync.Mutex
+	// blocked counts in-flight lock RPCs that may park server-side;
+	// polling only runs while it is nonzero.
+	blocked int
+	// fired maps recently aborted victims to the time of the abort.
+	fired map[uint64]time.Time
+}
+
+func newDetector(c *Client, poll time.Duration) *detector {
+	d := &detector{
+		c:     c,
+		poll:  poll,
+		graph: deadlock.NewGraph(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		fired: make(map[uint64]time.Time),
+	}
+	go d.run()
+	return d
+}
+
+// close stops the polling goroutine; safe to call more than once
+// (Client.Close may run from both a test cleanup and a cluster
+// teardown).
+func (d *detector) close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// enter and exit bracket a lock RPC that can block on conflicts. When
+// the last one finishes the merged graph is reset: without blocked
+// calls this coordinator has no stake in any cycle, and stale edges
+// must not trigger aborts later.
+func (d *detector) enter() {
+	d.mu.Lock()
+	d.blocked++
+	d.mu.Unlock()
+}
+
+func (d *detector) exit() {
+	d.mu.Lock()
+	d.blocked--
+	idle := d.blocked == 0
+	d.mu.Unlock()
+	if idle {
+		d.graph.Reset()
+	}
+}
+
+// observe merges a snapshot piggybacked on a conflicted lock response.
+// Empty snapshots are ignored here — only the authoritative poll clears
+// a server's entry.
+func (d *detector) observe(addr string, edges []wire.WaitEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	d.graph.Observe(addr, edges)
+}
+
+func (d *detector) run() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+		}
+		d.mu.Lock()
+		blocked := d.blocked
+		d.mu.Unlock()
+		if blocked == 0 {
+			continue
+		}
+		d.pollOnce()
+		victims := d.graph.Victims()
+		if len(victims) == 0 {
+			continue
+		}
+		// Confirm before shooting: per-server snapshots mix moments, so
+		// re-poll and only abort victims of cycles present in both
+		// views (the wire-level analogue of WaitGraph's confirm under
+		// all stripe locks).
+		d.pollOnce()
+		confirmed := make(map[uint64]deadlock.Victim, len(victims))
+		for _, v := range d.graph.Victims() {
+			confirmed[v.Txn] = v
+		}
+		now := time.Now()
+		for _, v := range victims {
+			cv, ok := confirmed[v.Txn]
+			if !ok || cv.Key == "" {
+				continue
+			}
+			d.mu.Lock()
+			last, seen := d.fired[v.Txn]
+			recent := seen && now.Sub(last) < firedWindow
+			if !recent {
+				d.fired[v.Txn] = now
+			}
+			for txn, at := range d.fired {
+				if now.Sub(at) > 4*firedWindow {
+					delete(d.fired, txn)
+				}
+			}
+			d.mu.Unlock()
+			if recent {
+				continue
+			}
+			d.abortVictim(cv)
+		}
+	}
+}
+
+// pollOnce fetches every server's wait-for snapshot in parallel and
+// folds them into the merged graph. Unreachable servers keep their
+// previous snapshot; cycle confirmation bounds the staleness risk.
+func (d *detector) pollOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, addr := range d.c.cfg.Servers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			f, err := d.c.call(ctx, addr, wire.TWaitGraphReq, nil)
+			if err != nil {
+				return
+			}
+			resp, err := wire.DecodeWaitGraphResp(f.Body)
+			if err != nil {
+				return
+			}
+			d.graph.Observe(addr, resp.Edges)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// abortVictim routes the abort to the server owning the key the victim
+// is parked on. The reply is advisory (the server validates that the
+// victim is really waiting there); failures are resolved by the next
+// poll or, ultimately, the lock-wait timeout.
+func (d *detector) abortVictim(v deadlock.Victim) {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
+	defer cancel()
+	_, _ = d.c.call(ctx, d.c.serverFor(v.Key), wire.TVictimAbortReq,
+		wire.VictimAbortReq{Txn: v.Txn, Key: v.Key}.Encode())
+}

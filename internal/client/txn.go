@@ -50,10 +50,12 @@ func (tx *DTxn) ID() uint64 { return tx.id }
 func (tx *DTxn) Committed() bool { return tx.committed }
 
 // abortErr marks the transaction aborted, performs distributed cleanup,
-// and wraps the cause.
+// and wraps the cause. Both errors stay in the chain, so callers can
+// test errors.Is(err, kv.ErrAborted) as before and additionally
+// errors.Is(err, kv.ErrDeadlock) to pick a retry policy.
 func (tx *DTxn) abortErr(ctx context.Context, cause error) error {
 	tx.abort(ctx)
-	return fmt.Errorf("%w (%v)", kv.ErrAborted, cause)
+	return fmt.Errorf("%w (%w)", kv.ErrAborted, cause)
 }
 
 // Read implements kv.Txn (Alg. 11 lines 10-14).
@@ -82,8 +84,8 @@ func (tx *DTxn) Read(ctx context.Context, key string) ([]byte, error) {
 	}
 
 	addr := tx.client.serverFor(key)
-	f, err := tx.client.call(ctx, addr, wire.TReadLockReq,
-		wire.ReadLockReq{Txn: tx.id, Key: key, Upper: upper, Wait: wait}.Encode())
+	f, err := tx.client.callWaitable(ctx, addr, wire.TReadLockReq,
+		wire.ReadLockReq{Txn: tx.id, Key: key, Upper: upper, Wait: wait}.Encode(), wait)
 	if err != nil {
 		return nil, tx.abortErr(ctx, err)
 	}
@@ -91,7 +93,13 @@ func (tx *DTxn) Read(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, tx.abortErr(ctx, err)
 	}
+	if det := tx.client.det; det != nil {
+		det.observe(addr, resp.Edges)
+	}
 	if resp.Status != wire.StatusOK {
+		if resp.Status == wire.StatusDeadlock {
+			return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %w: %s", key, kv.ErrDeadlock, resp.Err))
+		}
 		return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %s", key, resp.Err))
 	}
 	tx.touched[key] = true
@@ -168,14 +176,14 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 	if tx.decisionSrv == "" {
 		tx.decisionSrv = addr
 	}
-	f, err := tx.client.call(ctx, addr, wire.TWriteLockReq, wire.WriteLockReq{
+	f, err := tx.client.callWaitable(ctx, addr, wire.TWriteLockReq, wire.WriteLockReq{
 		Txn:         tx.id,
 		Key:         key,
 		DecisionSrv: tx.decisionSrv,
 		Set:         req,
 		Wait:        wait,
 		Value:       value,
-	}.Encode())
+	}.Encode(), wait)
 	if err != nil {
 		return wire.WriteLockResp{}, err
 	}
@@ -184,6 +192,9 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 		return wire.WriteLockResp{}, err
 	}
 	if resp.Status != wire.StatusOK {
+		if resp.Status == wire.StatusDeadlock {
+			return resp, fmt.Errorf("write-lock %q: %w: %s", key, kv.ErrDeadlock, resp.Err)
+		}
 		return resp, fmt.Errorf("write-lock %q: %s", key, resp.Err)
 	}
 	tx.touched[key] = true
@@ -217,6 +228,7 @@ func (tx *DTxn) serverGroups(keys []string) map[string][]string {
 func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) error {
 	groups := tx.serverGroups(tx.writeOrder)
 	type batchResult struct {
+		addr string
 		keys []string
 		resp wire.WriteLockBatchResp
 		err  error
@@ -234,16 +246,19 @@ func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) er
 				Items:       items,
 			}.Encode())
 			if err != nil {
-				results <- batchResult{keys: keys, err: err}
+				results <- batchResult{addr: addr, keys: keys, err: err}
 				return
 			}
 			resp, err := wire.DecodeWriteLockBatchResp(f.Body)
-			results <- batchResult{keys: keys, resp: resp, err: err}
+			results <- batchResult{addr: addr, keys: keys, resp: resp, err: err}
 		}(addr, keys)
 	}
 	var firstErr error
 	for range groups {
 		r := <-results
+		if det := tx.client.det; det != nil && r.err == nil {
+			det.observe(r.addr, r.resp.Edges)
+		}
 		switch {
 		case r.err != nil:
 			// fall through with the transport/codec error
@@ -443,14 +458,23 @@ func (tx *DTxn) releaseAll(writesOnly bool) {
 // locally (nothing is pending anywhere).
 func (tx *DTxn) decide(ctx context.Context, kind wire.DecisionKind, ts timestamp.Timestamp) (wire.DecideResp, error) {
 	if tx.decisionSrv == "" {
-		return wire.DecideResp{Kind: kind, TS: ts}, nil
+		return wire.DecideResp{Status: wire.StatusOK, Kind: kind, TS: ts}, nil
 	}
 	f, err := tx.client.call(ctx, tx.decisionSrv, wire.TDecideReq,
 		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts}.Encode())
 	if err != nil {
 		return wire.DecideResp{}, err
 	}
-	return wire.DecodeDecideResp(f.Body)
+	resp, err := wire.DecodeDecideResp(f.Body)
+	if err != nil {
+		return wire.DecideResp{}, err
+	}
+	if resp.Status != wire.StatusOK {
+		// A request-level failure is not a decision; treating it as one
+		// would report "decided abort" for what was e.g. a codec error.
+		return wire.DecideResp{}, fmt.Errorf("decide %q: %s", tx.decisionSrv, resp.Err)
+	}
+	return resp, nil
 }
 
 // setOf wraps one interval in a set.

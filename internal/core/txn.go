@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -11,6 +12,18 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/lock"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 )
+
+// abortedErr wraps a policy failure as a kv.ErrAborted, keeping
+// lock.ErrDeadlock victims distinguishable via kv.ErrDeadlock so
+// callers can retry them immediately instead of backing off — the same
+// classification the distributed client derives from
+// wire.StatusDeadlock.
+func abortedErr(op string, err error) error {
+	if errors.Is(err, lock.ErrDeadlock) {
+		return fmt.Errorf("%s: %w (%w: %v)", op, kv.ErrAborted, kv.ErrDeadlock, err)
+	}
+	return fmt.Errorf("%s: %w (%v)", op, kv.ErrAborted, err)
+}
 
 // txnState tracks the lifecycle of a transaction.
 type txnState uint8
@@ -113,7 +126,7 @@ func (tx *Txn) Write(ctx context.Context, k string, value []byte) error {
 	}
 	if err := tx.db.policy.WriteLocks(ctx, tx, k); err != nil {
 		tx.abort()
-		return fmt.Errorf("write %q: %w (%v)", k, kv.ErrAborted, err)
+		return abortedErr(fmt.Sprintf("write %q", k), err)
 	}
 	if _, dup := tx.writes[k]; !dup {
 		tx.writeOrder = append(tx.writeOrder, k)
@@ -135,7 +148,7 @@ func (tx *Txn) Read(ctx context.Context, k string) ([]byte, error) {
 	ver, err := tx.db.policy.Read(ctx, tx, k)
 	if err != nil {
 		tx.abort()
-		return nil, fmt.Errorf("read %q: %w (%v)", k, kv.ErrAborted, err)
+		return nil, abortedErr(fmt.Sprintf("read %q", k), err)
 	}
 	tx.readset = append(tx.readset, ReadRecord{Key: k, VersionTS: ver.TS})
 	return ver.Value, nil
@@ -151,7 +164,7 @@ func (tx *Txn) Commit(ctx context.Context) error {
 	}
 	if err := tx.db.policy.CommitLocks(ctx, tx); err != nil {
 		tx.abort()
-		return fmt.Errorf("commit locks: %w (%v)", kv.ErrAborted, err)
+		return abortedErr("commit locks", err)
 	}
 
 	candidates := tx.candidateSet()

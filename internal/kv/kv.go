@@ -18,6 +18,12 @@ var (
 	// ErrTxnDone reports an operation on a transaction that has already
 	// committed or aborted.
 	ErrTxnDone = errors.New("kv: transaction already finished")
+	// ErrDeadlock reports that the transaction was aborted as the
+	// victim of a detected deadlock cycle (always wrapped together with
+	// ErrAborted). Unlike an ordinary conflict abort, the conflicting
+	// work was killed on purpose, so the right retry policy is an
+	// immediate restart rather than a backoff.
+	ErrDeadlock = errors.New("kv: deadlock victim")
 )
 
 // DB is a transactional store.

@@ -3,11 +3,12 @@ package lock
 import "sync"
 
 // ErrDeadlock reports that blocking on a lock would close a cycle in the
-// wait-for graph; the requester should abort its transaction instead of
-// waiting (§4.3: "standard techniques for deadlock detection can be used
-// to abort the required transactions (e.g., cycle detection in the
-// wait-for graph, timeout)"). Timeouts remain the backstop for waits the
-// graph cannot see (e.g., across storage servers).
+// wait-for graph, or that an external deadlock detector chose this
+// waiter as the victim of a cross-server cycle; the requester should
+// abort its transaction instead of waiting (§4.3: "standard techniques
+// for deadlock detection can be used to abort the required transactions
+// (e.g., cycle detection in the wait-for graph, timeout)"). Timeouts
+// remain the backstop for waits nothing else sees.
 var ErrDeadlock = deadlockError{}
 
 // deadlockError is a distinct sentinel type so errors.Is works on values.
@@ -15,16 +16,32 @@ type deadlockError struct{}
 
 func (deadlockError) Error() string { return "lock: deadlock detected" }
 
+// WaitEdge is one exported wait-for edge: Waiter blocks on a lock held
+// by Holder, on the table labelled Key. Coordinators merge the edges of
+// several servers into a global graph (cross-server deadlock detection);
+// Key routes a victim abort back to the server where the victim parks.
+type WaitEdge struct {
+	Waiter, Holder Owner
+	Key            string
+}
+
 // waitStripes is the number of edge-map stripes; a power of two so
 // stripe selection is a mask.
 const waitStripes = 16
 
 // waitStripe is one shard of the wait-for edge map, holding the outgoing
-// edges of the waiters it owns.
+// edges of the waiters it owns plus the waiters' external-abort state.
 type waitStripe struct {
 	mu sync.Mutex
-	// edges[w] is the set of owners w currently waits for.
-	edges map[Owner]map[Owner]struct{}
+	// edges[w][h] is the key label of the table where w waits for h.
+	edges map[Owner]map[Owner]string
+	// parked[w] is the signal channel of w's currently parked
+	// acquisition, registered by Table.blockLocked so Abort can wake it.
+	parked map[Owner]chan struct{}
+	// aborted marks waiters chosen as deadlock victims from outside;
+	// the mark is consumed by the victim's own pre-park or post-wake
+	// check in blockLocked.
+	aborted map[Owner]struct{}
 }
 
 // WaitGraph is a wait-for graph over lock owners, shared by all lock
@@ -48,6 +65,13 @@ type waitStripe struct {
 // edges are retracted and ErrDeadlock returned. Racing participants can
 // at worst both abort (the pre-sharding global-mutex graph aborted
 // exactly one); they can never both park on an undetected cycle.
+//
+// Local detection cannot see cycles spanning several servers, so the
+// graph additionally supports an external detector: Edges snapshots the
+// current wait-for edges (each labelled with the key of the blocking
+// table) for export over the wire, and Abort marks a waiter as a
+// deadlock victim from outside, waking its parked acquisition so it
+// returns ErrDeadlock instead of sleeping out the lock-wait timeout.
 type WaitGraph struct {
 	stripes [waitStripes]waitStripe
 }
@@ -56,7 +80,9 @@ type WaitGraph struct {
 func NewWaitGraph() *WaitGraph {
 	g := &WaitGraph{}
 	for i := range g.stripes {
-		g.stripes[i].edges = make(map[Owner]map[Owner]struct{})
+		g.stripes[i].edges = make(map[Owner]map[Owner]string)
+		g.stripes[i].parked = make(map[Owner]chan struct{})
+		g.stripes[i].aborted = make(map[Owner]struct{})
 	}
 	return g
 }
@@ -66,12 +92,16 @@ func (g *WaitGraph) stripeOf(o Owner) *waitStripe {
 	return &g.stripes[uint64(o)&(waitStripes-1)]
 }
 
-// Wait registers that waiter blocks on holders and reports ErrDeadlock
-// if doing so closes a cycle; in that case nothing is registered and the
-// waiter should abort. Successful registrations must be cleared with
-// Done after the wait (the caller re-registers on each wait round, since
-// the blocking set changes).
-func (g *WaitGraph) Wait(waiter Owner, holders []Owner) error {
+// Wait registers that waiter blocks on holders (on the table labelled
+// key) and reports ErrDeadlock if doing so closes a cycle; in that case
+// nothing is registered and the waiter should abort. Successful
+// registrations must be cleared with Done after the wait (the caller
+// re-registers on each wait round, since the blocking set changes).
+// External victim marks are not consulted here — Wait also runs on
+// behalf of third parties (the extend-parked path), which must not
+// consume a mark destined for the waiter itself; blockLocked checks the
+// mark before and after its park instead.
+func (g *WaitGraph) Wait(waiter Owner, holders []Owner, key string) error {
 	if len(holders) == 0 {
 		return nil
 	}
@@ -85,7 +115,7 @@ func (g *WaitGraph) Wait(waiter Owner, holders []Owner) error {
 	// cycle formation always observable to at least one participant).
 	st := g.stripeOf(waiter)
 	st.mu.Lock()
-	insertEdges(st, waiter, holders)
+	insertEdges(st, waiter, holders, key)
 	st.mu.Unlock()
 	if !g.reaches(holders, waiter) {
 		return nil
@@ -122,16 +152,17 @@ func removeEdges(st *waitStripe, waiter Owner, holders []Owner) {
 	}
 }
 
-// insertEdges adds waiter→holder edges to waiter's stripe. Callers hold
-// st.mu (at least); holders does not contain waiter.
-func insertEdges(st *waitStripe, waiter Owner, holders []Owner) {
+// insertEdges adds waiter→holder edges labelled with key to waiter's
+// stripe. Callers hold st.mu (at least); holders does not contain
+// waiter.
+func insertEdges(st *waitStripe, waiter Owner, holders []Owner, key string) {
 	set, ok := st.edges[waiter]
 	if !ok {
-		set = make(map[Owner]struct{}, len(holders))
+		set = make(map[Owner]string, len(holders))
 		st.edges[waiter] = set
 	}
 	for _, h := range holders {
-		set[h] = struct{}{}
+		set[h] = key
 	}
 }
 
@@ -155,6 +186,103 @@ func (g *WaitGraph) Waiters() int {
 		st.mu.Unlock()
 	}
 	return n
+}
+
+// Edges appends a snapshot of the current wait-for edges to dst and
+// returns it. Stripes are snapshotted one at a time, so the result may
+// mix moments — external detectors must confirm a cycle (e.g. by
+// re-polling) before acting, exactly as the local traversal confirms
+// under lockAll.
+func (g *WaitGraph) Edges(dst []WaitEdge) []WaitEdge {
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		for w, hs := range st.edges {
+			for h, key := range hs {
+				dst = append(dst, WaitEdge{Waiter: w, Holder: h, Key: key})
+			}
+		}
+		st.mu.Unlock()
+	}
+	return dst
+}
+
+// IsWaiting reports whether o currently has outgoing wait-for edges or a
+// parked acquisition, used to validate external victim aborts against a
+// possibly stale remote snapshot.
+func (g *WaitGraph) IsWaiting(o Owner) bool {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, parked := st.parked[o]
+	_, waiting := st.edges[o]
+	return parked || waiting
+}
+
+// Abort marks o as an externally chosen deadlock victim and wakes its
+// parked acquisition, if any: the waiter's pre-park or post-wake check
+// in blockLocked consumes the mark and returns ErrDeadlock. The
+// signal send never blocks — if the table waker raced us the waiter is
+// waking anyway and observes the mark. A mark for an owner that never
+// waits again lingers until ClearAbort (the server's transaction-state
+// GC clears it when the victim's record is purged).
+func (g *WaitGraph) Abort(o Owner) {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	st.aborted[o] = struct{}{}
+	if ch, ok := st.parked[o]; ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	st.mu.Unlock()
+}
+
+// ClearAbort drops any unconsumed victim mark for o.
+func (g *WaitGraph) ClearAbort(o Owner) {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	delete(st.aborted, o)
+	st.mu.Unlock()
+}
+
+// consumeAbort reports and clears o's victim mark.
+func (g *WaitGraph) consumeAbort(o Owner) bool {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	_, ok := st.aborted[o]
+	if ok {
+		delete(st.aborted, o)
+	}
+	st.mu.Unlock()
+	return ok
+}
+
+// park registers o's parked signal channel so Abort can wake it;
+// unpark removes the registration. Tables call these with the table
+// mutex held; the stripe mutex nests inside it, same as Wait. If a
+// victim mark arrived between the caller's pre-park check and the
+// registration, park self-signals so the waiter wakes immediately and
+// consumes the mark instead of sleeping out the timeout.
+func (g *WaitGraph) park(o Owner, ch chan struct{}) {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	st.parked[o] = ch
+	if _, ok := st.aborted[o]; ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (g *WaitGraph) unpark(o Owner) {
+	st := g.stripeOf(o)
+	st.mu.Lock()
+	delete(st.parked, o)
+	st.mu.Unlock()
 }
 
 // lockAll acquires every stripe in ascending index order; unlockAll

@@ -10,46 +10,46 @@ import (
 
 func TestWaitGraphDirectCycle(t *testing.T) {
 	g := NewWaitGraph()
-	if err := g.Wait(1, []Owner{2}); err != nil {
+	if err := g.Wait(1, []Owner{2}, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Wait(2, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+	if err := g.Wait(2, []Owner{1}, "k"); !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("want ErrDeadlock, got %v", err)
 	}
 	// The failed registration left no edges; 2 can wait on others.
-	if err := g.Wait(2, []Owner{3}); err != nil {
+	if err := g.Wait(2, []Owner{3}, "k"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestWaitGraphTransitiveCycle(t *testing.T) {
 	g := NewWaitGraph()
-	if err := g.Wait(1, []Owner{2}); err != nil {
+	if err := g.Wait(1, []Owner{2}, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Wait(2, []Owner{3}); err != nil {
+	if err := g.Wait(2, []Owner{3}, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Wait(3, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+	if err := g.Wait(3, []Owner{1}, "k"); !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("want ErrDeadlock, got %v", err)
 	}
 }
 
 func TestWaitGraphDoneClearsEdges(t *testing.T) {
 	g := NewWaitGraph()
-	_ = g.Wait(1, []Owner{2})
+	_ = g.Wait(1, []Owner{2}, "k")
 	g.Done(1)
 	if g.Waiters() != 0 {
 		t.Fatalf("Waiters = %d", g.Waiters())
 	}
-	if err := g.Wait(2, []Owner{1}); err != nil {
+	if err := g.Wait(2, []Owner{1}, "k"); err != nil {
 		t.Fatalf("cycle should be gone: %v", err)
 	}
 }
 
 func TestWaitGraphSelfEdgeIgnored(t *testing.T) {
 	g := NewWaitGraph()
-	if err := g.Wait(1, []Owner{1}); !errors.Is(err, ErrDeadlock) {
+	if err := g.Wait(1, []Owner{1}, "k"); !errors.Is(err, ErrDeadlock) {
 		// waiting for yourself is trivially a cycle
 		t.Fatalf("self-wait must be a deadlock, got %v", err)
 	}
@@ -57,7 +57,7 @@ func TestWaitGraphSelfEdgeIgnored(t *testing.T) {
 
 func TestWaitGraphEmptyHoldersNoop(t *testing.T) {
 	g := NewWaitGraph()
-	if err := g.Wait(1, nil); err != nil {
+	if err := g.Wait(1, nil, "k"); err != nil {
 		t.Fatal(err)
 	}
 	if g.Waiters() != 0 {
@@ -169,6 +169,100 @@ func TestNoFalsePositives(t *testing.T) {
 	}
 }
 
+// TestWaitGraphEdgesSnapshot: exported edges carry waiter, holder and
+// the blocking key, and disappear after Done.
+func TestWaitGraphEdgesSnapshot(t *testing.T) {
+	g := NewWaitGraph()
+	if err := g.Wait(1, []Owner{2, 3}, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(2, []Owner{3}, "beta"); err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges(nil)
+	if len(edges) != 3 {
+		t.Fatalf("got %d edges: %+v", len(edges), edges)
+	}
+	byPair := map[[2]Owner]string{}
+	for _, e := range edges {
+		byPair[[2]Owner{e.Waiter, e.Holder}] = e.Key
+	}
+	if byPair[[2]Owner{1, 2}] != "alpha" || byPair[[2]Owner{1, 3}] != "alpha" || byPair[[2]Owner{2, 3}] != "beta" {
+		t.Fatalf("edges mislabelled: %+v", byPair)
+	}
+	g.Done(1)
+	g.Done(2)
+	if got := g.Edges(nil); len(got) != 0 {
+		t.Fatalf("edges survived Done: %+v", got)
+	}
+}
+
+// TestAbortWakesParkedWaiter: an external Abort must wake a parked
+// acquisition with ErrDeadlock long before its context deadline.
+func TestAbortWakesParkedWaiter(t *testing.T) {
+	g := NewWaitGraph()
+	tbl := NewTableKeyed(g, "x")
+	ctx := context.Background()
+	if _, err := tbl.AcquireWrite(ctx, 1, set(iv(5, 5)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		longCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		_, err := tbl.AcquireWrite(longCtx, 2, set(iv(5, 5)), Options{Wait: true})
+		done <- err
+	}()
+	for i := 0; !g.IsWaiting(2); i++ {
+		if i > 1000 {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	g.Abort(2)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort never woke the waiter")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("external abort took too long")
+	}
+	if g.IsWaiting(2) || g.Waiters() != 0 {
+		t.Fatal("graph state not cleaned after abort")
+	}
+}
+
+// TestAbortBeforeParkStillFires: a victim mark set just before the
+// waiter parks (the coordinator's snapshot raced the park) must still
+// fail the acquisition fast instead of leaking a full timeout.
+func TestAbortBeforeParkStillFires(t *testing.T) {
+	g := NewWaitGraph()
+	tbl := NewTableKeyed(g, "x")
+	ctx := context.Background()
+	if _, err := tbl.AcquireWrite(ctx, 1, set(iv(5, 5)), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	g.Abort(2)
+	start := time.Now()
+	_, err := tbl.AcquireWrite(ctx, 2, set(iv(5, 5)), Options{Wait: true})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("pre-park mark not consumed fast")
+	}
+	// The mark is one-shot: a later wait of the same owner proceeds.
+	tbl.ReleaseUnfrozen(1)
+	if _, err := tbl.AcquireWrite(ctx, 2, set(iv(5, 5)), Options{Wait: true}); err != nil {
+		t.Fatalf("consumed mark must not poison later waits: %v", err)
+	}
+}
+
 // TestWaitGraphRacingCycleAlwaysDetected closes over the sharded
 // graph's publish-before-check guarantee: two waits racing to close a
 // 2-cycle must never both park — at least one of them observes the
@@ -179,8 +273,8 @@ func TestWaitGraphRacingCycleAlwaysDetected(t *testing.T) {
 		var wg sync.WaitGroup
 		errs := make([]error, 2)
 		wg.Add(2)
-		go func() { defer wg.Done(); errs[0] = g.Wait(1, []Owner{2}) }()
-		go func() { defer wg.Done(); errs[1] = g.Wait(2, []Owner{1}) }()
+		go func() { defer wg.Done(); errs[0] = g.Wait(1, []Owner{2}, "k") }()
+		go func() { defer wg.Done(); errs[1] = g.Wait(2, []Owner{1}, "k") }()
 		wg.Wait()
 		if errs[0] == nil && errs[1] == nil {
 			t.Fatalf("iteration %d: racing cycle went undetected", i)

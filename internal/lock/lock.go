@@ -146,6 +146,11 @@ type waiter struct {
 	mode  Mode
 	spans []timestamp.Interval
 	done  chan struct{}
+	// linked is true while the waiter sits in Table.waiters (guarded by
+	// the table mutex). A waiter woken by WaitGraph.Abort is signalled
+	// without being unlinked, so the wake path checks this instead of
+	// scanning the waiter list unconditionally.
+	linked bool
 }
 
 // overlaps reports whether the waiter is interested in iv.
@@ -185,6 +190,10 @@ type Table struct {
 	// sharing it; blocked acquisitions fail fast with ErrDeadlock
 	// instead of waiting for a timeout.
 	graph *WaitGraph
+	// key labels this table's edges in the shared wait-for graph, so an
+	// exported edge names the key its waiter blocks on (cross-server
+	// detectors route victim aborts by it).
+	key string
 }
 
 // maxFreeWaiters caps the per-table waiter freelist; more parked
@@ -201,6 +210,14 @@ func NewTable() *Table {
 // wait-for graph g.
 func NewTableDetected(g *WaitGraph) *Table {
 	return &Table{graph: g}
+}
+
+// NewTableKeyed returns a lock table participating in the shared
+// wait-for graph g whose edges are labelled with key, so graph
+// snapshots exported for cross-server deadlock detection name the key
+// each waiter blocks on.
+func NewTableKeyed(g *WaitGraph, key string) *Table {
+	return &Table{graph: g, key: key}
 }
 
 // AcquireRead acquires read locks on a contiguous interval starting at
@@ -558,7 +575,11 @@ func (t *Table) waiterCount() int {
 }
 
 // wakeOverlappingLocked wakes and unlinks every parked waiter whose
-// blocked-on spans overlap iv. Callers must hold t.mu.
+// blocked-on spans overlap iv. Callers must hold t.mu. The signal send
+// is non-blocking: the one-slot buffer can already be full when an
+// external WaitGraph.Abort raced us, and the waiter is waking anyway —
+// it rescans the whole table after any wake, so one signal covers both
+// events.
 func (t *Table) wakeOverlappingLocked(iv timestamp.Interval) {
 	if iv.IsEmpty() || len(t.waiters) == 0 ||
 		!iv.Overlaps(timestamp.Span(t.waitLo, t.waitHi)) {
@@ -570,7 +591,10 @@ func (t *Table) wakeOverlappingLocked(iv timestamp.Interval) {
 			i++
 			continue
 		}
-		w.done <- struct{}{}
+		select {
+		case w.done <- struct{}{}:
+		default:
+		}
 		t.unlinkWaiterAtLocked(i)
 	}
 }
@@ -608,6 +632,7 @@ func (t *Table) putWaiterLocked(w *waiter) {
 // unlinkWaiterAtLocked removes the waiter at index i (order is not
 // maintained). Callers must hold t.mu.
 func (t *Table) unlinkWaiterAtLocked(i int) {
+	t.waiters[i].linked = false
 	last := len(t.waiters) - 1
 	t.waiters[i] = t.waiters[last]
 	t.waiters[last] = nil
@@ -627,11 +652,15 @@ func (t *Table) removeWaiterLocked(w *waiter) {
 
 // blockLocked registers the wait in the shared wait-for graph (failing
 // fast on a cycle), parks the caller on a pooled waiter tagged with a
-// copy of spans, and blocks until overlapping lock state changes or the
-// context expires. Callers hold t.mu; it is held again on return.
+// copy of spans, and blocks until overlapping lock state changes, an
+// external detector marks the waiter a deadlock victim, or the context
+// expires. Callers hold t.mu; it is held again on return.
 func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders []Owner, spans []timestamp.Interval) error {
 	if t.graph != nil {
-		if err := t.graph.Wait(owner, holders); err != nil {
+		if t.graph.consumeAbort(owner) {
+			return ErrDeadlock
+		}
+		if err := t.graph.Wait(owner, holders, t.key); err != nil {
 			return err
 		}
 		defer t.graph.Done(owner)
@@ -645,16 +674,38 @@ func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders
 		t.waitLo = timestamp.Min(t.waitLo, s.Lo)
 		t.waitHi = timestamp.Max(t.waitHi, s.Hi)
 	}
+	w.linked = true
 	t.waiters = append(t.waiters, w)
+	if t.graph != nil {
+		t.graph.park(owner, w.done)
+	}
 	t.mu.Unlock()
 	select {
 	case <-w.done:
 		t.mu.Lock()
+		if t.graph != nil {
+			t.graph.unpark(owner)
+		}
+		// A wake from WaitGraph.Abort does not unlink (the graph cannot
+		// reach the table's waiter list); remove ourselves then. The
+		// common table-waker wake already unlinked, so the O(waiters)
+		// scan is skipped on the hot handoff path.
+		if w.linked {
+			t.removeWaiterLocked(w)
+		}
 		t.putWaiterLocked(w)
+		if t.graph != nil && t.graph.consumeAbort(owner) {
+			return ErrDeadlock
+		}
 		return nil
 	case <-ctx.Done():
 		t.mu.Lock()
-		t.removeWaiterLocked(w)
+		if t.graph != nil {
+			t.graph.unpark(owner)
+		}
+		if w.linked {
+			t.removeWaiterLocked(w)
+		}
 		t.putWaiterLocked(w)
 		return ctx.Err()
 	}
@@ -843,11 +894,14 @@ func (t *Table) extendWaiterEdgesLocked(e entry) {
 			i++
 			continue
 		}
-		if t.graph.Wait(w.owner, holder[:]) == nil {
+		if t.graph.Wait(w.owner, holder[:], t.key) == nil {
 			i++
 			continue
 		}
-		w.done <- struct{}{}
+		select {
+		case w.done <- struct{}{}:
+		default:
+		}
 		t.unlinkWaiterAtLocked(i)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/commitment"
@@ -108,21 +109,44 @@ type txnStripe struct {
 	txns map[uint64]*txnState
 }
 
+// peerConn is one cached server-to-server connection. Its mutex
+// serializes RPCs on that peer only — callPeer reuses a fixed frame id,
+// so concurrent callers (suspicion scanner, victim-abort handlers) must
+// not interleave frames, but a stalled RPC to one peer must not block
+// victim aborts routed through a healthy one.
+type peerConn struct {
+	mu   sync.Mutex
+	conn transport.Conn
+}
+
 // Server is one storage server.
 type Server struct {
 	cfg      Config
 	listener transport.Listener
 	registry *commitment.Registry
 	// waits detects wait-for cycles among transactions blocked on this
-	// server's locks; cross-server cycles are resolved by the lock-wait
-	// timeout instead.
+	// server's locks. Cross-server cycles are invisible to it, so its
+	// edges (labelled with the blocking key) are exported to
+	// coordinators — piggybacked on conflicted lock responses and via
+	// TWaitGraphReq polling — which assemble the global graph and send
+	// back TVictimAbortReq for the victim of a confirmed cycle; the
+	// lock-wait timeout remains the backstop.
 	waits *lock.WaitGraph
+	// purgedTxns counts transaction-state records garbage-collected
+	// since startup (finished and fully released).
+	purgedTxns atomic.Int64
 
 	keyStripes [stripeCount]keyStripe
 	txnStripes [stripeCount]txnStripe
 
 	peersMu sync.Mutex
-	peers   map[string]transport.Conn
+	peers   map[string]*peerConn
+	// accepted tracks live inbound connections so Close can unblock
+	// their serveConn goroutines: a connection dialed by another server
+	// (decide traffic) stays open as long as that server lives, and
+	// without an explicit close here Close would wait on it forever.
+	acceptedMu sync.Mutex
+	accepted   map[transport.Conn]struct{}
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -143,7 +167,8 @@ func New(cfg Config) (*Server, error) {
 		listener: l,
 		registry: commitment.NewRegistry(),
 		waits:    lock.NewWaitGraph(),
-		peers:    make(map[string]transport.Conn),
+		peers:    make(map[string]*peerConn),
+		accepted: make(map[transport.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
 	for i := range s.keyStripes {
@@ -166,11 +191,16 @@ func (s *Server) Close() error {
 	close(s.stop)
 	err := s.listener.Close()
 	s.peersMu.Lock()
-	for _, c := range s.peers {
+	for _, pc := range s.peers {
+		_ = pc.conn.Close()
+	}
+	s.peers = map[string]*peerConn{}
+	s.peersMu.Unlock()
+	s.acceptedMu.Lock()
+	for c := range s.accepted {
 		_ = c.Close()
 	}
-	s.peers = map[string]transport.Conn{}
-	s.peersMu.Unlock()
+	s.acceptedMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -197,7 +227,7 @@ func (s *Server) key(k string) *keyState {
 	if ks, ok = st.keys[k]; ok {
 		return ks
 	}
-	ks = &keyState{locks: lock.NewTableDetected(s.waits), versions: version.NewList()}
+	ks = &keyState{locks: lock.NewTableKeyed(s.waits, k), versions: version.NewList()}
 	st.keys[k] = ks
 	return ks
 }
@@ -210,6 +240,9 @@ func (s *Server) txnStripeFor(id uint64) *txnStripe {
 
 // withTxn runs fn with the transaction's state (created if absent) under
 // its stripe mutex. fn must not block or call back into the server.
+// After fn returns, the record is garbage-collected if the transaction
+// is finished and fully released, so every touch point doubles as a GC
+// opportunity and finished records do not accumulate.
 func (s *Server) withTxn(id uint64, fn func(*txnState)) {
 	st := s.txnStripeFor(id)
 	st.mu.Lock()
@@ -219,7 +252,38 @@ func (s *Server) withTxn(id uint64, fn func(*txnState)) {
 		st.txns[id] = t
 	}
 	fn(t)
+	s.gcTxnLocked(st, id, t)
 	st.mu.Unlock()
+}
+
+// withTxnIfPresent is withTxn without the create: fn runs only if a
+// record exists, and the return reports whether it did. Late-arriving
+// messages for garbage-collected transactions (a release retry, a
+// duplicate decide) use this so they cannot resurrect state.
+func (s *Server) withTxnIfPresent(id uint64, fn func(*txnState)) bool {
+	st := s.txnStripeFor(id)
+	st.mu.Lock()
+	t, ok := st.txns[id]
+	if ok {
+		fn(t)
+		s.gcTxnLocked(st, id, t)
+	}
+	st.mu.Unlock()
+	return ok
+}
+
+// gcTxnLocked deletes the transaction's record once it is finished and
+// holds no pending values or write-lock bookkeeping (read-lock state
+// needs no record: releases and freezes name their keys explicitly).
+// Callers hold st.mu.
+func (s *Server) gcTxnLocked(st *txnStripe, id uint64, t *txnState) {
+	if !t.finished || len(t.pending) != 0 || len(t.writeKeys) != 0 {
+		return
+	}
+	delete(st.txns, id)
+	s.purgedTxns.Add(1)
+	// Drop any unconsumed deadlock-victim mark along with the record.
+	s.waits.ClearAbort(lock.Owner(id))
 }
 
 // --- connection handling ----------------------------------------------------
@@ -231,6 +295,9 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.acceptedMu.Lock()
+		s.accepted[conn] = struct{}{}
+		s.acceptedMu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -243,6 +310,9 @@ func (s *Server) serveConn(conn transport.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		_ = conn.Close()
+		s.acceptedMu.Lock()
+		delete(s.accepted, conn)
+		s.acceptedMu.Unlock()
 	}()
 	var sendMu sync.Mutex
 	reply := func(id uint64, t wire.MsgType, body []byte) {
@@ -266,7 +336,9 @@ func (s *Server) serveConn(conn transport.Conn) {
 		// coordinators rely on when they fire-and-forget a freeze and
 		// then issue the next request on the same connection.
 		switch f.Type {
-		case wire.TReadLockReq, wire.TWriteLockReq, wire.TWriteLockBatchReq:
+		case wire.TReadLockReq, wire.TWriteLockReq, wire.TWriteLockBatchReq, wire.TVictimAbortReq:
+			// Victim aborts may call the decision server (a peer RPC),
+			// so they run off the read loop like the lock requests.
 			handlers.Add(1)
 			go func(f wire.Frame) {
 				defer handlers.Done()
@@ -340,21 +412,35 @@ func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)
 	case wire.TDecideReq:
 		req, err := wire.DecodeDecideReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TDecideResp, wire.DecideResp{Kind: wire.DecideAbort}.Encode())
+			// An explicit error status: a fabricated "abort" decision
+			// would be indistinguishable from the commitment object
+			// really deciding abort.
+			reply(f.ID, wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
 		d := s.handleDecide(req)
-		reply(f.ID, wire.TDecideResp, wire.DecideResp{Kind: d.Kind, TS: d.TS}.Encode())
+		reply(f.ID, wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS}.Encode())
 	case wire.TPurgeReq:
 		req, err := wire.DecodePurgeReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TPurgeResp, wire.PurgeResp{}.Encode())
+			// An explicit error status: an empty PurgeResp would read
+			// as "purged 0, OK".
+			reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
 		v, l := s.purgeBelow(req.Bound)
-		reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Versions: int64(v), Locks: int64(l)}.Encode())
+		reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusOK, Versions: int64(v), Locks: int64(l)}.Encode())
 	case wire.TStatsReq:
 		reply(f.ID, wire.TStatsResp, s.stats().Encode())
+	case wire.TWaitGraphReq:
+		reply(f.ID, wire.TWaitGraphResp, wire.WaitGraphResp{Edges: s.exportEdges()}.Encode())
+	case wire.TVictimAbortReq:
+		req, err := wire.DecodeVictimAbortReq(f.Body)
+		if err != nil {
+			reply(f.ID, wire.TVictimAbortResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(f.ID, wire.TVictimAbortResp, s.handleVictimAbort(req).Encode())
 	default:
 		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type)
 	}
@@ -373,7 +459,7 @@ func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
 	defer cancel()
 	for {
 		if ctx.Err() != nil {
-			return wire.ReadLockResp{Status: wire.StatusConflict, Err: "lock wait timeout"}
+			return wire.ReadLockResp{Status: wire.StatusConflict, Err: "lock wait timeout", Edges: s.exportEdges()}
 		}
 		v, err := ks.versions.LatestBefore(req.Upper)
 		if err != nil {
@@ -386,7 +472,22 @@ func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
 		}
 		res, err := ks.locks.AcquireRead(ctx, owner, span, lock.Options{Wait: req.Wait, Partial: true})
 		if err != nil {
-			return wire.ReadLockResp{Status: wire.StatusConflict, Err: err.Error()}
+			// Conflicted or timed-out *waiting* reads piggyback the
+			// local wait-for edges so the coordinator's deadlock
+			// detector learns about this server's waiters for free
+			// (no-wait requesters never park, so they cannot be in a
+			// cycle and skip the snapshot cost); a deadlock victim gets
+			// its own status so coordinators retry it immediately
+			// instead of backing off.
+			status := wire.StatusConflict
+			if errors.Is(err, lock.ErrDeadlock) {
+				status = wire.StatusDeadlock
+			}
+			resp := wire.ReadLockResp{Status: status, Err: err.Error()}
+			if req.Wait {
+				resp.Edges = s.exportEdges()
+			}
+			return resp
 		}
 		switch {
 		case res.FrozenAt == nil:
@@ -405,8 +506,18 @@ func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
 	}
 }
 
+// trackRead notes the read key on an existing transaction record. It
+// deliberately does not create one: read-lock state needs no record
+// (releases name their keys explicitly), and creating one here would
+// resurrect state for transactions whose record was already
+// garbage-collected — a late read racing a decide would then leak a
+// record no future message cleans up.
 func (s *Server) trackRead(txn uint64, key string) {
-	s.withTxn(txn, func(t *txnState) { t.readKeys[key] = true })
+	s.withTxnIfPresent(txn, func(t *txnState) {
+		if !t.finished {
+			t.readKeys[key] = true
+		}
+	})
 }
 
 // handleWriteLock acquires write locks and buffers the pending value.
@@ -429,6 +540,13 @@ func (s *Server) handleWriteLock(req wire.WriteLockReq) wire.WriteLockResp {
 // acquisition, then a single pass over the transaction state to record
 // everything acquired (Alg. 13, receive-write-lock-message, batched).
 func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLockBatchResp {
+	// withTxn (creating) is deliberate: this is the one message that
+	// legitimately brings a transaction into existence here. The cost is
+	// a narrow resurrection race — a write-lock delayed past the
+	// suspicion scanner's abort+GC recreates the record and holds locks
+	// until the scanner re-reaps it (firstWriteLock is stamped below, so
+	// it is re-reaped within WriteLockTimeout); the transaction itself
+	// can never commit, since its commitment object already decided.
 	finished := false
 	s.withTxn(req.Txn, func(t *txnState) {
 		if t.finished {
@@ -437,6 +555,13 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 		}
 		if req.DecisionSrv != "" {
 			t.decisionSrv = req.DecisionSrv
+		}
+		// Stamp the suspicion clock on the first write-lock *attempt*:
+		// even a fully denied batch leaves a record behind, and without
+		// a timestamp the suspicion scanner would never reap it if the
+		// coordinator dies before deciding.
+		if len(req.Items) > 0 && t.firstWriteLock.IsZero() {
+			t.firstWriteLock = time.Now()
 		}
 	})
 	if finished {
@@ -448,19 +573,26 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 	defer cancel()
 	results := make([]wire.WriteLockResult, len(req.Items))
 	acquired := make([]bool, len(req.Items))
-	any := false
+	any, anyDenied := false, false
 	for i, it := range req.Items {
 		ks := s.key(it.Key)
 		res, err := ks.locks.AcquireWrite(ctx, owner, it.Set, lock.Options{Wait: req.Wait, Partial: true})
 		if err != nil {
 			status := wire.StatusConflict
-			if errors.Is(err, lock.ErrFrozen) {
+			switch {
+			case errors.Is(err, lock.ErrFrozen):
 				status = wire.StatusFrozen
+			case errors.Is(err, lock.ErrDeadlock):
+				status = wire.StatusDeadlock
 			}
 			results[i] = wire.WriteLockResult{Status: status, Err: err.Error(), Denied: res.Denied}
+			anyDenied = true
 			continue
 		}
 		results[i] = wire.WriteLockResult{Status: wire.StatusOK, Got: res.Got, Denied: res.Denied}
+		if !res.Denied.IsEmpty() {
+			anyDenied = true
+		}
 		if !res.Got.IsEmpty() {
 			acquired[i] = true
 			any = true
@@ -484,9 +616,6 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 				t.pending[it.Key] = it.Value
 				t.writeKeys[it.Key] = true
 			}
-			if t.firstWriteLock.IsZero() {
-				t.firstWriteLock = time.Now()
-			}
 		})
 		if finishedLate {
 			for i, it := range req.Items {
@@ -497,7 +626,17 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 			return wire.WriteLockBatchResp{Status: wire.StatusAborted, Err: "transaction already decided"}
 		}
 	}
-	return wire.WriteLockBatchResp{Status: wire.StatusOK, Results: results}
+	resp := wire.WriteLockBatchResp{Status: wire.StatusOK, Results: results}
+	if anyDenied && req.Wait {
+		// Denied acquisitions of a waiting batch mean someone held
+		// conflicting locks long enough to park us; export the local
+		// wait-for edges so the coordinator's cross-server deadlock
+		// detector sees them without polling. No-wait batches
+		// (timestamp ordering) can never deadlock, so their denials
+		// skip the snapshot.
+		resp.Edges = s.exportEdges()
+	}
+	return resp
 }
 
 // handleFreezeWrite applies a commit at req.TS for one key: install the
@@ -523,7 +662,7 @@ func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp
 		resp.WriteAcks = make([]wire.Ack, len(req.WriteKeys))
 		vals := make([][]byte, len(req.WriteKeys))
 		has := make([]bool, len(req.WriteKeys))
-		s.withTxn(req.Txn, func(t *txnState) {
+		s.withTxnIfPresent(req.Txn, func(t *txnState) {
 			for i, k := range req.WriteKeys {
 				vals[i], has[i] = t.pending[k]
 			}
@@ -532,7 +671,17 @@ func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp
 		anyFrozen := false
 		for i, k := range req.WriteKeys {
 			if !has[i] {
-				resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: "no pending value (timed out and aborted?)"}
+				// No buffered value: either the decide path already
+				// installed and froze this key (its record was then
+				// garbage-collected, making this freeze redundant), or
+				// the transaction timed out and aborted. A version
+				// sitting exactly at the commit timestamp identifies
+				// the redundant case.
+				if _, done := s.key(k).versions.At(req.TS); done {
+					resp.WriteAcks[i] = wire.Ack{Status: wire.StatusOK}
+				} else {
+					resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: "no pending value (timed out and aborted?)"}
+				}
 				continue
 			}
 			ks := s.key(k)
@@ -549,10 +698,19 @@ func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp
 			anyFrozen = true
 		}
 		if anyFrozen {
-			s.withTxn(req.Txn, func(t *txnState) {
+			s.withTxnIfPresent(req.Txn, func(t *txnState) {
 				for i, k := range req.WriteKeys {
 					if frozen[i] {
 						delete(t.pending, k)
+						// The lock at this key is frozen; any unfrozen
+						// remainder is dropped by the coordinator's
+						// release batch straight off the lock table, so
+						// the record need not track the key anymore —
+						// without this, committed transactions that
+						// never release (timestamp ordering freezes
+						// exactly what it locked) would pin their
+						// records forever.
+						delete(t.writeKeys, k)
 					}
 				}
 				if len(t.pending) == 0 {
@@ -586,7 +744,10 @@ func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
 			ks.locks.ReleaseUnfrozen(owner)
 		}
 	}
-	s.withTxn(req.Txn, func(t *txnState) {
+	// If-present: a release retried after the record was already
+	// garbage-collected must not resurrect it (the lock tables above
+	// were still cleaned — they do not need the record).
+	s.withTxnIfPresent(req.Txn, func(t *txnState) {
 		for _, k := range req.Keys {
 			delete(t.pending, k)
 			delete(t.writeKeys, k)
@@ -596,6 +757,16 @@ func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
 		}
 		if len(t.writeKeys) == 0 {
 			t.firstWriteLock = time.Time{}
+		}
+		// Release batches are only sent when the coordinator is done
+		// with the transaction (Commit/Abort cleanup), so a record left
+		// with nothing pending and no write locks is finished. Without
+		// this, a client-side abort — whose decide reaches only the
+		// decision server — would leave participant servers' records
+		// unfinished with a zeroed suspicion clock: invisible to both
+		// the GC and the scanner, leaking one record per abort.
+		if len(t.pending) == 0 && len(t.writeKeys) == 0 {
+			t.finished = true
 		}
 	})
 	return wire.Ack{Status: wire.StatusOK}
@@ -609,11 +780,68 @@ func (s *Server) handleDecide(req wire.DecideReq) commitment.Decision {
 	return d
 }
 
+// exportEdges snapshots the local wait-for graph for the wire: each
+// edge names the waiting transaction, the holder it blocks on, and the
+// key of the blocking lock table.
+func (s *Server) exportEdges() []wire.WaitEdge {
+	local := s.waits.Edges(nil)
+	if len(local) == 0 {
+		return nil
+	}
+	out := make([]wire.WaitEdge, len(local))
+	for i, e := range local {
+		out[i] = wire.WaitEdge{Waiter: uint64(e.Waiter), Holder: uint64(e.Holder), Key: e.Key}
+	}
+	return out
+}
+
+// handleVictimAbort processes a coordinator's verdict on a cross-server
+// deadlock cycle: the named transaction, parked on this server, is the
+// cycle's victim. The server validates that the transaction is indeed
+// waiting here (the coordinator's merged snapshot may be stale), aborts
+// it through the existing decide path when it knows the decision server
+// (recorded by the write-lock request that parked it), and wakes the
+// parked acquisition with a deadlock error so the victim's coordinator
+// aborts and retries immediately instead of sleeping out the lock-wait
+// timeout. When the decision server is unknown (a parked read with no
+// local writes), only the wake happens — the victim's own coordinator
+// then runs the abort through the commitment object, which is the only
+// place the outcome is actually decided.
+func (s *Server) handleVictimAbort(req wire.VictimAbortReq) wire.Ack {
+	owner := lock.Owner(req.Txn)
+	if !s.waits.IsWaiting(owner) {
+		return wire.Ack{Status: wire.StatusConflict, Err: "transaction not waiting here"}
+	}
+	var decisionSrv string
+	finished := false
+	s.withTxnIfPresent(req.Txn, func(t *txnState) {
+		decisionSrv = t.decisionSrv
+		finished = t.finished
+	})
+	if !finished && decisionSrv != "" {
+		d, ok := s.proposeAbort(req.Txn, decisionSrv)
+		if ok {
+			s.applyDecision(req.Txn, d)
+			if d.Kind == wire.DecideCommit {
+				// The commitment object already decided commit — the
+				// coordinator won the race, so whatever the snapshot
+				// showed is no longer a deadlock involving this txn.
+				return wire.Ack{Status: wire.StatusConflict, Err: "transaction already committed"}
+			}
+		}
+	}
+	s.logf("server %s: deadlock victim txn %d aborted (blocked on %q)", s.cfg.Addr, req.Txn, req.Key)
+	s.waits.Abort(owner)
+	return wire.Ack{Status: wire.StatusOK}
+}
+
 // applyDecision finalizes a transaction locally: on abort, release its
 // locks and drop pending values; on commit, freeze-and-install any
 // pending writes at the decided timestamp (the write-lock-timeout path
 // of Alg. 13 reaches this with a commit decision when the coordinator
-// managed to decide before crashing).
+// managed to decide before crashing). Either way the record's pending
+// and write-key state is cleared afterwards, so the touch-point GC in
+// withTxn purges the finished record.
 func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
 	var writeKeys []string
 	var pending map[string][]byte
@@ -642,20 +870,20 @@ func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
 		for _, k := range writeKeys {
 			s.key(k).locks.ReleaseWrites(owner)
 		}
-		s.withTxn(txn, func(t *txnState) {
-			t.pending = map[string][]byte{}
-			t.writeKeys = map[string]bool{}
-		})
-		return
-	}
-	for k, val := range pending {
-		ks := s.key(k)
-		if err := ks.versions.Install(d.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
-			s.logf("server %s: install %q at %v: %v", s.cfg.Addr, k, d.TS, err)
-			continue
+	} else {
+		for k, val := range pending {
+			ks := s.key(k)
+			if err := ks.versions.Install(d.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
+				s.logf("server %s: install %q at %v: %v", s.cfg.Addr, k, d.TS, err)
+				continue
+			}
+			ks.locks.FreezeWriteAt(owner, d.TS)
 		}
-		ks.locks.FreezeWriteAt(owner, d.TS)
 	}
+	s.withTxnIfPresent(txn, func(t *txnState) {
+		t.pending = map[string][]byte{}
+		t.writeKeys = map[string]bool{}
+	})
 }
 
 // --- suspicion scanner --------------------------------------------------------
@@ -724,16 +952,18 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 		return commitment.Decision{}, false
 	}
 	d, err := wire.DecodeDecideResp(resp)
-	if err != nil {
+	if err != nil || d.Status != wire.StatusOK {
 		return commitment.Decision{}, false
 	}
 	return commitment.Decision{Kind: d.Kind, TS: d.TS}, true
 }
 
-// callPeer performs one synchronous RPC to another server.
+// callPeer performs one synchronous RPC to another server. RPCs are
+// serialized per peer (see peerConn); they are rare — suspicion
+// proposals and victim aborts only.
 func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, error) {
 	s.peersMu.Lock()
-	conn, ok := s.peers[addr]
+	pc, ok := s.peers[addr]
 	s.peersMu.Unlock()
 	if !ok {
 		c, err := s.cfg.Network.Dial(addr)
@@ -744,18 +974,19 @@ func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, err
 		if existing, exists := s.peers[addr]; exists {
 			s.peersMu.Unlock()
 			_ = c.Close()
-			conn = existing
+			pc = existing
 		} else {
-			s.peers[addr] = c
+			pc = &peerConn{conn: c}
+			s.peers[addr] = pc
 			s.peersMu.Unlock()
-			conn = c
 		}
 	}
-	// Peer RPCs are rare (suspicion only); serialize them per peer.
-	if err := conn.Send(wire.Frame{ID: 1, Type: t, Body: body}); err != nil {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.conn.Send(wire.Frame{ID: 1, Type: t, Body: body}); err != nil {
 		return nil, err
 	}
-	f, err := conn.Recv()
+	f, err := pc.conn.Recv()
 	if err != nil {
 		return nil, err
 	}
@@ -800,5 +1031,12 @@ func (s *Server) stats() wire.StatsResp {
 		st.FrozenLocks += int64(ls.Frozen)
 		st.Versions += int64(ks.versions.Count())
 	})
+	for i := range s.txnStripes {
+		tst := &s.txnStripes[i]
+		tst.mu.Lock()
+		st.LiveTxns += int64(len(tst.txns))
+		tst.mu.Unlock()
+	}
+	st.PurgedTxns = s.purgedTxns.Load()
 	return st
 }

@@ -74,10 +74,14 @@ type WriteLockResult struct {
 // WriteLockBatchResp answers a WriteLockBatchReq. Results is parallel to
 // the request's Items; Status reports request-level failures (malformed
 // frame, transaction already decided) in which case Results may be nil.
+// Edges piggybacks the server's local wait-for edges when any sub-result
+// was denied, feeding the coordinator's cross-server deadlock detector
+// without an extra round trip.
 type WriteLockBatchResp struct {
 	Status  Status
 	Err     string
 	Results []WriteLockResult
+	Edges   []WaitEdge
 }
 
 // Encode serializes the response.
@@ -92,6 +96,7 @@ func (m WriteLockBatchResp) Encode() []byte {
 		e.Set(r.Got)
 		e.Set(r.Denied)
 	}
+	e.Edges(m.Edges)
 	return e.Bytes()
 }
 
@@ -105,6 +110,7 @@ func DecodeWriteLockBatchResp(b []byte) (WriteLockBatchResp, error) {
 			Status: d.status(), Err: d.Str(), Got: d.Set(), Denied: d.Set(),
 		})
 	}
+	m.Edges = d.Edges()
 	return m, d.Err()
 }
 

@@ -45,9 +45,17 @@ func randBlob(r *rand.Rand) []byte {
 	return b
 }
 
-func randStatus(r *rand.Rand) Status { return Status(1 + r.Intn(6)) }
+func randStatus(r *rand.Rand) Status { return Status(1 + r.Intn(7)) }
 
 func randAck(r *rand.Rand) Ack { return Ack{Status: randStatus(r), Err: randWord(r)} }
+
+func randEdges(r *rand.Rand) []WaitEdge {
+	var out []WaitEdge
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		out = append(out, WaitEdge{Waiter: r.Uint64(), Holder: r.Uint64(), Key: randWord(r)})
+	}
+	return out
+}
 
 // --- generic round-trip / truncation harness ---------------------------------
 
@@ -67,11 +75,12 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"ReadLockResp": func(r *rand.Rand) codecCase {
-		in := ReadLockResp{Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r)}
+		in := ReadLockResp{Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r), Edges: randEdges(r)}
 		return codecCase{in.Encode(), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && out.VersionTS == in.VersionTS &&
-				bytes.Equal(out.Value, in.Value) && (out.Value == nil) == (in.Value == nil) && out.Got == in.Got
+				bytes.Equal(out.Value, in.Value) && (out.Value == nil) == (in.Value == nil) && out.Got == in.Got &&
+				slices.Equal(out.Edges, in.Edges)
 			return ok, err
 		}}
 	},
@@ -128,7 +137,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"DecideResp": func(r *rand.Rand) codecCase {
-		in := DecideResp{Kind: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
+		in := DecideResp{Status: randStatus(r), Err: randWord(r), Kind: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
 		return codecCase{in.Encode(), func(b []byte) (bool, error) {
 			out, err := DecodeDecideResp(b)
 			return out == in, err
@@ -142,16 +151,33 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"PurgeResp": func(r *rand.Rand) codecCase {
-		in := PurgeResp{Versions: r.Int63(), Locks: r.Int63()}
+		in := PurgeResp{Status: randStatus(r), Err: randWord(r), Versions: r.Int63(), Locks: r.Int63()}
 		return codecCase{in.Encode(), func(b []byte) (bool, error) {
 			out, err := DecodePurgeResp(b)
 			return out == in, err
 		}}
 	},
 	"StatsResp": func(r *rand.Rand) codecCase {
-		in := StatsResp{Keys: r.Int63(), LockEntries: r.Int63(), FrozenLocks: r.Int63(), Versions: r.Int63()}
+		in := StatsResp{
+			Keys: r.Int63(), LockEntries: r.Int63(), FrozenLocks: r.Int63(), Versions: r.Int63(),
+			LiveTxns: r.Int63(), PurgedTxns: r.Int63(),
+		}
 		return codecCase{in.Encode(), func(b []byte) (bool, error) {
 			out, err := DecodeStatsResp(b)
+			return out == in, err
+		}}
+	},
+	"WaitGraphResp": func(r *rand.Rand) codecCase {
+		in := WaitGraphResp{Edges: randEdges(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeWaitGraphResp(b)
+			return slices.Equal(out.Edges, in.Edges), err
+		}}
+	},
+	"VictimAbortReq": func(r *rand.Rand) codecCase {
+		in := VictimAbortReq{Txn: r.Uint64(), Key: randWord(r)}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeVictimAbortReq(b)
 			return out == in, err
 		}}
 	},
@@ -175,13 +201,14 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"WriteLockBatchResp": func(r *rand.Rand) codecCase {
-		in := WriteLockBatchResp{Status: randStatus(r), Err: randWord(r)}
+		in := WriteLockBatchResp{Status: randStatus(r), Err: randWord(r), Edges: randEdges(r)}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Results = append(in.Results, WriteLockResult{Status: randStatus(r), Err: randWord(r), Got: randTSSet(r), Denied: randTSSet(r)})
 		}
 		return codecCase{in.Encode(), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockBatchResp(b)
-			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results)
+			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results) &&
+				slices.Equal(out.Edges, in.Edges)
 			if ok {
 				for i := range in.Results {
 					ok = ok && out.Results[i].Status == in.Results[i].Status &&

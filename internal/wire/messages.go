@@ -23,6 +23,12 @@ const (
 	StatusAborted
 	// StatusError carries a generic error message.
 	StatusError
+	// StatusDeadlock reports the request's transaction was chosen as a
+	// deadlock victim (locally by the server's wait-for graph, or
+	// remotely via a VictimAbortReq). Unlike StatusConflict it calls
+	// for an immediate retry with a fresh transaction — the conflicting
+	// work was aborted on purpose, not still running.
+	StatusDeadlock
 )
 
 // ReadLockReq asks the server to perform the read step for a key: pick
@@ -61,6 +67,10 @@ type ReadLockResp struct {
 	Value     []byte
 	// Got is the read-locked interval [VersionTS+1, ...]; may be empty.
 	Got timestamp.Interval
+	// Edges piggybacks the server's local wait-for edges on blocked or
+	// conflicted reads, feeding the coordinator's cross-server deadlock
+	// detector without an extra round trip.
+	Edges []WaitEdge
 }
 
 // Encode serializes the response.
@@ -71,6 +81,7 @@ func (m ReadLockResp) Encode() []byte {
 	e.TS(m.VersionTS)
 	e.Blob(m.Value)
 	e.Interval(m.Got)
+	e.Edges(m.Edges)
 	return e.Bytes()
 }
 
@@ -86,6 +97,7 @@ func DecodeReadLockResp(b []byte) (ReadLockResp, error) {
 	m.VersionTS = d.TS()
 	m.Value = d.Blob()
 	m.Got = d.Interval()
+	m.Edges = d.Edges()
 	return m, d.Err()
 }
 
@@ -314,15 +326,23 @@ func DecodeDecideReq(b []byte) (DecideReq, error) {
 	return m, d.Err()
 }
 
-// DecideResp carries the agreed outcome.
+// DecideResp carries the agreed outcome. Status distinguishes a real
+// decision (StatusOK) from a request-level failure such as a malformed
+// frame (StatusError) — previously a decode failure was reported as a
+// zero-valued "abort" decision, indistinguishable from the commitment
+// object actually deciding abort.
 type DecideResp struct {
-	Kind DecisionKind
-	TS   timestamp.Timestamp
+	Status Status
+	Err    string
+	Kind   DecisionKind
+	TS     timestamp.Timestamp
 }
 
 // Encode serializes the response.
 func (m DecideResp) Encode() []byte {
 	var e Encoder
+	e.status(m.Status)
+	e.Str(m.Err)
 	e.buf = append(e.buf, byte(m.Kind))
 	e.TS(m.TS)
 	return e.Bytes()
@@ -332,6 +352,8 @@ func (m DecideResp) Encode() []byte {
 func DecodeDecideResp(b []byte) (DecideResp, error) {
 	d := NewDecoder(b)
 	var m DecideResp
+	m.Status = d.status()
+	m.Err = d.Str()
 	k := d.take(1)
 	if k != nil {
 		m.Kind = DecisionKind(k[0])
@@ -360,8 +382,12 @@ func DecodePurgeReq(b []byte) (PurgeReq, error) {
 	return m, d.Err()
 }
 
-// PurgeResp reports how much state was discarded.
+// PurgeResp reports how much state was discarded. Status distinguishes
+// a successful purge from a request-level failure — previously a decode
+// failure was reported as a zero-valued success ("purged 0, OK").
 type PurgeResp struct {
+	Status   Status
+	Err      string
 	Versions int64
 	Locks    int64
 }
@@ -369,6 +395,8 @@ type PurgeResp struct {
 // Encode serializes the response.
 func (m PurgeResp) Encode() []byte {
 	var e Encoder
+	e.status(m.Status)
+	e.Str(m.Err)
 	e.I64(m.Versions)
 	e.I64(m.Locks)
 	return e.Bytes()
@@ -377,7 +405,7 @@ func (m PurgeResp) Encode() []byte {
 // DecodePurgeResp deserializes a PurgeResp.
 func DecodePurgeResp(b []byte) (PurgeResp, error) {
 	d := NewDecoder(b)
-	m := PurgeResp{Versions: d.I64(), Locks: d.I64()}
+	m := PurgeResp{Status: d.status(), Err: d.Str(), Versions: d.I64(), Locks: d.I64()}
 	return m, d.Err()
 }
 
@@ -388,6 +416,12 @@ type StatsResp struct {
 	LockEntries int64
 	FrozenLocks int64
 	Versions    int64
+	// LiveTxns is the number of transaction-state records currently
+	// retained; PurgedTxns counts records garbage-collected since the
+	// server started. Together they verify that finished-transaction GC
+	// keeps memory bounded under sustained load.
+	LiveTxns   int64
+	PurgedTxns int64
 }
 
 // Encode serializes the response.
@@ -397,12 +431,104 @@ func (m StatsResp) Encode() []byte {
 	e.I64(m.LockEntries)
 	e.I64(m.FrozenLocks)
 	e.I64(m.Versions)
+	e.I64(m.LiveTxns)
+	e.I64(m.PurgedTxns)
 	return e.Bytes()
 }
 
 // DecodeStatsResp deserializes a StatsResp.
 func DecodeStatsResp(b []byte) (StatsResp, error) {
 	d := NewDecoder(b)
-	m := StatsResp{Keys: d.I64(), LockEntries: d.I64(), FrozenLocks: d.I64(), Versions: d.I64()}
+	m := StatsResp{
+		Keys: d.I64(), LockEntries: d.I64(), FrozenLocks: d.I64(), Versions: d.I64(),
+		LiveTxns: d.I64(), PurgedTxns: d.I64(),
+	}
+	return m, d.Err()
+}
+
+// WaitEdge is one wait-for edge exported by a server: transaction
+// Waiter is blocked on a lock held by transaction Holder, on Key. A
+// coordinator merges edges from several servers into the global
+// wait-for graph; Key names the server where the waiter is parked, so a
+// victim abort can be routed there.
+type WaitEdge struct {
+	Waiter uint64
+	Holder uint64
+	Key    string
+}
+
+// Edges appends a length-prefixed sequence of wait-for edges.
+func (e *Encoder) Edges(v []WaitEdge) {
+	e.I32(int32(len(v)))
+	for _, x := range v {
+		e.U64(x.Waiter)
+		e.U64(x.Holder)
+		e.Str(x.Key)
+	}
+}
+
+// Edges consumes a length-prefixed sequence of wait-for edges.
+func (d *Decoder) Edges() []WaitEdge {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]WaitEdge, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		out = append(out, WaitEdge{Waiter: d.U64(), Holder: d.U64(), Key: d.Str()})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// WaitGraphResp answers a TWaitGraphReq (whose body is empty) with a
+// snapshot of the server's local wait-for edges. Coordinators poll it
+// while one of their lock requests is blocked and assemble the
+// cross-server wait-for graph.
+type WaitGraphResp struct {
+	Edges []WaitEdge
+}
+
+// Encode serializes the response.
+func (m WaitGraphResp) Encode() []byte {
+	var e Encoder
+	e.Edges(m.Edges)
+	return e.Bytes()
+}
+
+// DecodeWaitGraphResp deserializes a WaitGraphResp.
+func DecodeWaitGraphResp(b []byte) (WaitGraphResp, error) {
+	d := NewDecoder(b)
+	m := WaitGraphResp{Edges: d.Edges()}
+	return m, d.Err()
+}
+
+// VictimAbortReq tells the server that transaction Txn — currently
+// parked there, blocked on Key — was chosen as the victim of a
+// confirmed cross-server deadlock cycle (deterministically, the lowest
+// transaction id in the cycle). The server proposes abort through the
+// transaction's commitment object (the existing decide path) and wakes
+// the parked acquisition with a deadlock error, so the victim's
+// coordinator aborts and retries instead of sleeping out the lock-wait
+// timeout. The reply is an Ack (TVictimAbortResp).
+type VictimAbortReq struct {
+	Txn uint64
+	Key string
+}
+
+// Encode serializes the request.
+func (m VictimAbortReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.Str(m.Key)
+	return e.Bytes()
+}
+
+// DecodeVictimAbortReq deserializes a VictimAbortReq.
+func DecodeVictimAbortReq(b []byte) (VictimAbortReq, error) {
+	d := NewDecoder(b)
+	m := VictimAbortReq{Txn: d.U64(), Key: d.Str()}
 	return m, d.Err()
 }

@@ -48,6 +48,13 @@ const (
 	TFreezeBatchResp
 	TReleaseBatchReq
 	TReleaseBatchResp
+	// Cross-server deadlock detection: coordinators poll a server's
+	// local wait-for edges (TWaitGraphReq has an empty body) and abort
+	// the victim of a confirmed global cycle via TVictimAbortReq.
+	TWaitGraphReq
+	TWaitGraphResp
+	TVictimAbortReq
+	TVictimAbortResp
 )
 
 // MaxFrameSize bounds a frame to keep a malformed peer from forcing a

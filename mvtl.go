@@ -249,6 +249,12 @@ func (s *Store) Purge(nowMicros, ageMicros int64) (versions, locks int) {
 // caller may retry with a new transaction).
 func IsAborted(err error) bool { return errors.Is(err, kv.ErrAborted) }
 
+// IsDeadlock reports whether err indicates the transaction was aborted
+// as a deadlock victim. Victims should be retried immediately — the
+// conflicting work was aborted on purpose — where other aborts warrant
+// a backoff. IsAborted also holds for such errors.
+func IsDeadlock(err error) bool { return errors.Is(err, kv.ErrDeadlock) }
+
 // Txn is a transaction over a Store. Not safe for concurrent use by
 // multiple goroutines.
 type Txn struct {

@@ -47,6 +47,44 @@ func TestAllAlgorithmsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLocalDeadlockClassified: a local AB-BA upgrade deadlock under the
+// pessimistic (2PL) algorithm must surface as both IsAborted and
+// IsDeadlock, so callers can retry the victim immediately — the same
+// classification the distributed client derives from the deadlock
+// status code.
+func TestLocalDeadlockClassified(t *testing.T) {
+	s := mvtl.Open(mvtl.Options{Algorithm: mvtl.Pessimistic})
+	ctx := context.Background()
+	tx1, _ := s.Begin(ctx)
+	tx2, _ := s.Begin(ctx)
+	if err := tx1.Set(ctx, "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Set(ctx, "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		err := tx1.Set(ctx, "b", []byte("1"))
+		if err == nil {
+			err = tx1.Commit(ctx)
+		}
+		done <- err
+	}()
+	err2 := tx2.Set(ctx, "a", []byte("2"))
+	err1 := <-done
+	victim := err1
+	if victim == nil {
+		victim = err2
+	}
+	if victim == nil {
+		t.Fatal("AB-BA produced no victim")
+	}
+	if !mvtl.IsAborted(victim) || !mvtl.IsDeadlock(victim) {
+		t.Fatalf("victim error must classify as aborted deadlock: %v", victim)
+	}
+}
+
 func TestUpdateAndView(t *testing.T) {
 	s := mvtl.Open(mvtl.Options{})
 	ctx := context.Background()
