@@ -8,6 +8,7 @@
 //	mvtl-bench -exp fig1
 //	mvtl-bench -exp all -measure 3s -clients 8,16,32,64,128
 //	mvtl-bench -exp cell -mode mvtil-early -servers 4 -nclients 64
+//	mvtl-bench -exp cell -mode mvto+ -transport tcp -conns 4 -servers 4
 package main
 
 import (
@@ -70,6 +71,8 @@ func main() {
 	writes := flag.Float64("writes", 0.25, "write fraction for -exp cell")
 	keys := flag.Int("keys", 10000, "keyspace for -exp cell")
 	cloud := flag.Bool("cloud", false, "use the cloud bed for -exp cell")
+	transportFlag := flag.String("transport", "mem", "network for -exp cell: mem (latency model) or tcp (real loopback sockets)")
+	conns := flag.Int("conns", 0, "RPC connections per server per coordinator for -exp cell (0 = default of 1)")
 	flag.Parse()
 
 	points, err := parseClients(*clients)
@@ -108,8 +111,16 @@ func main() {
 		if *cloud {
 			bed = cluster.BedCloud
 		}
+		var tcp bool
+		switch *transportFlag {
+		case "mem":
+		case "tcp":
+			tcp = true
+		default:
+			log.Fatalf("unknown transport %q (mem, tcp)", *transportFlag)
+		}
 		row, err := bench.RunCell(ctx, bench.Cell{
-			Mode: mode, Bed: bed, Servers: *servers,
+			Mode: mode, Bed: bed, Servers: *servers, TCP: tcp, Conns: *conns,
 			Clients: *nclients, OpsPerTxn: *ops, WriteFrac: *writes, Keys: *keys,
 			Delta: 5000, WarmUp: *warmup, Measure: *measure,
 		})

@@ -25,6 +25,7 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/kv"
 	"github.com/lpd-epfl/mvtl/internal/metrics"
 	"github.com/lpd-epfl/mvtl/internal/server"
+	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/workload"
 )
 
@@ -42,6 +43,13 @@ type Cell struct {
 	Bed     cluster.Bed
 	Servers int
 	Clients int
+	// TCP runs the cell over real loopback sockets instead of the
+	// bed's in-memory latency model, so batching and pipelining wins
+	// are measured against actual per-frame syscalls.
+	TCP bool
+	// Conns sizes each coordinator's RPC connection pool per server
+	// (0 = the single-connection default).
+	Conns int
 	// Workload shape (§8.3).
 	OpsPerTxn int
 	WriteFrac float64
@@ -67,8 +75,15 @@ type Row struct {
 
 // String renders the row as a table line.
 func (r Row) String() string {
-	return fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d | %8.0f txs/s  commit=%.3f",
-		r.Mode, r.Servers, r.Clients, r.OpsPerTxn, r.WriteFrac*100, r.Keys, r.Throughput, r.CommitRate)
+	net := ""
+	if r.TCP {
+		net = " tcp"
+	}
+	if r.Conns > 1 {
+		net += fmt.Sprintf(" conns=%d", r.Conns)
+	}
+	return fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d%s | %8.0f txs/s  commit=%.3f",
+		r.Mode, r.Servers, r.Clients, r.OpsPerTxn, r.WriteFrac*100, r.Keys, net, r.Throughput, r.CommitRate)
 }
 
 // pool round-robins Begin across several coordinator connections so that
@@ -101,9 +116,15 @@ func coordinatorsFor(clients int) int {
 
 // RunCell measures one cell on a fresh cluster.
 func RunCell(ctx context.Context, cell Cell) (Row, error) {
+	var network transport.Network
+	if cell.TCP {
+		network = transport.TCP{}
+	}
 	c, err := cluster.Start(cluster.Config{
-		Servers: cell.Servers,
-		Bed:     cell.Bed,
+		Servers:        cell.Servers,
+		Bed:            cell.Bed,
+		Network:        network,
+		ConnsPerServer: cell.Conns,
 		ServerConfig: server.Config{
 			LockWaitTimeout:  500 * time.Millisecond,
 			WriteLockTimeout: 2 * time.Second,

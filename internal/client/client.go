@@ -26,6 +26,7 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
+	"github.com/lpd-epfl/mvtl/internal/rpc"
 	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/transport"
@@ -89,6 +90,17 @@ type Config struct {
 	// disables the detector, leaving cross-server cycles to the
 	// server-side lock-wait timeout.
 	DeadlockPoll time.Duration
+	// ConnsPerServer sizes the RPC connection pool per server (see
+	// package rpc). The default of one preserves strict FIFO ordering
+	// of this coordinator's frames to each server — and with it
+	// read-your-own-writes freshness across this coordinator's
+	// transactions after a fire-and-forget freeze. Larger pools lift
+	// per-connection throughput under many concurrent transactions;
+	// frames then stay FIFO only within one transaction, so another
+	// transaction's read may overtake an earlier commit's freeze and
+	// observe the previous version (still serializable, possibly
+	// stale).
+	ConnsPerServer int
 }
 
 // Client coordinates transactions from one client process.
@@ -99,7 +111,7 @@ type Client struct {
 	det *detector
 
 	mu     sync.Mutex
-	conns  map[string]*rpcConn
+	conns  map[string]*rpc.Client
 	nextSq uint32
 }
 
@@ -130,7 +142,7 @@ func New(cfg Config) (*Client, error) {
 	c := &Client{
 		cfg:   cfg,
 		clk:   clock.NewProcess(src, cfg.ID),
-		conns: make(map[string]*rpcConn),
+		conns: make(map[string]*rpc.Client),
 	}
 	if cfg.DeadlockPoll >= 0 {
 		poll := cfg.DeadlockPoll
@@ -150,10 +162,10 @@ func (c *Client) Close() error {
 	}
 	c.mu.Lock()
 	conns := c.conns
-	c.conns = map[string]*rpcConn{}
+	c.conns = map[string]*rpc.Client{}
 	c.mu.Unlock()
 	for _, conn := range conns {
-		conn.close()
+		_ = conn.Close()
 	}
 	return nil
 }
@@ -168,59 +180,43 @@ func (c *Client) serverFor(key string) string {
 	return c.cfg.Servers[strhash.FNV1a(key)%uint32(len(c.cfg.Servers))]
 }
 
-// conn returns (dialing if needed) the connection to addr.
-func (c *Client) conn(addr string) (*rpcConn, error) {
-	c.mu.Lock()
-	rc, ok := c.conns[addr]
-	c.mu.Unlock()
-	if ok {
-		return rc, nil
-	}
-	nc, err := c.cfg.Network.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
+// conn returns the pooled RPC client for addr, creating it on first
+// use; dial errors surface lazily from the calls themselves.
+func (c *Client) conn(addr string) *rpc.Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if existing, ok := c.conns[addr]; ok {
-		_ = nc.Close()
-		return existing, nil
+	rc, ok := c.conns[addr]
+	if !ok {
+		rc = rpc.NewClient(c.cfg.Network, addr, c.cfg.ConnsPerServer)
+		c.conns[addr] = rc
 	}
-	rc = newRPCConn(nc)
-	c.conns[addr] = rc
-	return rc, nil
+	return rc
 }
 
-// call performs one RPC against the server owning addr.
-func (c *Client) call(ctx context.Context, addr string, t wire.MsgType, body []byte) (wire.Frame, error) {
-	rc, err := c.conn(addr)
-	if err != nil {
-		return wire.Frame{}, err
-	}
-	return rc.call(ctx, t, body)
+// call performs one RPC against the server at addr. flow pins all
+// frames of one transaction to one pooled connection (FIFO within the
+// flow); callers outside any transaction pass 0.
+func (c *Client) call(ctx context.Context, addr string, flow uint64, t wire.MsgType, body []byte) (wire.Frame, error) {
+	return c.conn(addr).Call(ctx, flow, t, body)
 }
 
 // callWaitable is call for lock requests that may park server-side:
 // when wait is set, the RPC is bracketed by the deadlock detector's
 // blocked-call tracking, which is what switches its polling on.
-func (c *Client) callWaitable(ctx context.Context, addr string, t wire.MsgType, body []byte, wait bool) (wire.Frame, error) {
+func (c *Client) callWaitable(ctx context.Context, addr string, flow uint64, t wire.MsgType, body []byte, wait bool) (wire.Frame, error) {
 	if wait && c.det != nil {
 		c.det.enter()
 		defer c.det.exit()
 	}
-	return c.call(ctx, addr, t, body)
+	return c.call(ctx, addr, flow, t, body)
 }
 
 // cast sends a one-way message to addr without waiting for the reply
-// (Alg. 11's freeze and release sends). Per-connection FIFO ordering
-// guarantees that this client's subsequent requests to the same server
-// observe the message's effects.
-func (c *Client) cast(addr string, t wire.MsgType, body []byte) error {
-	rc, err := c.conn(addr)
-	if err != nil {
-		return err
-	}
-	return rc.cast(t, body)
+// (Alg. 11's freeze and release sends). Per-flow FIFO ordering
+// guarantees that the transaction's subsequent frames to the same
+// server observe the message's effects.
+func (c *Client) cast(addr string, flow uint64, t wire.MsgType, body []byte) error {
+	return c.conn(addr).Cast(flow, t, body)
 }
 
 // Begin implements kv.DB.
@@ -262,7 +258,7 @@ func (c *Client) Begin(ctx context.Context) (kv.Txn, error) {
 
 // ServerStats queries one server's state-size statistics (Figure 6).
 func (c *Client) ServerStats(ctx context.Context, addr string) (wire.StatsResp, error) {
-	f, err := c.call(ctx, addr, wire.TStatsReq, nil)
+	f, err := c.call(ctx, addr, 0, wire.TStatsReq, nil)
 	if err != nil {
 		return wire.StatsResp{}, err
 	}
@@ -273,7 +269,7 @@ func (c *Client) ServerStats(ctx context.Context, addr string) (wire.StatsResp, 
 // totals; the timestamp service calls this periodically (§8.1).
 func (c *Client) PurgeServers(ctx context.Context, bound timestamp.Timestamp) (versions, locks int64, err error) {
 	for _, addr := range c.cfg.Servers {
-		f, callErr := c.call(ctx, addr, wire.TPurgeReq, wire.PurgeReq{Bound: bound}.Encode())
+		f, callErr := c.call(ctx, addr, 0, wire.TPurgeReq, wire.PurgeReq{Bound: bound}.Encode())
 		if callErr != nil {
 			return versions, locks, callErr
 		}

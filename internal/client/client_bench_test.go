@@ -16,14 +16,24 @@ import (
 // given one-way latency and returns a coordinator in the given mode.
 func benchCluster(b *testing.B, servers int, mode client.Mode, latency time.Duration) *client.Client {
 	b.Helper()
-	n := transport.NewMem(transport.LatencyModel{Base: latency})
+	return benchClusterNet(b, transport.NewMem(transport.LatencyModel{Base: latency}), servers, mode)
+}
+
+// benchClusterNet is benchCluster over an arbitrary transport (TCP
+// binds loopback ephemeral ports).
+func benchClusterNet(b *testing.B, n transport.Network, servers int, mode client.Mode) *client.Client {
+	b.Helper()
 	addrs := make([]string, servers)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("srv-%d", i)
+		if _, isTCP := n.(transport.TCP); isTCP {
+			addrs[i] = "127.0.0.1:0"
+		}
 		srv, err := server.New(server.Config{Addr: addrs[i], Network: n})
 		if err != nil {
 			b.Fatal(err)
 		}
+		addrs[i] = srv.Addr()
 		b.Cleanup(func() { _ = srv.Close() })
 	}
 	cl, err := client.New(client.Config{ID: 1, Servers: addrs, Network: n, Mode: mode})
@@ -102,6 +112,77 @@ func BenchmarkDistributedAbortRelease(b *testing.B) {
 		}
 		if err := tx.Abort(ctx); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedReadPath measures a 16-key static read set over 4
+// servers, on the Mem latency bed (200µs one-way) and over real TCP
+// loopback sockets. Sequential Reads pay one round trip per key (O(R));
+// GetMulti groups the set by owning server and pays one batched,
+// parallel round trip per server (O(S), overlapped — the wall clock is
+// a single round trip). This is the read-side mirror of
+// BenchmarkDistributedCommitTO.
+func BenchmarkDistributedReadPath(b *testing.B) {
+	const servers, reads = 4, 16
+	for _, bed := range []struct {
+		name string
+		net  func() transport.Network
+	}{
+		{"mem", func() transport.Network {
+			return transport.NewMem(transport.LatencyModel{Base: 200 * time.Microsecond})
+		}},
+		{"tcp", func() transport.Network { return transport.TCP{} }},
+	} {
+		for _, batched := range []struct {
+			name string
+			on   bool
+		}{{"sequential", false}, {"getmulti", true}} {
+			b.Run(bed.name+"/"+batched.name, func(b *testing.B) {
+				cl := benchClusterNet(b, bed.net(), servers, client.ModeTILEarly)
+				ctx := context.Background()
+				keys := make([]string, reads)
+				for i := range keys {
+					keys[i] = fmt.Sprintf("key-%03d", i)
+				}
+				seed, err := cl.Begin(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, k := range keys {
+					if err := seed.Write(ctx, k, []byte("v")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := seed.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tx, err := cl.Begin(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if batched.on {
+						got, err := tx.(*client.DTxn).GetMulti(ctx, keys)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(got) != reads {
+							b.Fatalf("got %d values", len(got))
+						}
+					} else {
+						for _, k := range keys {
+							if _, err := tx.Read(ctx, k); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					if err := tx.Commit(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -2,13 +2,9 @@ package client
 
 import (
 	"context"
-	"errors"
-	"sync"
 	"testing"
-	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/transport"
-	"github.com/lpd-epfl/mvtl/internal/wire"
 )
 
 func TestConfigValidation(t *testing.T) {
@@ -79,124 +75,6 @@ func TestTxnIDsEmbedClientID(t *testing.T) {
 	}
 }
 
-// echoServer answers every frame with an empty OK ack of the matching
-// response type, after an optional delay.
-func echoServer(t *testing.T, n transport.Network, addr string, delay time.Duration) {
-	t.Helper()
-	l, err := n.Listen(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = l.Close() })
-	go func() {
-		for {
-			conn, err := l.Accept()
-			if err != nil {
-				return
-			}
-			go func(conn transport.Conn) {
-				var mu sync.Mutex
-				for {
-					f, err := conn.Recv()
-					if err != nil {
-						return
-					}
-					go func(f wire.Frame) {
-						if delay > 0 {
-							time.Sleep(delay)
-						}
-						mu.Lock()
-						defer mu.Unlock()
-						_ = conn.Send(wire.Frame{ID: f.ID, Type: f.Type + 1, Body: wire.Ack{Status: wire.StatusOK}.Encode()})
-					}(f)
-				}
-			}(conn)
-		}
-	}()
-}
-
-func TestRPCConnMultiplexing(t *testing.T) {
-	n := transport.NewMem(transport.LatencyModel{})
-	echoServer(t, n, "echo", 2*time.Millisecond)
-	conn, err := n.Dial("echo")
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc := newRPCConn(conn)
-	defer rc.close()
-
-	const inflight = 24
-	var wg sync.WaitGroup
-	errs := make(chan error, inflight)
-	for i := 0; i < inflight; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			if _, err := rc.call(ctx, wire.TReleaseReq, nil); err != nil {
-				errs <- err
-			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
-	}
-}
-
-func TestRPCConnCallTimeout(t *testing.T) {
-	n := transport.NewMem(transport.LatencyModel{})
-	echoServer(t, n, "slow", 500*time.Millisecond)
-	conn, _ := n.Dial("slow")
-	rc := newRPCConn(conn)
-	defer rc.close()
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	if _, err := rc.call(ctx, wire.TReleaseReq, nil); !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("want DeadlineExceeded, got %v", err)
-	}
-}
-
-func TestRPCConnClosedErrors(t *testing.T) {
-	n := transport.NewMem(transport.LatencyModel{})
-	echoServer(t, n, "echo2", 0)
-	conn, _ := n.Dial("echo2")
-	rc := newRPCConn(conn)
-	rc.close()
-	if _, err := rc.call(context.Background(), wire.TReleaseReq, nil); !errors.Is(err, ErrConnClosed) {
-		t.Fatalf("want ErrConnClosed, got %v", err)
-	}
-}
-
-func TestRPCConnServerDisappears(t *testing.T) {
-	n := transport.NewMem(transport.LatencyModel{})
-	l, err := n.Listen("flaky")
-	if err != nil {
-		t.Fatal(err)
-	}
-	accepted := make(chan transport.Conn, 1)
-	go func() {
-		c, err := l.Accept()
-		if err == nil {
-			accepted <- c
-		}
-	}()
-	conn, _ := n.Dial("flaky")
-	rc := newRPCConn(conn)
-	defer rc.close()
-	srvConn := <-accepted
-	done := make(chan error, 1)
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		defer cancel()
-		_, err := rc.call(ctx, wire.TReleaseReq, nil)
-		done <- err
-	}()
-	time.Sleep(10 * time.Millisecond)
-	_ = srvConn.Close() // server dies mid-call
-	if err := <-done; err == nil {
-		t.Fatal("call must fail when the server connection drops")
-	}
-}
+// The former rpcConn tests (multiplexing, timeout, closed-connection
+// errors, server disappearing mid-call) moved with the implementation
+// to internal/rpc.

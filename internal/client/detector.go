@@ -155,7 +155,7 @@ func (d *detector) pollOnce() {
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
-			f, err := d.c.call(ctx, addr, wire.TWaitGraphReq, nil)
+			f, err := d.c.call(ctx, addr, 0, wire.TWaitGraphReq, nil)
 			if err != nil {
 				return
 			}
@@ -176,6 +176,6 @@ func (d *detector) pollOnce() {
 func (d *detector) abortVictim(v deadlock.Victim) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
-	_, _ = d.c.call(ctx, d.c.serverFor(v.Key), wire.TVictimAbortReq,
+	_, _ = d.c.call(ctx, d.c.serverFor(v.Key), 0, wire.TVictimAbortReq,
 		wire.VictimAbortReq{Txn: v.Txn, Key: v.Key}.Encode())
 }

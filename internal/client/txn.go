@@ -58,16 +58,54 @@ func (tx *DTxn) abortErr(ctx context.Context, cause error) error {
 	return fmt.Errorf("%w (%w)", kv.ErrAborted, cause)
 }
 
-// Read implements kv.Txn (Alg. 11 lines 10-14).
+// Read implements kv.Txn (Alg. 11 lines 10-14): a batch of one key
+// through GetMulti, exactly as the server's single-key read handler is
+// a batch of one server-side — one read path, two entry points.
 func (tx *DTxn) Read(ctx context.Context, key string) ([]byte, error) {
+	out, err := tx.GetMulti(ctx, []string{key})
+	if err != nil {
+		return nil, err
+	}
+	return out[key], nil
+}
+
+// GetMulti implements kv.MultiGetter: it reads a static set of keys,
+// grouping them by owning server and issuing one batched read-lock
+// request per server in parallel, so an R-key read set costs O(servers)
+// round trips instead of O(R) — mirroring the write-side batching of
+// Commit. Duplicate keys are read once; keys the transaction has
+// written are served from the write buffer. The returned map has one
+// entry per distinct key (a nil value means ⊥). Any per-key failure
+// aborts the transaction, as a failed Read would.
+//
+// The whole batch is requested under the transaction's upper bound at
+// call time: under MVTIL a batched read may pick a newer version than a
+// sequential Read loop (whose interval shrinks between reads) and abort
+// where the loop would have settled for an older version — retry as
+// with any abort.
+func (tx *DTxn) GetMulti(ctx context.Context, keys []string) (map[string][]byte, error) {
 	if tx.done {
 		return nil, kv.ErrTxnDone
 	}
-	if v, ok := tx.writes[key]; ok {
-		return v, nil
+	out := make(map[string][]byte, len(keys))
+	remote := make([]string, 0, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if v, ok := tx.writes[k]; ok {
+			out[k] = v
+			continue
+		}
+		remote = append(remote, k)
 	}
-	mode := tx.client.cfg.Mode
+	if len(remote) == 0 {
+		return out, nil
+	}
 
+	mode := tx.client.cfg.Mode
 	var upper timestamp.Timestamp
 	wait := false
 	switch mode {
@@ -83,48 +121,78 @@ func (tx *DTxn) Read(ctx context.Context, key string) ([]byte, error) {
 		upper, wait = timestamp.Infinity, true
 	}
 
-	addr := tx.client.serverFor(key)
-	f, err := tx.client.callWaitable(ctx, addr, wire.TReadLockReq,
-		wire.ReadLockReq{Txn: tx.id, Key: key, Upper: upper, Wait: wait}.Encode(), wait)
-	if err != nil {
-		return nil, tx.abortErr(ctx, err)
-	}
-	resp, err := wire.DecodeReadLockResp(f.Body)
-	if err != nil {
-		return nil, tx.abortErr(ctx, err)
-	}
-	if det := tx.client.det; det != nil {
-		det.observe(addr, resp.Edges)
-	}
-	if resp.Status != wire.StatusOK {
-		if resp.Status == wire.StatusDeadlock {
-			return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %w: %s", key, kv.ErrDeadlock, resp.Err))
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(remote), wire.TReadLockBatchReq, wait, func(keys []string) []byte {
+		return wire.ReadLockBatchReq{Txn: tx.id, Upper: upper, Wait: wait, Keys: keys}.Encode()
+	})
+	byKey := make(map[string]wire.ReadLockResult, len(remote))
+	var firstErr error
+	for _, r := range batches {
+		var resp wire.ReadLockBatchResp
+		if r.err == nil {
+			resp, r.err = wire.DecodeReadLockBatchResp(r.frame.Body)
 		}
-		return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %s", key, resp.Err))
+		if det := tx.client.det; det != nil && r.err == nil {
+			det.observe(r.addr, resp.Edges)
+		}
+		switch {
+		case r.err != nil:
+			// fall through with the transport/codec error
+		case resp.Status != wire.StatusOK:
+			r.err = fmt.Errorf("read batch via %s: %s", r.addr, resp.Err)
+		case len(resp.Results) != len(r.keys):
+			r.err = fmt.Errorf("read batch via %s: %d results for %d keys", r.addr, len(resp.Results), len(r.keys))
+		}
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for i, k := range r.keys {
+			byKey[k] = resp.Results[i]
+		}
 	}
-	tx.touched[key] = true
-	if _, seen := tx.readVers[key]; !seen {
-		tx.readOrder = append(tx.readOrder, key)
+	// Record every acquired lock before acting on any failure: the
+	// abort path releases what tx.touched names, so a key locked on a
+	// healthy server must be tracked even when a sibling batch failed
+	// or an earlier key in the fold below aborts the transaction —
+	// otherwise its read locks would linger server-side until purge.
+	for k, res := range byKey {
+		if res.Status == wire.StatusOK {
+			tx.touched[k] = true
+			tx.readLocked[k] = tx.readLocked[k].Union(setOf(res.Got))
+		}
 	}
-	tx.readVers[key] = resp.VersionTS
-	tx.readLocked[key] = tx.readLocked[key].Union(setOf(resp.Got))
+	if firstErr != nil {
+		return nil, tx.abortErr(ctx, firstErr)
+	}
 
-	switch mode {
-	case ModeTILEarly, ModeTILLate:
-		if resp.Got.IsEmpty() {
-			return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q locked nothing", key))
+	// Fold per-key results in the caller's key order, so interval
+	// narrowing and the reported abort cause are deterministic.
+	for _, k := range remote {
+		res := byKey[k]
+		if res.Status != wire.StatusOK {
+			if res.Status == wire.StatusDeadlock {
+				return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %w: %s", k, kv.ErrDeadlock, res.Err))
+			}
+			return nil, tx.abortErr(ctx, fmt.Errorf("read %q: %s", k, res.Err))
 		}
-		tx.interval = tx.interval.IntersectInterval(timestamp.Span(resp.VersionTS.Next(), resp.Got.Hi))
-		if tx.interval.IsEmpty() {
-			return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q emptied the interval", key))
+		if _, read := tx.readVers[k]; !read {
+			tx.readOrder = append(tx.readOrder, k)
 		}
-	case ModeTO:
-		// The commit check requires tx.ts locked; a short prefix will
-		// surface as an abort at commit, matching MVTO+.
-	case ModePessimistic:
-		// The read locks the tail; nothing to track beyond Got.
+		tx.readVers[k] = res.VersionTS
+		out[k] = res.Value
+		if mode == ModeTILEarly || mode == ModeTILLate {
+			if res.Got.IsEmpty() {
+				return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q locked nothing", k))
+			}
+			tx.interval = tx.interval.IntersectInterval(timestamp.Span(res.VersionTS.Next(), res.Got.Hi))
+			if tx.interval.IsEmpty() {
+				return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q emptied the interval", k))
+			}
+		}
 	}
-	return resp.Value, nil
+	return out, nil
 }
 
 // Write implements kv.Txn (Alg. 11 lines 3-9).
@@ -176,7 +244,7 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 	if tx.decisionSrv == "" {
 		tx.decisionSrv = addr
 	}
-	f, err := tx.client.callWaitable(ctx, addr, wire.TWriteLockReq, wire.WriteLockReq{
+	f, err := tx.client.callWaitable(ctx, addr, tx.id, wire.TWriteLockReq, wire.WriteLockReq{
 		Txn:         tx.id,
 		Key:         key,
 		DecisionSrv: tx.decisionSrv,
@@ -220,52 +288,63 @@ func (tx *DTxn) serverGroups(keys []string) map[string][]string {
 	return groups
 }
 
+// serverBatch is one settled per-server batch request: the group's keys
+// and either the raw response frame or the transport error.
+type serverBatch struct {
+	addr  string
+	keys  []string
+	frame wire.Frame
+	err   error
+}
+
+// fanOutBatches issues one request per server group in parallel —
+// encode builds a group's body from its keys — and returns once every
+// batch has settled. It is the shared scaffold of the batched read and
+// write paths; decoding and per-key folding stay with the caller.
+func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, encode func(keys []string) []byte) []serverBatch {
+	results := make(chan serverBatch, len(groups))
+	for addr, keys := range groups {
+		go func(addr string, keys []string) {
+			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, encode(keys), wait)
+			results <- serverBatch{addr: addr, keys: keys, frame: f, err: err}
+		}(addr, keys)
+	}
+	out := make([]serverBatch, 0, len(groups))
+	for range groups {
+		out = append(out, <-results)
+	}
+	return out
+}
+
 // writeLockBatches write-locks the transaction's whole write set at ts
 // with one batch request per server, fanning out across servers in
 // parallel: a W-write commit costs O(servers) round trips instead of
 // O(W). Acquired sets are folded into writeLocked; the first per-key
 // denial or transport failure is returned after all batches settle.
 func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) error {
-	groups := tx.serverGroups(tx.writeOrder)
-	type batchResult struct {
-		addr string
-		keys []string
-		resp wire.WriteLockBatchResp
-		err  error
-	}
-	results := make(chan batchResult, len(groups))
-	for addr, keys := range groups {
-		go func(addr string, keys []string) {
-			items := make([]wire.WriteLockItem, len(keys))
-			for i, k := range keys {
-				items[i] = wire.WriteLockItem{Key: k, Set: setOf(timestamp.Point(ts)), Value: tx.writes[k]}
-			}
-			f, err := tx.client.call(ctx, addr, wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
-				Txn:         tx.id,
-				DecisionSrv: tx.decisionSrv,
-				Items:       items,
-			}.Encode())
-			if err != nil {
-				results <- batchResult{addr: addr, keys: keys, err: err}
-				return
-			}
-			resp, err := wire.DecodeWriteLockBatchResp(f.Body)
-			results <- batchResult{addr: addr, keys: keys, resp: resp, err: err}
-		}(addr, keys)
-	}
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(tx.writeOrder), wire.TWriteLockBatchReq, false, func(keys []string) []byte {
+		items := make([]wire.WriteLockItem, len(keys))
+		for i, k := range keys {
+			items[i] = wire.WriteLockItem{Key: k, Set: setOf(timestamp.Point(ts)), Value: tx.writes[k]}
+		}
+		return wire.WriteLockBatchReq{Txn: tx.id, DecisionSrv: tx.decisionSrv, Items: items}.Encode()
+	})
 	var firstErr error
-	for range groups {
-		r := <-results
+	for _, r := range batches {
+		var resp wire.WriteLockBatchResp
+		if r.err == nil {
+			resp, r.err = wire.DecodeWriteLockBatchResp(r.frame.Body)
+		}
 		if det := tx.client.det; det != nil && r.err == nil {
-			det.observe(r.addr, r.resp.Edges)
+			det.observe(r.addr, resp.Edges)
 		}
 		switch {
 		case r.err != nil:
 			// fall through with the transport/codec error
-		case r.resp.Status != wire.StatusOK:
-			r.err = fmt.Errorf("write-lock batch: %s", r.resp.Err)
-		case len(r.resp.Results) != len(r.keys):
-			r.err = fmt.Errorf("write-lock batch: %d results for %d keys", len(r.resp.Results), len(r.keys))
+		case resp.Status != wire.StatusOK:
+			r.err = fmt.Errorf("write-lock batch: %s", resp.Err)
+		case len(resp.Results) != len(r.keys):
+			r.err = fmt.Errorf("write-lock batch: %d results for %d keys", len(resp.Results), len(r.keys))
 		}
 		if r.err != nil {
 			if firstErr == nil {
@@ -274,7 +353,7 @@ func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) er
 			continue
 		}
 		for i, k := range r.keys {
-			res := r.resp.Results[i]
+			res := resp.Results[i]
 			if res.Status != wire.StatusOK || !res.Got.Contains(ts) {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("write-lock %q at %v denied: %s", k, ts, res.Err)
@@ -406,7 +485,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 		}
 	}
 	for addr, fb := range freeze {
-		if err := tx.client.cast(addr, wire.TFreezeBatchReq, fb.Encode()); err != nil {
+		if err := tx.client.cast(addr, tx.id, wire.TFreezeBatchReq, fb.Encode()); err != nil {
 			return fmt.Errorf("client: freeze batch via %s: %w", addr, err)
 		}
 	}
@@ -448,7 +527,7 @@ func (tx *DTxn) releaseAll(writesOnly bool) {
 		touched = append(touched, key)
 	}
 	for addr, keys := range tx.serverGroups(touched) {
-		_ = tx.client.cast(addr, wire.TReleaseBatchReq,
+		_ = tx.client.cast(addr, tx.id, wire.TReleaseBatchReq,
 			wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly, Keys: keys}.Encode())
 	}
 }
@@ -460,7 +539,7 @@ func (tx *DTxn) decide(ctx context.Context, kind wire.DecisionKind, ts timestamp
 	if tx.decisionSrv == "" {
 		return wire.DecideResp{Status: wire.StatusOK, Kind: kind, TS: ts}, nil
 	}
-	f, err := tx.client.call(ctx, tx.decisionSrv, wire.TDecideReq,
+	f, err := tx.client.call(ctx, tx.decisionSrv, tx.id, wire.TDecideReq,
 		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts}.Encode())
 	if err != nil {
 		return wire.DecideResp{}, err

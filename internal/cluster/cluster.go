@@ -63,6 +63,10 @@ type Config struct {
 	// Recorder, when non-nil, is handed to every client for
 	// serializability checking.
 	Recorder *history.Recorder
+	// ConnsPerServer sizes every coordinator's RPC connection pool per
+	// server (see client.Config.ConnsPerServer); zero keeps the
+	// single-connection default.
+	ConnsPerServer int
 }
 
 // Cluster is a running set of servers plus the plumbing to create
@@ -96,6 +100,11 @@ func Start(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.Servers; i++ {
 		scfg := cfg.ServerConfig
 		scfg.Addr = fmt.Sprintf("server-%d", i)
+		if _, isTCP := network.(transport.TCP); isTCP {
+			// Real sockets: bind loopback ephemeral ports; the server's
+			// identity is the resolved srv.Addr().
+			scfg.Addr = "127.0.0.1:0"
+		}
 		scfg.Network = network
 		srv, err := server.New(scfg)
 		if err != nil {
@@ -122,13 +131,14 @@ func (c *Cluster) NewClient(mode client.Mode, delta int64, src clock.Source) (*c
 	c.nextClientID++
 	c.mu.Unlock()
 	cl, err := client.New(client.Config{
-		ID:       id,
-		Servers:  c.addrs,
-		Network:  c.network,
-		Mode:     mode,
-		Delta:    delta,
-		Clock:    src,
-		Recorder: c.cfg.Recorder,
+		ID:             id,
+		Servers:        c.addrs,
+		Network:        c.network,
+		Mode:           mode,
+		Delta:          delta,
+		Clock:          src,
+		Recorder:       c.cfg.Recorder,
+		ConnsPerServer: c.cfg.ConnsPerServer,
 	})
 	if err != nil {
 		return nil, err

@@ -32,6 +32,37 @@ type DB interface {
 	Begin(ctx context.Context) (Txn, error)
 }
 
+// MultiGetter is the optional batched read interface: transactions with
+// a remote read path implement it to fetch a whole static read set in
+// one round trip per storage server instead of one per key. Semantics
+// match a loop of Read calls (buffered writes are served locally, a nil
+// value means ⊥), except that all keys are read under the transaction's
+// bound at call time.
+type MultiGetter interface {
+	GetMulti(ctx context.Context, keys []string) (map[string][]byte, error)
+}
+
+// GetMulti reads keys through tx's batched read path when it has one,
+// falling back to one Read per key. The result has one entry per
+// distinct key.
+func GetMulti(ctx context.Context, tx Txn, keys []string) (map[string][]byte, error) {
+	if mg, ok := tx.(MultiGetter); ok {
+		return mg.GetMulti(ctx, keys)
+	}
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if _, done := out[k]; done {
+			continue // duplicates read once, as in the batched path
+		}
+		v, err := tx.Read(ctx, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
 // Txn is a single transaction. Implementations are not safe for
 // concurrent use by multiple goroutines; each transaction belongs to one
 // client thread (§8.1).

@@ -1,0 +1,329 @@
+// Package rpc is the multiplexed request/response layer between
+// coordinators and storage servers: many goroutines issue RPCs against
+// one server and share a small pool of pipelined transport connections
+// instead of waiting for each other's replies.
+//
+// # Wire format
+//
+// Every request is one wire.Frame whose ID field is a correlation id,
+// allocated from a per-connection counter and never reused for the
+// lifetime of the connection. The response to a request is the frame
+// carrying the same ID back; responses may arrive in any order (server
+// handlers block on locks independently), and a per-connection demux
+// goroutine routes each response frame to the channel of the one call
+// that sent its ID. A response whose ID matches no outstanding call —
+// e.g. the reply to a call whose context was cancelled, or to a Cast —
+// is dropped. A call can therefore never observe another call's
+// response.
+//
+// # Pool semantics and ordering
+//
+// A Client owns up to `conns` connections to one address, dialed
+// lazily. Every Call and Cast names a flow (callers use the transaction
+// id): all frames of one flow travel over the same pooled connection,
+// in send order, so the transport's per-connection FIFO guarantee
+// becomes a per-flow FIFO guarantee — a transaction's release cast can
+// never overtake its freeze cast. Between different flows there is no
+// ordering: with a pool larger than one, a frame of flow A may reach
+// the server before an earlier frame of flow B. Callers that rely on
+// cross-transaction FIFO to one server (the coordinator's
+// read-your-own-writes freshness after a fire-and-forget freeze) must
+// use a pool of one, which is the default and restores exactly the old
+// single-connection ordering.
+//
+// # Shutdown
+//
+// Close tears every pooled connection down. A call in flight when its
+// connection closes — locally via Close or remotely by the peer — fails
+// fast with ErrClosed wrapped with the server address; it never hangs
+// and never receives another call's response. Once closed (or once a
+// connection breaks), a Client stays closed: calls fail immediately and
+// no redial is attempted, matching the crash-stop failure model of §H.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// ErrClosed reports an RPC on a torn-down connection. It is always
+// returned wrapped with the server address; test with errors.Is.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// Client is a pool of pipelined connections to one server. The zero
+// value is not usable; call NewClient.
+type Client struct {
+	network transport.Network
+	addr    string
+
+	mu     sync.Mutex
+	conns  []*conn // lazily dialed, one slot per pool index
+	closed bool
+}
+
+// NewClient returns a client for addr over network with a pool of
+// `conns` connections (values below one are treated as one). Dialing is
+// lazy: errors surface on first use of each pool slot.
+func NewClient(network transport.Network, addr string, conns int) *Client {
+	if conns < 1 {
+		conns = 1
+	}
+	return &Client{network: network, addr: addr, conns: make([]*conn, conns)}
+}
+
+// Addr returns the server address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// closedErr is the fail-fast error for a torn-down connection.
+func closedErr(addr string) error {
+	return fmt.Errorf("rpc: server %s: %w", addr, ErrClosed)
+}
+
+// slotFor maps a flow to a pool slot. Transaction ids carry the client
+// id in the high half and the sequence number in the low half, so both
+// are folded in.
+func (c *Client) slotFor(flow uint64) int {
+	return int((flow ^ flow>>32) % uint64(len(c.conns)))
+}
+
+// conn returns (dialing if needed) the pooled connection for flow.
+func (c *Client) conn(flow uint64) (*conn, error) {
+	slot := c.slotFor(flow)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, closedErr(c.addr)
+	}
+	cn := c.conns[slot]
+	c.mu.Unlock()
+	if cn != nil {
+		return cn, nil
+	}
+	tc, err := c.network.Dial(c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = tc.Close()
+		return nil, closedErr(c.addr)
+	}
+	if existing := c.conns[slot]; existing != nil {
+		_ = tc.Close()
+		return existing, nil
+	}
+	cn = newConn(c.addr, tc)
+	c.conns[slot] = cn
+	return cn, nil
+}
+
+// Call performs one request/response exchange on the flow's pooled
+// connection. It returns the response frame, ctx.Err() on cancellation,
+// or ErrClosed (wrapped with the address) if the connection goes down
+// mid-call.
+func (c *Client) Call(ctx context.Context, flow uint64, t wire.MsgType, body []byte) (wire.Frame, error) {
+	cn, err := c.conn(flow)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return cn.call(ctx, t, body)
+}
+
+// Cast sends a request on the flow's pooled connection without waiting
+// for the response; the reply is dropped by the demultiplexer. Used for
+// the fire-and-forget messages of Alg. 11 — freeze-write-locks,
+// freeze-read-locks and releases are sent "without waiting for replies"
+// (§H), which is what makes the protocol communication efficient.
+func (c *Client) Cast(flow uint64, t wire.MsgType, body []byte) error {
+	cn, err := c.conn(flow)
+	if err != nil {
+		return err
+	}
+	return cn.cast(t, body)
+}
+
+// Close tears every pooled connection down, failing calls in flight,
+// and waits for the demux goroutines to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*conn, 0, len(c.conns))
+	for _, cn := range c.conns {
+		if cn != nil {
+			conns = append(conns, cn)
+		}
+	}
+	c.mu.Unlock()
+	for _, cn := range conns {
+		cn.close()
+	}
+	return nil
+}
+
+// conn is one pipelined connection: a correlation-id counter, a demux
+// goroutine, and the waiter registry it routes response frames through.
+type conn struct {
+	addr   string
+	tc     transport.Conn
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan wire.Frame
+	closed  bool
+
+	done chan struct{}
+}
+
+func newConn(addr string, tc transport.Conn) *conn {
+	cn := &conn{addr: addr, tc: tc, waiters: make(map[uint64]chan wire.Frame)}
+	cn.done = make(chan struct{})
+	go cn.recvLoop()
+	return cn
+}
+
+// recvLoop routes response frames to their callers until the transport
+// fails, then fails every outstanding call fast by closing its channel.
+func (cn *conn) recvLoop() {
+	defer close(cn.done)
+	for {
+		f, err := cn.tc.Recv()
+		if err != nil {
+			cn.mu.Lock()
+			cn.closed = true
+			for id, ch := range cn.waiters {
+				close(ch)
+				delete(cn.waiters, id)
+			}
+			cn.mu.Unlock()
+			return
+		}
+		cn.mu.Lock()
+		ch, ok := cn.waiters[f.ID]
+		if ok {
+			delete(cn.waiters, f.ID)
+		}
+		cn.mu.Unlock()
+		if ok {
+			// Buffered (capacity 1) and registered exactly once, so this
+			// never blocks the demux loop.
+			ch <- f
+		}
+	}
+}
+
+func (cn *conn) call(ctx context.Context, t wire.MsgType, body []byte) (wire.Frame, error) {
+	id := cn.nextID.Add(1)
+	ch := make(chan wire.Frame, 1)
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return wire.Frame{}, closedErr(cn.addr)
+	}
+	cn.waiters[id] = ch
+	cn.mu.Unlock()
+
+	if err := cn.tc.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+		cn.mu.Lock()
+		delete(cn.waiters, id)
+		cn.mu.Unlock()
+		if errors.Is(err, transport.ErrClosed) {
+			return wire.Frame{}, closedErr(cn.addr)
+		}
+		return wire.Frame{}, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return wire.Frame{}, closedErr(cn.addr)
+		}
+		return f, nil
+	case <-ctx.Done():
+		// Unregister so a late response is dropped instead of leaking a
+		// registry entry; the demux may already hold the channel, which
+		// is fine — it is buffered and garbage once abandoned.
+		cn.mu.Lock()
+		delete(cn.waiters, id)
+		cn.mu.Unlock()
+		return wire.Frame{}, ctx.Err()
+	}
+}
+
+func (cn *conn) cast(t wire.MsgType, body []byte) error {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return closedErr(cn.addr)
+	}
+	cn.mu.Unlock()
+	id := cn.nextID.Add(1)
+	if err := cn.tc.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			return closedErr(cn.addr)
+		}
+		return fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
+	}
+	return nil
+}
+
+func (cn *conn) close() {
+	_ = cn.tc.Close()
+	<-cn.done
+}
+
+// Reply sends one response frame, correlated with the request that the
+// enclosing handler is serving. It is safe for concurrent use.
+type Reply func(t wire.MsgType, body []byte)
+
+// ServeConn is the server half of the mux: it reads frames from conn
+// and dispatches each to handle with a Reply bound to the frame's
+// correlation id. Frame writes are serialized internally, so handlers
+// running in parallel may reply out of order without interleaving
+// bytes. Frames whose type spawn reports true (handlers that may block,
+// e.g. on lock waits) run in their own goroutine; all others run inline
+// on the read loop, in arrival order — preserving the per-flow FIFO
+// semantics coordinators rely on when they fire-and-forget a freeze and
+// then issue the next request on the same flow. ServeConn returns when
+// Recv fails (connection closed), after every spawned handler finished.
+// Failed response writes are reported to onSendErr (nil discards them)
+// — a client waiting on a correlation id whose response was never
+// written is otherwise invisible on the server side.
+func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f wire.Frame, reply Reply), onSendErr func(error)) {
+	var sendMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		reply := func(id uint64) Reply {
+			return func(t wire.MsgType, body []byte) {
+				sendMu.Lock()
+				defer sendMu.Unlock()
+				if err := conn.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil && onSendErr != nil {
+					onSendErr(err)
+				}
+			}
+		}(f.ID)
+		if spawn != nil && spawn(f.Type) {
+			handlers.Add(1)
+			go func(f wire.Frame, reply Reply) {
+				defer handlers.Done()
+				handle(f, reply)
+			}(f, reply)
+		} else {
+			handle(f, reply)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"github.com/lpd-epfl/mvtl/internal/commitment"
 	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/rpc"
 	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/transport"
@@ -93,10 +94,9 @@ type txnState struct {
 	// pending holds buffered write values per key (Alg. 13 line 3).
 	pending map[string][]byte
 	// writeKeys are keys where the txn holds (possibly unfrozen) write
-	// locks.
+	// locks. Read locks need no record at all: releases and freezes
+	// name their keys explicitly, straight off the lock tables.
 	writeKeys map[string]bool
-	// readKeys are keys where the txn holds read locks.
-	readKeys map[string]bool
 	// firstWriteLock is when the txn first write-locked here.
 	firstWriteLock time.Time
 	// finished marks that a decision was applied locally.
@@ -107,16 +107,6 @@ type txnState struct {
 type txnStripe struct {
 	mu   sync.Mutex
 	txns map[uint64]*txnState
-}
-
-// peerConn is one cached server-to-server connection. Its mutex
-// serializes RPCs on that peer only — callPeer reuses a fixed frame id,
-// so concurrent callers (suspicion scanner, victim-abort handlers) must
-// not interleave frames, but a stalled RPC to one peer must not block
-// victim aborts routed through a healthy one.
-type peerConn struct {
-	mu   sync.Mutex
-	conn transport.Conn
 }
 
 // Server is one storage server.
@@ -139,8 +129,13 @@ type Server struct {
 	keyStripes [stripeCount]keyStripe
 	txnStripes [stripeCount]txnStripe
 
+	// peers caches server-to-server RPC clients (suspicion proposals
+	// and victim aborts). Each is a single-connection rpc.Client, so
+	// concurrent callers get correlation ids instead of taking turns,
+	// and a stalled RPC to one peer never blocks victim aborts routed
+	// through a healthy one.
 	peersMu sync.Mutex
-	peers   map[string]*peerConn
+	peers   map[string]*rpc.Client
 	// accepted tracks live inbound connections so Close can unblock
 	// their serveConn goroutines: a connection dialed by another server
 	// (decide traffic) stays open as long as that server lives, and
@@ -162,12 +157,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	// The listener's address is the server's identity: coordinators put
+	// it in DecisionSrv fields, and proposeAbort compares against it.
+	// Over TCP a requested ":0" resolves to the real bound address here.
+	cfg.Addr = l.Addr()
 	s := &Server{
 		cfg:      cfg,
 		listener: l,
 		registry: commitment.NewRegistry(),
 		waits:    lock.NewWaitGraph(),
-		peers:    make(map[string]*peerConn),
+		peers:    make(map[string]*rpc.Client),
 		accepted: make(map[transport.Conn]struct{}),
 		stop:     make(chan struct{}),
 	}
@@ -192,9 +191,9 @@ func (s *Server) Close() error {
 	err := s.listener.Close()
 	s.peersMu.Lock()
 	for _, pc := range s.peers {
-		_ = pc.conn.Close()
+		_ = pc.Close()
 	}
-	s.peers = map[string]*peerConn{}
+	s.peers = map[string]*rpc.Client{}
 	s.peersMu.Unlock()
 	s.acceptedMu.Lock()
 	for c := range s.accepted {
@@ -248,7 +247,7 @@ func (s *Server) withTxn(id uint64, fn func(*txnState)) {
 	st.mu.Lock()
 	t, ok := st.txns[id]
 	if !ok {
-		t = &txnState{pending: map[string][]byte{}, writeKeys: map[string]bool{}, readKeys: map[string]bool{}}
+		t = &txnState{pending: map[string][]byte{}, writeKeys: map[string]bool{}}
 		st.txns[id] = t
 	}
 	fn(t)
@@ -303,9 +302,10 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn demultiplexes one coordinator connection: every request runs
-// in its own goroutine (lock requests may block), and responses are
-// written back tagged with the request id.
+// serveConn demultiplexes one coordinator connection through
+// rpc.ServeConn: blocking requests run in their own goroutines and may
+// reply out of order (responses are tagged with the request's
+// correlation id); everything else is handled inline in arrival order.
 func (s *Server) serveConn(conn transport.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -314,133 +314,124 @@ func (s *Server) serveConn(conn transport.Conn) {
 		delete(s.accepted, conn)
 		s.acceptedMu.Unlock()
 	}()
-	var sendMu sync.Mutex
-	reply := func(id uint64, t wire.MsgType, body []byte) {
-		sendMu.Lock()
-		defer sendMu.Unlock()
-		if err := conn.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
-			s.logf("server %s: send: %v", s.cfg.Addr, err)
-		}
-	}
-	var handlers sync.WaitGroup
-	defer handlers.Wait()
-	for {
-		f, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		// Lock acquisitions may block on conflicts and therefore run in
-		// their own goroutines. Everything else (freeze, release,
-		// decide, purge, stats) is non-blocking and handled inline, in
-		// arrival order — this preserves the FIFO semantics that
-		// coordinators rely on when they fire-and-forget a freeze and
-		// then issue the next request on the same connection.
-		switch f.Type {
-		case wire.TReadLockReq, wire.TWriteLockReq, wire.TWriteLockBatchReq, wire.TVictimAbortReq:
-			// Victim aborts may call the decision server (a peer RPC),
-			// so they run off the read loop like the lock requests.
-			handlers.Add(1)
-			go func(f wire.Frame) {
-				defer handlers.Done()
-				s.dispatch(f, reply)
-			}(f)
-		default:
-			s.dispatch(f, reply)
-		}
-	}
+	rpc.ServeConn(conn, blocking, s.dispatch, func(err error) {
+		s.logf("server %s: send: %v", s.cfg.Addr, err)
+	})
 }
 
-func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)) {
+// blocking reports the message types whose handlers may park — lock
+// acquisitions wait on conflicts, and victim aborts may call the
+// decision server (a peer RPC) — and must therefore run off the read
+// loop. Everything else (freeze, release, decide, purge, stats) is
+// non-blocking and handled inline, in arrival order: that preserves the
+// FIFO semantics coordinators rely on when they fire-and-forget a
+// freeze and then issue the next request on the same flow.
+func blocking(t wire.MsgType) bool {
+	switch t {
+	case wire.TReadLockReq, wire.TReadLockBatchReq, wire.TWriteLockReq, wire.TWriteLockBatchReq, wire.TVictimAbortReq:
+		return true
+	}
+	return false
+}
+
+func (s *Server) dispatch(f wire.Frame, reply rpc.Reply) {
 	switch f.Type {
 	case wire.TReadLockReq:
 		req, err := wire.DecodeReadLockReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TReadLockResp, wire.ReadLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReadLockResp, wire.ReadLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TReadLockResp, s.handleReadLock(req).Encode())
+		reply(wire.TReadLockResp, s.handleReadLock(req).Encode())
+	case wire.TReadLockBatchReq:
+		req, err := wire.DecodeReadLockBatchReq(f.Body)
+		if err != nil {
+			reply(wire.TReadLockBatchResp, wire.ReadLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			return
+		}
+		reply(wire.TReadLockBatchResp, s.handleReadLockBatch(req).Encode())
 	case wire.TWriteLockReq:
 		req, err := wire.DecodeWriteLockReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TWriteLockResp, wire.WriteLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TWriteLockResp, wire.WriteLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TWriteLockResp, s.handleWriteLock(req).Encode())
+		reply(wire.TWriteLockResp, s.handleWriteLock(req).Encode())
 	case wire.TWriteLockBatchReq:
 		req, err := wire.DecodeWriteLockBatchReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TWriteLockBatchResp, wire.WriteLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TWriteLockBatchResp, wire.WriteLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TWriteLockBatchResp, s.handleWriteLockBatch(req).Encode())
+		reply(wire.TWriteLockBatchResp, s.handleWriteLockBatch(req).Encode())
 	case wire.TFreezeWriteReq:
 		req, err := wire.DecodeFreezeWriteReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TFreezeWriteResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeWriteResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TFreezeWriteResp, s.handleFreezeWrite(req).Encode())
+		reply(wire.TFreezeWriteResp, s.handleFreezeWrite(req).Encode())
 	case wire.TFreezeReadReq:
 		req, err := wire.DecodeFreezeReadReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
 		s.key(req.Key).locks.FreezeReadIn(lock.Owner(req.Txn), timestamp.Span(req.Lo, req.Hi))
-		reply(f.ID, wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK}.Encode())
+		reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK}.Encode())
 	case wire.TFreezeBatchReq:
 		req, err := wire.DecodeFreezeBatchReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TFreezeBatchResp, wire.FreezeBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeBatchResp, wire.FreezeBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TFreezeBatchResp, s.handleFreezeBatch(req).Encode())
+		reply(wire.TFreezeBatchResp, s.handleFreezeBatch(req).Encode())
 	case wire.TReleaseReq:
 		req, err := wire.DecodeReleaseReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TReleaseResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReleaseResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TReleaseResp, s.handleRelease(req).Encode())
+		reply(wire.TReleaseResp, s.handleRelease(req).Encode())
 	case wire.TReleaseBatchReq:
 		req, err := wire.DecodeReleaseBatchReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TReleaseBatchResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReleaseBatchResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TReleaseBatchResp, s.handleReleaseBatch(req).Encode())
+		reply(wire.TReleaseBatchResp, s.handleReleaseBatch(req).Encode())
 	case wire.TDecideReq:
 		req, err := wire.DecodeDecideReq(f.Body)
 		if err != nil {
 			// An explicit error status: a fabricated "abort" decision
 			// would be indistinguishable from the commitment object
 			// really deciding abort.
-			reply(f.ID, wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
 		d := s.handleDecide(req)
-		reply(f.ID, wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS}.Encode())
+		reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS}.Encode())
 	case wire.TPurgeReq:
 		req, err := wire.DecodePurgeReq(f.Body)
 		if err != nil {
 			// An explicit error status: an empty PurgeResp would read
 			// as "purged 0, OK".
-			reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
 		v, l := s.purgeBelow(req.Bound)
-		reply(f.ID, wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusOK, Versions: int64(v), Locks: int64(l)}.Encode())
+		reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusOK, Versions: int64(v), Locks: int64(l)}.Encode())
 	case wire.TStatsReq:
-		reply(f.ID, wire.TStatsResp, s.stats().Encode())
+		reply(wire.TStatsResp, s.stats().Encode())
 	case wire.TWaitGraphReq:
-		reply(f.ID, wire.TWaitGraphResp, wire.WaitGraphResp{Edges: s.exportEdges()}.Encode())
+		reply(wire.TWaitGraphResp, wire.WaitGraphResp{Edges: s.exportEdges()}.Encode())
 	case wire.TVictimAbortReq:
 		req, err := wire.DecodeVictimAbortReq(f.Body)
 		if err != nil {
-			reply(f.ID, wire.TVictimAbortResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TVictimAbortResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
 			return
 		}
-		reply(f.ID, wire.TVictimAbortResp, s.handleVictimAbort(req).Encode())
+		reply(wire.TVictimAbortResp, s.handleVictimAbort(req).Encode())
 	default:
 		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type)
 	}
@@ -448,76 +439,107 @@ func (s *Server) dispatch(f wire.Frame, reply func(uint64, wire.MsgType, []byte)
 
 // --- handlers ----------------------------------------------------------------
 
-// handleReadLock runs the server-side read step: pick the latest version
-// below Upper, read-lock the interval above it (waiting on unfrozen
-// write locks when requested), retrying while newer frozen versions
-// appear.
+// handleReadLock runs the server-side read step for one key: a batch of
+// one (Alg. 13, receive-read-lock-message).
 func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
-	ks := s.key(req.Key)
+	batch := s.handleReadLockBatch(wire.ReadLockBatchReq{
+		Txn: req.Txn, Upper: req.Upper, Wait: req.Wait, Keys: []string{req.Key},
+	})
+	if batch.Status != wire.StatusOK {
+		return wire.ReadLockResp{Status: batch.Status, Err: batch.Err}
+	}
+	r := batch.Results[0]
+	return wire.ReadLockResp{
+		Status: r.Status, Err: r.Err, VersionTS: r.VersionTS, Value: r.Value, Got: r.Got,
+		Edges: batch.Edges,
+	}
+}
+
+// handleReadLockBatch runs the read step for a transaction's whole
+// share of a static read set: per-key version pick and read-lock
+// acquisition (the batched form of handleReadLock). It touches no
+// transaction state at all — read-lock bookkeeping lives entirely in
+// the per-key lock tables, since releases and freezes name their keys
+// explicitly.
+func (s *Server) handleReadLockBatch(req wire.ReadLockBatchReq) wire.ReadLockBatchResp {
 	owner := lock.Owner(req.Txn)
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
-	defer cancel()
+	results := make([]wire.ReadLockResult, len(req.Keys))
+	anyDenied := false
+	wait := req.Wait
+	for i, k := range req.Keys {
+		// Each key gets its own lock-wait budget, exactly as n
+		// sequential single-key reads would: one blocked key must not
+		// starve its siblings' waits or poison their results.
+		results[i] = func() wire.ReadLockResult {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
+			defer cancel()
+			return s.readLockKey(ctx, k, owner, req.Upper, wait)
+		}()
+		if results[i].Status != wire.StatusOK {
+			anyDenied = true
+			// The coordinator aborts on any per-key failure, so once one
+			// sub-read has failed there is no point parking on the rest:
+			// the remaining keys fall back to no-wait acquisition. This
+			// bounds a doomed waiting batch to roughly one lock-wait
+			// timeout instead of one per blocked key, and stops piling
+			// up waits for a transaction whose coordinator may already
+			// have timed out, aborted and released.
+			wait = false
+		}
+	}
+	resp := wire.ReadLockBatchResp{Status: wire.StatusOK, Results: results}
+	if anyDenied && req.Wait {
+		// Denied sub-reads of a waiting batch mean someone held
+		// conflicting locks long enough to park us; export the local
+		// wait-for edges so the coordinator's cross-server deadlock
+		// detector sees them without polling (no-wait requesters never
+		// park, so they cannot be in a cycle and skip the snapshot
+		// cost).
+		resp.Edges = s.exportEdges()
+	}
+	return resp
+}
+
+// readLockKey is the per-key read step: pick the latest version below
+// upper, read-lock the interval above it (waiting on unfrozen write
+// locks when requested), retrying while newer frozen versions appear.
+func (s *Server) readLockKey(ctx context.Context, key string, owner lock.Owner, upper timestamp.Timestamp, wait bool) wire.ReadLockResult {
+	ks := s.key(key)
 	for {
 		if ctx.Err() != nil {
-			return wire.ReadLockResp{Status: wire.StatusConflict, Err: "lock wait timeout", Edges: s.exportEdges()}
+			return wire.ReadLockResult{Status: wire.StatusConflict, Err: "lock wait timeout"}
 		}
-		v, err := ks.versions.LatestBefore(req.Upper)
+		v, err := ks.versions.LatestBefore(upper)
 		if err != nil {
-			return wire.ReadLockResp{Status: wire.StatusPurged, Err: err.Error()}
+			return wire.ReadLockResult{Status: wire.StatusPurged, Err: err.Error()}
 		}
-		span := timestamp.Span(v.TS.Next(), req.Upper)
+		span := timestamp.Span(v.TS.Next(), upper)
 		if span.IsEmpty() {
-			s.trackRead(req.Txn, req.Key)
-			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: timestamp.Empty}
+			return wire.ReadLockResult{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: timestamp.Empty}
 		}
-		res, err := ks.locks.AcquireRead(ctx, owner, span, lock.Options{Wait: req.Wait, Partial: true})
+		res, err := ks.locks.AcquireRead(ctx, owner, span, lock.Options{Wait: wait, Partial: true})
 		if err != nil {
-			// Conflicted or timed-out *waiting* reads piggyback the
-			// local wait-for edges so the coordinator's deadlock
-			// detector learns about this server's waiters for free
-			// (no-wait requesters never park, so they cannot be in a
-			// cycle and skip the snapshot cost); a deadlock victim gets
-			// its own status so coordinators retry it immediately
-			// instead of backing off.
+			// A deadlock victim gets its own status so coordinators
+			// retry it immediately instead of backing off.
 			status := wire.StatusConflict
 			if errors.Is(err, lock.ErrDeadlock) {
 				status = wire.StatusDeadlock
 			}
-			resp := wire.ReadLockResp{Status: status, Err: err.Error()}
-			if req.Wait {
-				resp.Edges = s.exportEdges()
-			}
-			return resp
+			return wire.ReadLockResult{Status: status, Err: err.Error()}
 		}
 		switch {
 		case res.FrozenAt == nil:
-			s.trackRead(req.Txn, req.Key)
-			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
-		case !res.FrozenAt.Lo.Before(req.Upper), !req.Wait && !res.Got.IsEmpty():
+			return wire.ReadLockResult{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
+		case !res.FrozenAt.Lo.Before(upper), !wait && !res.Got.IsEmpty():
 			// Frozen at the top of the request, or no-wait with a
 			// usable prefix: settle.
-			s.trackRead(req.Txn, req.Key)
-			return wire.ReadLockResp{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
+			return wire.ReadLockResult{Status: wire.StatusOK, VersionTS: v.TS, Value: v.Value, Got: res.Got}
 		default:
 			if !res.Got.IsEmpty() {
 				ks.locks.ReleaseReadIn(owner, res.Got)
 			}
 		}
 	}
-}
-
-// trackRead notes the read key on an existing transaction record. It
-// deliberately does not create one: read-lock state needs no record
-// (releases name their keys explicitly), and creating one here would
-// resurrect state for transactions whose record was already
-// garbage-collected — a late read racing a decide would then leak a
-// record no future message cleans up.
-func (s *Server) trackRead(txn uint64, key string) {
-	s.withTxnIfPresent(txn, func(t *txnState) {
-		if !t.finished {
-			t.readKeys[key] = true
-		}
-	})
 }
 
 // handleWriteLock acquires write locks and buffers the pending value.
@@ -751,9 +773,6 @@ func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
 		for _, k := range req.Keys {
 			delete(t.pending, k)
 			delete(t.writeKeys, k)
-			if !req.WritesOnly {
-				delete(t.readKeys, k)
-			}
 		}
 		if len(t.writeKeys) == 0 {
 			t.firstWriteLock = time.Time{}
@@ -958,35 +977,19 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 	return commitment.Decision{Kind: d.Kind, TS: d.TS}, true
 }
 
-// callPeer performs one synchronous RPC to another server. RPCs are
-// serialized per peer (see peerConn); they are rare — suspicion
-// proposals and victim aborts only.
+// callPeer performs one synchronous RPC to another server over the
+// cached per-peer rpc.Client. Peer RPCs are rare — suspicion proposals
+// and victim aborts only — so each peer gets a single pipelined
+// connection; concurrent callers multiplex on it by correlation id.
 func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, error) {
 	s.peersMu.Lock()
 	pc, ok := s.peers[addr]
-	s.peersMu.Unlock()
 	if !ok {
-		c, err := s.cfg.Network.Dial(addr)
-		if err != nil {
-			return nil, err
-		}
-		s.peersMu.Lock()
-		if existing, exists := s.peers[addr]; exists {
-			s.peersMu.Unlock()
-			_ = c.Close()
-			pc = existing
-		} else {
-			pc = &peerConn{conn: c}
-			s.peers[addr] = pc
-			s.peersMu.Unlock()
-		}
+		pc = rpc.NewClient(s.cfg.Network, addr, 1)
+		s.peers[addr] = pc
 	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if err := pc.conn.Send(wire.Frame{ID: 1, Type: t, Body: body}); err != nil {
-		return nil, err
-	}
-	f, err := pc.conn.Recv()
+	s.peersMu.Unlock()
+	f, err := pc.Call(context.Background(), 0, t, body)
 	if err != nil {
 		return nil, err
 	}

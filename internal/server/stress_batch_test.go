@@ -223,3 +223,63 @@ func TestServerBatchOfOneMatchesSingleKey(t *testing.T) {
 		t.Fatalf("single-key request against batch-held locks: %+v", sresp)
 	}
 }
+
+// TestServerReadLockBatch drives the batched read handler directly: one
+// frame fetches several keys, each with its own version/value/interval
+// sub-result, fresh keys come back as ⊥ at timestamp zero, and one
+// blocked key fails its sub-result without poisoning the others.
+func TestServerReadLockBatch(t *testing.T) {
+	_, n := startServer(t, time.Minute)
+	c := dialRaw(t, n, "srv")
+
+	// Seed: txn 1 commits a and b at 5 via the batched write path.
+	set := timestamp.NewSet(timestamp.Span(ts(1), ts(10)))
+	c.call(wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
+		Txn: 1, DecisionSrv: "srv",
+		Items: []wire.WriteLockItem{
+			{Key: "a", Set: set, Value: []byte("va")},
+			{Key: "b", Set: set, Value: []byte("vb")},
+		},
+	}.Encode())
+	c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 1, TS: ts(5), WriteKeys: []string{"a", "b"}}.Encode())
+	c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 1, Keys: []string{"a", "b"}}.Encode())
+
+	f := c.call(wire.TReadLockBatchReq, wire.ReadLockBatchReq{
+		Txn: 9, Upper: ts(100), Keys: []string{"a", "fresh", "b"},
+	}.Encode())
+	resp, err := wire.DecodeReadLockBatchResp(f.Body)
+	if err != nil || resp.Status != wire.StatusOK || len(resp.Results) != 3 {
+		t.Fatalf("%+v %v", resp, err)
+	}
+	for i, want := range []struct {
+		ts    timestamp.Timestamp
+		value string
+	}{{ts(5), "va"}, {timestamp.Zero, ""}, {ts(5), "vb"}} {
+		r := resp.Results[i]
+		if r.Status != wire.StatusOK || r.VersionTS != want.ts || string(r.Value) != want.value {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if resp.Results[1].Value != nil {
+		t.Fatalf("fresh key must read ⊥ (nil), got %v", resp.Results[1].Value)
+	}
+
+	// Txn 2 holds an unfrozen write lock on "hot": a waiting batch
+	// containing it times out on that key only; the other key settles.
+	c.call(wire.TWriteLockReq, wire.WriteLockReq{
+		Txn: 2, Key: "hot", DecisionSrv: "srv", Set: set, Value: []byte("wip"),
+	}.Encode())
+	f = c.call(wire.TReadLockBatchReq, wire.ReadLockBatchReq{
+		Txn: 9, Upper: ts(8), Wait: true, Keys: []string{"hot", "a"},
+	}.Encode())
+	resp, err = wire.DecodeReadLockBatchResp(f.Body)
+	if err != nil || resp.Status != wire.StatusOK || len(resp.Results) != 2 {
+		t.Fatalf("%+v %v", resp, err)
+	}
+	if resp.Results[0].Status == wire.StatusOK {
+		t.Fatalf("read under an unfrozen write lock must not settle: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Status != wire.StatusOK || string(resp.Results[1].Value) != "va" {
+		t.Fatalf("healthy key poisoned by blocked sibling: %+v", resp.Results[1])
+	}
+}

@@ -9,7 +9,11 @@
 //     processes.
 //
 // Both carry the framed binary protocol of package wire, so the codec is
-// exercised identically in either mode.
+// exercised identically in either mode, and both are driven through the
+// multiplexed RPC layer of package rpc — coordinators pipeline many
+// in-flight requests per connection over Mem and TCP alike, so the two
+// beds differ only in where the latency and per-frame cost come from
+// (a model here, real syscalls there).
 package transport
 
 import (
@@ -63,6 +67,16 @@ type LatencyModel struct {
 	Base time.Duration
 	// Jitter adds a uniform random extra in [0, Jitter).
 	Jitter time.Duration
+	// PerFrame is the sender-side occupancy per frame: the connection
+	// transmits at most one frame per PerFrame, so frames queue behind
+	// a busy connection the way they queue behind a socket's
+	// per-frame syscall and serialization cost on real hardware. It is
+	// what makes connection pooling measurable on the in-memory bed —
+	// one connection caps at 1/PerFrame frames per second regardless
+	// of pipelining, while a pool of n transmits n frames in parallel.
+	// Zero (the default, and both paper beds) models infinite
+	// per-connection bandwidth: only Base and Jitter matter.
+	PerFrame time.Duration
 }
 
 // delay samples one delivery delay.
@@ -167,12 +181,15 @@ func (l *memListener) Addr() string { return l.addr }
 type memPipe struct {
 	model LatencyModel
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	queue  []timedFrame
-	nextAt time.Time
-	wake   chan struct{}
-	closed bool
+	mu    sync.Mutex
+	rng   *rand.Rand
+	queue []timedFrame
+	// busyUntil is when the sender finishes transmitting the queued
+	// frames (the PerFrame occupancy); nextAt keeps delivery FIFO.
+	busyUntil time.Time
+	nextAt    time.Time
+	wake      chan struct{}
+	closed    bool
 }
 
 type timedFrame struct {
@@ -190,7 +207,16 @@ func (p *memPipe) send(f wire.Frame) error {
 		p.mu.Unlock()
 		return ErrClosed
 	}
-	at := time.Now().Add(p.model.delay(p.rng))
+	// The frame first occupies the sender for PerFrame (queueing behind
+	// earlier frames still transmitting), then propagates for the
+	// sampled delay.
+	start := time.Now()
+	if p.busyUntil.After(start) {
+		start = p.busyUntil
+	}
+	start = start.Add(p.model.PerFrame)
+	p.busyUntil = start
+	at := start.Add(p.model.delay(p.rng))
 	// FIFO: delivery times are monotone within the pipe.
 	if at.Before(p.nextAt) {
 		at = p.nextAt

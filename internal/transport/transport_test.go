@@ -190,3 +190,38 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 		t.Fatal("Accept did not unblock")
 	}
 }
+
+// TestMemPerFramePacing checks the sender-occupancy model: with a
+// PerFrame cost, k frames sent back to back cannot all arrive before
+// k×PerFrame has elapsed, no matter how fast the propagation is.
+func TestMemPerFramePacing(t *testing.T) {
+	n := NewMem(LatencyModel{PerFrame: 2 * time.Millisecond})
+	l, err := n.Listen("paced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.Dial("paced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		if err := conn.Send(wire.Frame{ID: uint64(i + 1), Type: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		if _, err := srv.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < frames*2*time.Millisecond {
+		t.Fatalf("%d frames at 2ms occupancy arrived in %v; the per-frame cost is not being charged", frames, elapsed)
+	}
+}

@@ -215,6 +215,92 @@ func DecodeReleaseBatchReq(b []byte) (ReleaseBatchReq, error) {
 	return m, d.Err()
 }
 
+// ReadLockBatchReq asks the server to perform the read step for every
+// listed key in one pass (the batched form of ReadLockReq): per key,
+// pick the latest committed version below Upper, read-lock from just
+// above it toward Upper (waiting on unfrozen write locks if Wait), and
+// return the version and the locked interval. Upper and Wait are shared
+// by the whole batch — a coordinator issues one batch per server for a
+// static read set, all under the transaction's current interval bound.
+type ReadLockBatchReq struct {
+	Txn   uint64
+	Upper timestamp.Timestamp
+	Wait  bool
+	Keys  []string
+}
+
+// Encode serializes the request.
+func (m ReadLockBatchReq) Encode() []byte {
+	var e Encoder
+	e.U64(m.Txn)
+	e.TS(m.Upper)
+	e.Bool(m.Wait)
+	e.StrSlice(m.Keys)
+	return e.Bytes()
+}
+
+// DecodeReadLockBatchReq deserializes a ReadLockBatchReq.
+func DecodeReadLockBatchReq(b []byte) (ReadLockBatchReq, error) {
+	d := NewDecoder(b)
+	m := ReadLockBatchReq{Txn: d.U64(), Upper: d.TS(), Wait: d.Bool(), Keys: d.StrSlice()}
+	return m, d.Err()
+}
+
+// ReadLockResult is the per-key outcome of a batch read, with the same
+// fields as ReadLockResp (minus the piggybacked edges, which are
+// batch-level).
+type ReadLockResult struct {
+	Status    Status
+	Err       string
+	VersionTS timestamp.Timestamp
+	Value     []byte
+	Got       timestamp.Interval
+}
+
+// ReadLockBatchResp answers a ReadLockBatchReq. Results is parallel to
+// the request's Keys; Status reports request-level failures (malformed
+// frame) in which case Results may be nil. Edges piggybacks the
+// server's local wait-for edges when any waiting sub-read conflicted,
+// feeding the coordinator's cross-server deadlock detector without an
+// extra round trip.
+type ReadLockBatchResp struct {
+	Status  Status
+	Err     string
+	Results []ReadLockResult
+	Edges   []WaitEdge
+}
+
+// Encode serializes the response.
+func (m ReadLockBatchResp) Encode() []byte {
+	var e Encoder
+	e.status(m.Status)
+	e.Str(m.Err)
+	e.I32(int32(len(m.Results)))
+	for _, r := range m.Results {
+		e.status(r.Status)
+		e.Str(r.Err)
+		e.TS(r.VersionTS)
+		e.Blob(r.Value)
+		e.Interval(r.Got)
+	}
+	e.Edges(m.Edges)
+	return e.Bytes()
+}
+
+// DecodeReadLockBatchResp deserializes a ReadLockBatchResp.
+func DecodeReadLockBatchResp(b []byte) (ReadLockBatchResp, error) {
+	d := NewDecoder(b)
+	m := ReadLockBatchResp{Status: d.status(), Err: d.Str()}
+	n := d.count()
+	for i := 0; i < n; i++ {
+		m.Results = append(m.Results, ReadLockResult{
+			Status: d.status(), Err: d.Str(), VersionTS: d.TS(), Value: d.Blob(), Got: d.Interval(),
+		})
+	}
+	m.Edges = d.Edges()
+	return m, d.Err()
+}
+
 // count consumes a batch item count, validating its range.
 func (d *Decoder) count() int {
 	n := d.I32()

@@ -246,6 +246,42 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 			return ok, err
 		}}
 	},
+	"ReadLockBatchReq": func(r *rand.Rand) codecCase {
+		in := ReadLockBatchReq{Txn: r.Uint64(), Upper: randTS(r), Wait: r.Intn(2) == 0}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Keys = append(in.Keys, randWord(r))
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReadLockBatchReq(b)
+			ok := out.Txn == in.Txn && out.Upper == in.Upper && out.Wait == in.Wait &&
+				slices.Equal(out.Keys, in.Keys)
+			return ok, err
+		}}
+	},
+	"ReadLockBatchResp": func(r *rand.Rand) codecCase {
+		in := ReadLockBatchResp{Status: randStatus(r), Err: randWord(r), Edges: randEdges(r)}
+		for i, n := 0, r.Intn(6); i < n; i++ {
+			in.Results = append(in.Results, ReadLockResult{
+				Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r),
+			})
+		}
+		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+			out, err := DecodeReadLockBatchResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results) &&
+				slices.Equal(out.Edges, in.Edges)
+			if ok {
+				for i := range in.Results {
+					ok = ok && out.Results[i].Status == in.Results[i].Status &&
+						out.Results[i].Err == in.Results[i].Err &&
+						out.Results[i].VersionTS == in.Results[i].VersionTS &&
+						bytes.Equal(out.Results[i].Value, in.Results[i].Value) &&
+						(out.Results[i].Value == nil) == (in.Results[i].Value == nil) &&
+						out.Results[i].Got == in.Results[i].Got
+				}
+			}
+			return ok, err
+		}}
+	},
 	"ReleaseBatchReq": func(r *rand.Rand) codecCase {
 		in := ReleaseBatchReq{Txn: r.Uint64(), WritesOnly: r.Intn(2) == 0}
 		for i, n := 0, r.Intn(6); i < n; i++ {
@@ -301,10 +337,10 @@ func TestAllMessagesRejectTruncation(t *testing.T) {
 // small buffer claiming an enormous batch must fail fast, not allocate.
 func TestBatchDecodersRejectHugeCounts(t *testing.T) {
 	var e Encoder
-	e.U64(1)          // txn
-	e.Str("")         // decision server
-	e.Bool(false)     // wait
-	e.I32(1 << 30)    // absurd item count
+	e.U64(1)       // txn
+	e.Str("")      // decision server
+	e.Bool(false)  // wait
+	e.I32(1 << 30) // absurd item count
 	if _, err := DecodeWriteLockBatchReq(e.Bytes()); err == nil {
 		t.Fatal("huge item count not rejected")
 	}

@@ -55,6 +55,11 @@ const (
 	TWaitGraphResp
 	TVictimAbortReq
 	TVictimAbortResp
+	// Batched read path (see batch.go): one frame fetches a
+	// transaction's whole per-server share of a static read set, so a
+	// multi-key read costs O(servers) round trips instead of O(keys).
+	TReadLockBatchReq
+	TReadLockBatchResp
 )
 
 // MaxFrameSize bounds a frame to keep a malformed peer from forcing a

@@ -56,6 +56,54 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 }
 
+// TestFrameHeaderRoundTripRandom drives the correlation-id frame header
+// with random payloads, in the style of the message codec property
+// tests: writing a frame and reading it back must reproduce the id, the
+// type and the body exactly — the id is what routes a response to the
+// one call that sent it, so the header codec must never mangle it.
+func TestFrameHeaderRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(0xf7a3e))
+	for i := 0; i < 300; i++ {
+		in := Frame{ID: r.Uint64(), Type: MsgType(1 + r.Intn(30))}
+		if r.Intn(4) > 0 {
+			in.Body = make([]byte, r.Intn(200))
+			r.Read(in.Body)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatalf("iteration %d: write: %v", i, err)
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("iteration %d: read: %v", i, err)
+		}
+		if out.ID != in.ID || out.Type != in.Type || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("iteration %d: round trip mismatch: %+v vs %+v", i, in, out)
+		}
+	}
+}
+
+// TestFrameHeaderRejectTruncation checks that reading any strict prefix
+// of a framed encoding reports an error instead of fabricating a frame
+// (and with it, a bogus correlation id).
+func TestFrameHeaderRejectTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 50; i++ {
+		in := Frame{ID: r.Uint64(), Type: MsgType(1 + r.Intn(30)), Body: make([]byte, r.Intn(40))}
+		r.Read(in.Body)
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+		for cut := 0; cut < len(enc); cut++ {
+			if _, err := ReadFrame(bytes.NewReader(enc[:cut])); err == nil {
+				t.Fatalf("iteration %d: truncation at %d/%d not detected", i, cut, len(enc))
+			}
+		}
+	}
+}
+
 func ts(a int64, b int32) timestamp.Timestamp { return timestamp.New(a, b) }
 
 func TestReadLockReqRoundTrip(t *testing.T) {
