@@ -73,6 +73,8 @@ func main() {
 	cloud := flag.Bool("cloud", false, "use the cloud bed for -exp cell")
 	transportFlag := flag.String("transport", "mem", "network for -exp cell: mem (latency model) or tcp (real loopback sockets)")
 	conns := flag.Int("conns", 0, "RPC connections per server per coordinator for -exp cell (0 = default of 1)")
+	valueSize := flag.Int("valuesize", 0, "written value size in bytes for -exp cell (0 = the paper's 8-byte cells)")
+	getMulti := flag.Bool("getmulti", false, "batch each transaction's leading reads into one GetMulti per server for -exp cell")
 	flag.Parse()
 
 	points, err := parseClients(*clients)
@@ -122,6 +124,7 @@ func main() {
 		row, err := bench.RunCell(ctx, bench.Cell{
 			Mode: mode, Bed: bed, Servers: *servers, TCP: tcp, Conns: *conns,
 			Clients: *nclients, OpsPerTxn: *ops, WriteFrac: *writes, Keys: *keys,
+			ValueSize: *valueSize, BatchReads: *getMulti,
 			Delta: 5000, WarmUp: *warmup, Measure: *measure,
 		})
 		if err != nil {

@@ -54,6 +54,13 @@ type Cell struct {
 	OpsPerTxn int
 	WriteFrac float64
 	Keys      int
+	// ValueSize is the written value length in bytes (0 keeps the
+	// paper's 8-byte cells); larger values expose the frame path's
+	// copy costs.
+	ValueSize int
+	// BatchReads issues each transaction's leading reads as one
+	// GetMulti (see workload.Config.BatchReads).
+	BatchReads bool
 	// Delta is the MVTIL interval width (µs).
 	Delta int64
 	// Timing.
@@ -81,6 +88,12 @@ func (r Row) String() string {
 	}
 	if r.Conns > 1 {
 		net += fmt.Sprintf(" conns=%d", r.Conns)
+	}
+	if r.ValueSize > 0 {
+		net += fmt.Sprintf(" val=%dB", r.ValueSize)
+	}
+	if r.BatchReads {
+		net += " getmulti"
 	}
 	return fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d%s | %8.0f txs/s  commit=%.3f",
 		r.Mode, r.Servers, r.Clients, r.OpsPerTxn, r.WriteFrac*100, r.Keys, net, r.Throughput, r.CommitRate)
@@ -159,6 +172,8 @@ func runOnClusterCounted(ctx context.Context, c *cluster.Cluster, cell Cell, sam
 		OpsPerTxn:     cell.OpsPerTxn,
 		WriteFraction: cell.WriteFrac,
 		Keys:          cell.Keys,
+		ValueSize:     cell.ValueSize,
+		BatchReads:    cell.BatchReads,
 		WarmUp:        cell.WarmUp,
 		Measure:       cell.Measure,
 		TxnTimeout:    2 * time.Second,

@@ -195,28 +195,30 @@ func (c *Client) conn(addr string) *rpc.Client {
 
 // call performs one RPC against the server at addr. flow pins all
 // frames of one transaction to one pooled connection (FIFO within the
-// flow); callers outside any transaction pass 0.
-func (c *Client) call(ctx context.Context, addr string, flow uint64, t wire.MsgType, body []byte) (wire.Frame, error) {
-	return c.conn(addr).Call(ctx, flow, t, body)
+// flow); callers outside any transaction pass 0. The caller owns the
+// returned frame buffer and must Release it after decoding the
+// response (copying out anything that escapes, see package wire).
+func (c *Client) call(ctx context.Context, addr string, flow uint64, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
+	return c.conn(addr).Call(ctx, flow, t, m)
 }
 
 // callWaitable is call for lock requests that may park server-side:
 // when wait is set, the RPC is bracketed by the deadlock detector's
 // blocked-call tracking, which is what switches its polling on.
-func (c *Client) callWaitable(ctx context.Context, addr string, flow uint64, t wire.MsgType, body []byte, wait bool) (wire.Frame, error) {
+func (c *Client) callWaitable(ctx context.Context, addr string, flow uint64, t wire.MsgType, m wire.Message, wait bool) (*wire.FrameBuf, error) {
 	if wait && c.det != nil {
 		c.det.enter()
 		defer c.det.exit()
 	}
-	return c.call(ctx, addr, flow, t, body)
+	return c.call(ctx, addr, flow, t, m)
 }
 
 // cast sends a one-way message to addr without waiting for the reply
 // (Alg. 11's freeze and release sends). Per-flow FIFO ordering
 // guarantees that the transaction's subsequent frames to the same
 // server observe the message's effects.
-func (c *Client) cast(addr string, flow uint64, t wire.MsgType, body []byte) error {
-	return c.conn(addr).Cast(flow, t, body)
+func (c *Client) cast(addr string, flow uint64, t wire.MsgType, m wire.Message) error {
+	return c.conn(addr).Cast(flow, t, m)
 }
 
 // Begin implements kv.DB.
@@ -262,18 +264,20 @@ func (c *Client) ServerStats(ctx context.Context, addr string) (wire.StatsResp, 
 	if err != nil {
 		return wire.StatsResp{}, err
 	}
-	return wire.DecodeStatsResp(f.Body)
+	defer f.Release()
+	return wire.DecodeStatsResp(f.Body())
 }
 
 // PurgeServers asks every server to purge state below bound, returning
 // totals; the timestamp service calls this periodically (§8.1).
 func (c *Client) PurgeServers(ctx context.Context, bound timestamp.Timestamp) (versions, locks int64, err error) {
 	for _, addr := range c.cfg.Servers {
-		f, callErr := c.call(ctx, addr, 0, wire.TPurgeReq, wire.PurgeReq{Bound: bound}.Encode())
+		f, callErr := c.call(ctx, addr, 0, wire.TPurgeReq, wire.PurgeReq{Bound: bound})
 		if callErr != nil {
 			return versions, locks, callErr
 		}
-		resp, decErr := wire.DecodePurgeResp(f.Body)
+		resp, decErr := wire.DecodePurgeResp(f.Body())
+		f.Release()
 		if decErr != nil {
 			return versions, locks, decErr
 		}

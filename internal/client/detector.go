@@ -159,7 +159,8 @@ func (d *detector) pollOnce() {
 			if err != nil {
 				return
 			}
-			resp, err := wire.DecodeWaitGraphResp(f.Body)
+			resp, err := wire.DecodeWaitGraphResp(f.Body())
+			f.Release()
 			if err != nil {
 				return
 			}
@@ -176,6 +177,9 @@ func (d *detector) pollOnce() {
 func (d *detector) abortVictim(v deadlock.Victim) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
-	_, _ = d.c.call(ctx, d.c.serverFor(v.Key), 0, wire.TVictimAbortReq,
-		wire.VictimAbortReq{Txn: v.Txn, Key: v.Key}.Encode())
+	f, err := d.c.call(ctx, d.c.serverFor(v.Key), 0, wire.TVictimAbortReq,
+		wire.VictimAbortReq{Txn: v.Txn, Key: v.Key})
+	if err == nil {
+		f.Release()
+	}
 }

@@ -64,7 +64,7 @@ type countingConn struct {
 	sent *atomic.Int64
 }
 
-func (c *countingConn) Send(f wire.Frame) error {
+func (c *countingConn) Send(f *wire.FrameBuf) error {
 	c.sent.Add(1)
 	return c.Conn.Send(f)
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
@@ -121,15 +122,26 @@ func (tx *DTxn) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 		upper, wait = timestamp.Infinity, true
 	}
 
-	batches := tx.fanOutBatches(ctx, tx.serverGroups(remote), wire.TReadLockBatchReq, wait, func(keys []string) []byte {
-		return wire.ReadLockBatchReq{Txn: tx.id, Upper: upper, Wait: wait, Keys: keys}.Encode()
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(remote), wire.TReadLockBatchReq, wait, func(keys []string) wire.Message {
+		return wire.ReadLockBatchReq{Txn: tx.id, Upper: upper, Wait: wait, Keys: keys}
 	})
+	// Decoded read results borrow their Value views from the response
+	// frames, so the pooled buffers stay alive until the folds below
+	// have copied every escaping value out.
+	defer func() {
+		for _, r := range batches {
+			r.fb.Release()
+		}
+	}()
 	byKey := make(map[string]wire.ReadLockResult, len(remote))
 	var firstErr error
+	// One response struct for the whole fan-in: DecodeInto reuses its
+	// Results capacity across batches (byKey copies the per-key result
+	// values, so overwriting between iterations is safe).
+	var resp wire.ReadLockBatchResp
 	for _, r := range batches {
-		var resp wire.ReadLockBatchResp
 		if r.err == nil {
-			resp, r.err = wire.DecodeReadLockBatchResp(r.frame.Body)
+			r.err = resp.DecodeInto(r.fb.Body())
 		}
 		if det := tx.client.det; det != nil && r.err == nil {
 			det.observe(r.addr, resp.Edges)
@@ -181,7 +193,10 @@ func (tx *DTxn) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 			tx.readOrder = append(tx.readOrder, k)
 		}
 		tx.readVers[k] = res.VersionTS
-		out[k] = res.Value
+		// res.Value is a borrowed view of a pooled response frame; the
+		// result map outlives it (bytes.Clone keeps nil nil, so ⊥
+		// round-trips).
+		out[k] = bytes.Clone(res.Value)
 		if mode == ModeTILEarly || mode == ModeTILLate {
 			if res.Got.IsEmpty() {
 				return nil, tx.abortErr(ctx, fmt.Errorf("mvtil: read of %q locked nothing", k))
@@ -251,11 +266,12 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 		Set:         req,
 		Wait:        wait,
 		Value:       value,
-	}.Encode(), wait)
+	}, wait)
 	if err != nil {
 		return wire.WriteLockResp{}, err
 	}
-	resp, err := wire.DecodeWriteLockResp(f.Body)
+	resp, err := wire.DecodeWriteLockResp(f.Body())
+	f.Release() // nothing borrowed: Sets and strings are owned copies
 	if err != nil {
 		return wire.WriteLockResp{}, err
 	}
@@ -289,24 +305,27 @@ func (tx *DTxn) serverGroups(keys []string) map[string][]string {
 }
 
 // serverBatch is one settled per-server batch request: the group's keys
-// and either the raw response frame or the transport error.
+// and either the pooled response frame (owned by the caller, who must
+// Release it after folding) or the transport error.
 type serverBatch struct {
-	addr  string
-	keys  []string
-	frame wire.Frame
-	err   error
+	addr string
+	keys []string
+	fb   *wire.FrameBuf
+	err  error
 }
 
 // fanOutBatches issues one request per server group in parallel —
-// encode builds a group's body from its keys — and returns once every
-// batch has settled. It is the shared scaffold of the batched read and
-// write paths; decoding and per-key folding stay with the caller.
-func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, encode func(keys []string) []byte) []serverBatch {
+// build constructs a group's request message from its keys, encoded
+// straight into a pooled frame by the RPC layer — and returns once
+// every batch has settled. It is the shared scaffold of the batched
+// read and write paths; decoding, per-key folding and releasing the
+// response frames stay with the caller.
+func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, build func(keys []string) wire.Message) []serverBatch {
 	results := make(chan serverBatch, len(groups))
 	for addr, keys := range groups {
 		go func(addr string, keys []string) {
-			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, encode(keys), wait)
-			results <- serverBatch{addr: addr, keys: keys, frame: f, err: err}
+			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, build(keys), wait)
+			results <- serverBatch{addr: addr, keys: keys, fb: f, err: err}
 		}(addr, keys)
 	}
 	out := make([]serverBatch, 0, len(groups))
@@ -322,18 +341,19 @@ func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t
 // O(W). Acquired sets are folded into writeLocked; the first per-key
 // denial or transport failure is returned after all batches settle.
 func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) error {
-	batches := tx.fanOutBatches(ctx, tx.serverGroups(tx.writeOrder), wire.TWriteLockBatchReq, false, func(keys []string) []byte {
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(tx.writeOrder), wire.TWriteLockBatchReq, false, func(keys []string) wire.Message {
 		items := make([]wire.WriteLockItem, len(keys))
 		for i, k := range keys {
 			items[i] = wire.WriteLockItem{Key: k, Set: setOf(timestamp.Point(ts)), Value: tx.writes[k]}
 		}
-		return wire.WriteLockBatchReq{Txn: tx.id, DecisionSrv: tx.decisionSrv, Items: items}.Encode()
+		return wire.WriteLockBatchReq{Txn: tx.id, DecisionSrv: tx.decisionSrv, Items: items}
 	})
 	var firstErr error
 	for _, r := range batches {
 		var resp wire.WriteLockBatchResp
 		if r.err == nil {
-			resp, r.err = wire.DecodeWriteLockBatchResp(r.frame.Body)
+			resp, r.err = wire.DecodeWriteLockBatchResp(r.fb.Body())
+			r.fb.Release() // nothing borrowed: Sets and strings are owned
 		}
 		if det := tx.client.det; det != nil && r.err == nil {
 			det.observe(r.addr, resp.Edges)
@@ -485,7 +505,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 		}
 	}
 	for addr, fb := range freeze {
-		if err := tx.client.cast(addr, tx.id, wire.TFreezeBatchReq, fb.Encode()); err != nil {
+		if err := tx.client.cast(addr, tx.id, wire.TFreezeBatchReq, fb); err != nil {
 			return fmt.Errorf("client: freeze batch via %s: %w", addr, err)
 		}
 	}
@@ -528,7 +548,7 @@ func (tx *DTxn) releaseAll(writesOnly bool) {
 	}
 	for addr, keys := range tx.serverGroups(touched) {
 		_ = tx.client.cast(addr, tx.id, wire.TReleaseBatchReq,
-			wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly, Keys: keys}.Encode())
+			wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly, Keys: keys})
 	}
 }
 
@@ -540,11 +560,12 @@ func (tx *DTxn) decide(ctx context.Context, kind wire.DecisionKind, ts timestamp
 		return wire.DecideResp{Status: wire.StatusOK, Kind: kind, TS: ts}, nil
 	}
 	f, err := tx.client.call(ctx, tx.decisionSrv, tx.id, wire.TDecideReq,
-		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts}.Encode())
+		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts})
 	if err != nil {
 		return wire.DecideResp{}, err
 	}
-	resp, err := wire.DecodeDecideResp(f.Body)
+	resp, err := wire.DecodeDecideResp(f.Body())
+	f.Release()
 	if err != nil {
 		return wire.DecideResp{}, err
 	}

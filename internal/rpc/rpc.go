@@ -5,16 +5,28 @@
 //
 // # Wire format
 //
-// Every request is one wire.Frame whose ID field is a correlation id,
-// allocated from a per-connection counter and never reused for the
-// lifetime of the connection. The response to a request is the frame
-// carrying the same ID back; responses may arrive in any order (server
-// handlers block on locks independently), and a per-connection demux
-// goroutine routes each response frame to the channel of the one call
-// that sent its ID. A response whose ID matches no outstanding call —
-// e.g. the reply to a call whose context was cancelled, or to a Cast —
-// is dropped. A call can therefore never observe another call's
-// response.
+// Every request is one frame whose correlation id is allocated from a
+// per-connection counter and never reused for the lifetime of the
+// connection. The response to a request is the frame carrying the same
+// id back; responses may arrive in any order (server handlers block on
+// locks independently), and a per-connection demux goroutine routes
+// each response frame to the channel of the one call that sent its ID.
+// A response whose ID matches no outstanding call — e.g. the reply to a
+// call whose context was cancelled, or to a Cast — is dropped (and its
+// pooled buffer released). A call can therefore never observe another
+// call's response.
+//
+// # Buffer ownership
+//
+// Requests are append-encoded (wire.Message) directly into a pooled
+// wire.FrameBuf, which the transport consumes — the frame path
+// allocates nothing in steady state. A successful Call returns the
+// response's pooled buffer: the caller decodes in place and MUST
+// Release it once done with the response and everything borrowed from
+// its body (see package wire for the borrow rules). On the server half,
+// ServeConn releases each request frame after its handler returns, and
+// Reply encodes the response message into a fresh pooled buffer that
+// the transport consumes.
 //
 // # Pool semantics and ordering
 //
@@ -125,28 +137,32 @@ func (c *Client) conn(flow uint64) (*conn, error) {
 }
 
 // Call performs one request/response exchange on the flow's pooled
-// connection. It returns the response frame, ctx.Err() on cancellation,
+// connection: m is append-encoded into a pooled frame buffer (nil for
+// an empty body) that the transport consumes. It returns the response
+// frame's pooled buffer — which the caller must Release after decoding
+// and copying out anything that escapes — or ctx.Err() on cancellation,
 // or ErrClosed (wrapped with the address) if the connection goes down
 // mid-call.
-func (c *Client) Call(ctx context.Context, flow uint64, t wire.MsgType, body []byte) (wire.Frame, error) {
+func (c *Client) Call(ctx context.Context, flow uint64, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
 	cn, err := c.conn(flow)
 	if err != nil {
-		return wire.Frame{}, err
+		return nil, err
 	}
-	return cn.call(ctx, t, body)
+	return cn.call(ctx, t, m)
 }
 
 // Cast sends a request on the flow's pooled connection without waiting
-// for the response; the reply is dropped by the demultiplexer. Used for
-// the fire-and-forget messages of Alg. 11 — freeze-write-locks,
-// freeze-read-locks and releases are sent "without waiting for replies"
-// (§H), which is what makes the protocol communication efficient.
-func (c *Client) Cast(flow uint64, t wire.MsgType, body []byte) error {
+// for the response; the reply is dropped (and its buffer recycled) by
+// the demultiplexer. Used for the fire-and-forget messages of Alg. 11 —
+// freeze-write-locks, freeze-read-locks and releases are sent "without
+// waiting for replies" (§H), which is what makes the protocol
+// communication efficient.
+func (c *Client) Cast(flow uint64, t wire.MsgType, m wire.Message) error {
 	cn, err := c.conn(flow)
 	if err != nil {
 		return err
 	}
-	return cn.cast(t, body)
+	return cn.cast(t, m)
 }
 
 // Close tears every pooled connection down, failing calls in flight,
@@ -179,14 +195,15 @@ type conn struct {
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
-	waiters map[uint64]chan wire.Frame
+	sendMu  sync.Mutex
+	waiters map[uint64]chan *wire.FrameBuf
 	closed  bool
 
 	done chan struct{}
 }
 
 func newConn(addr string, tc transport.Conn) *conn {
-	cn := &conn{addr: addr, tc: tc, waiters: make(map[uint64]chan wire.Frame)}
+	cn := &conn{addr: addr, tc: tc, waiters: make(map[uint64]chan *wire.FrameBuf)}
 	cn.done = make(chan struct{})
 	go cn.recvLoop()
 	return cn
@@ -194,6 +211,8 @@ func newConn(addr string, tc transport.Conn) *conn {
 
 // recvLoop routes response frames to their callers until the transport
 // fails, then fails every outstanding call fast by closing its channel.
+// Frames with no registered waiter (cast replies, cancelled calls) are
+// released back to the pool here.
 func (cn *conn) recvLoop() {
 	defer close(cn.done)
 	for {
@@ -209,57 +228,75 @@ func (cn *conn) recvLoop() {
 			return
 		}
 		cn.mu.Lock()
-		ch, ok := cn.waiters[f.ID]
+		ch, ok := cn.waiters[f.ID()]
 		if ok {
-			delete(cn.waiters, f.ID)
+			delete(cn.waiters, f.ID())
 		}
 		cn.mu.Unlock()
 		if ok {
 			// Buffered (capacity 1) and registered exactly once, so this
 			// never blocks the demux loop.
 			ch <- f
+		} else {
+			f.Release()
 		}
 	}
 }
 
-func (cn *conn) call(ctx context.Context, t wire.MsgType, body []byte) (wire.Frame, error) {
+// send encodes m into a pooled frame buffer and hands it to the
+// transport (which consumes it), serializing concurrent senders.
+func (cn *conn) send(id uint64, t wire.MsgType, m wire.Message) error {
+	out := wire.GetFrameBuf()
+	if err := out.SetFrame(id, t, m); err != nil {
+		out.Release()
+		return err
+	}
+	cn.sendMu.Lock()
+	err := cn.tc.Send(out)
+	cn.sendMu.Unlock()
+	return err
+}
+
+func (cn *conn) call(ctx context.Context, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
 	id := cn.nextID.Add(1)
-	ch := make(chan wire.Frame, 1)
+	ch := make(chan *wire.FrameBuf, 1)
 	cn.mu.Lock()
 	if cn.closed {
 		cn.mu.Unlock()
-		return wire.Frame{}, closedErr(cn.addr)
+		return nil, closedErr(cn.addr)
 	}
 	cn.waiters[id] = ch
 	cn.mu.Unlock()
 
-	if err := cn.tc.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+	if err := cn.send(id, t, m); err != nil {
 		cn.mu.Lock()
 		delete(cn.waiters, id)
 		cn.mu.Unlock()
 		if errors.Is(err, transport.ErrClosed) {
-			return wire.Frame{}, closedErr(cn.addr)
+			return nil, closedErr(cn.addr)
 		}
-		return wire.Frame{}, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
+		return nil, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
 	}
 	select {
 	case f, ok := <-ch:
 		if !ok {
-			return wire.Frame{}, closedErr(cn.addr)
+			return nil, closedErr(cn.addr)
 		}
 		return f, nil
 	case <-ctx.Done():
-		// Unregister so a late response is dropped instead of leaking a
-		// registry entry; the demux may already hold the channel, which
-		// is fine — it is buffered and garbage once abandoned.
+		// Unregister so a late response is dropped (and recycled by the
+		// demux) instead of leaking a registry entry. The demux may
+		// already hold the channel, in which case the frame sits in the
+		// abandoned buffered channel — garbage for the GC, a tolerated
+		// pool miss.
 		cn.mu.Lock()
 		delete(cn.waiters, id)
 		cn.mu.Unlock()
-		return wire.Frame{}, ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
-func (cn *conn) cast(t wire.MsgType, body []byte) error {
+func (cn *conn) cast(t wire.MsgType, m wire.Message) error {
 	cn.mu.Lock()
 	if cn.closed {
 		cn.mu.Unlock()
@@ -267,7 +304,7 @@ func (cn *conn) cast(t wire.MsgType, body []byte) error {
 	}
 	cn.mu.Unlock()
 	id := cn.nextID.Add(1)
-	if err := cn.tc.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil {
+	if err := cn.send(id, t, m); err != nil {
 		if errors.Is(err, transport.ErrClosed) {
 			return closedErr(cn.addr)
 		}
@@ -282,23 +319,28 @@ func (cn *conn) close() {
 }
 
 // Reply sends one response frame, correlated with the request that the
-// enclosing handler is serving. It is safe for concurrent use.
-type Reply func(t wire.MsgType, body []byte)
+// enclosing handler is serving: m is append-encoded into a pooled
+// buffer that the transport consumes. It is safe for concurrent use.
+type Reply func(t wire.MsgType, m wire.Message)
 
 // ServeConn is the server half of the mux: it reads frames from conn
 // and dispatches each to handle with a Reply bound to the frame's
-// correlation id. Frame writes are serialized internally, so handlers
-// running in parallel may reply out of order without interleaving
-// bytes. Frames whose type spawn reports true (handlers that may block,
-// e.g. on lock waits) run in their own goroutine; all others run inline
-// on the read loop, in arrival order — preserving the per-flow FIFO
-// semantics coordinators rely on when they fire-and-forget a freeze and
-// then issue the next request on the same flow. ServeConn returns when
-// Recv fails (connection closed), after every spawned handler finished.
-// Failed response writes are reported to onSendErr (nil discards them)
-// — a client waiting on a correlation id whose response was never
-// written is otherwise invisible on the server side.
-func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f wire.Frame, reply Reply), onSendErr func(error)) {
+// correlation id. Response encodes and frame writes are serialized
+// internally, so handlers running in parallel may reply out of order
+// without interleaving bytes. Frames whose type spawn reports true
+// (handlers that may block, e.g. on lock waits) run in their own
+// goroutine; all others run inline on the read loop, in arrival order —
+// preserving the per-flow FIFO semantics coordinators rely on when they
+// fire-and-forget a freeze and then issue the next request on the same
+// flow. Each request frame is released back to the pool after its
+// handler returns: handlers may decode in place, but anything that
+// outlives the handler must be copied out, and reply must not be called
+// after the handler has returned. ServeConn returns when Recv fails
+// (connection closed), after every spawned handler finished. Failed
+// response writes are reported to onSendErr (nil discards them) — a
+// client waiting on a correlation id whose response was never written
+// is otherwise invisible on the server side.
+func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f *wire.FrameBuf, reply Reply), onSendErr func(error)) {
 	var sendMu sync.Mutex
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
@@ -308,22 +350,33 @@ func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f
 			return
 		}
 		reply := func(id uint64) Reply {
-			return func(t wire.MsgType, body []byte) {
+			return func(t wire.MsgType, m wire.Message) {
+				out := wire.GetFrameBuf()
+				if err := out.SetFrame(id, t, m); err != nil {
+					out.Release()
+					if onSendErr != nil {
+						onSendErr(err)
+					}
+					return
+				}
 				sendMu.Lock()
-				defer sendMu.Unlock()
-				if err := conn.Send(wire.Frame{ID: id, Type: t, Body: body}); err != nil && onSendErr != nil {
+				err := conn.Send(out) // Send consumes out
+				sendMu.Unlock()
+				if err != nil && onSendErr != nil {
 					onSendErr(err)
 				}
 			}
-		}(f.ID)
-		if spawn != nil && spawn(f.Type) {
+		}(f.ID())
+		if spawn != nil && spawn(f.Type()) {
 			handlers.Add(1)
-			go func(f wire.Frame, reply Reply) {
+			go func(f *wire.FrameBuf, reply Reply) {
 				defer handlers.Done()
+				defer f.Release()
 				handle(f, reply)
 			}(f, reply)
 		} else {
 			handle(f, reply)
+			f.Release()
 		}
 	}
 }

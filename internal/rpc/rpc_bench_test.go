@@ -21,9 +21,11 @@ func benchMux(b *testing.B, n transport.Network, addr string, conns, workers int
 	ctx := context.Background()
 	// Warm every pool slot off the clock.
 	for f := 0; f < conns; f++ {
-		if _, err := c.Call(ctx, uint64(f), wire.TReleaseReq, nil); err != nil {
+		fb, err := c.Call(ctx, uint64(f), wire.TReleaseReq, nil)
+		if err != nil {
 			b.Fatal(err)
 		}
+		fb.Release()
 	}
 	var next atomic.Int64
 	b.ResetTimer()
@@ -33,10 +35,12 @@ func benchMux(b *testing.B, n transport.Network, addr string, conns, workers int
 		go func(w int) {
 			defer wg.Done()
 			for next.Add(1) <= int64(b.N) {
-				if _, err := c.Call(ctx, uint64(w), wire.TReleaseReq, nil); err != nil {
+				fb, err := c.Call(ctx, uint64(w), wire.TReleaseReq, nil)
+				if err != nil {
 					b.Error(err)
 					return
 				}
+				fb.Release()
 			}
 		}(w)
 	}

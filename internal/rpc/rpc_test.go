@@ -40,11 +40,13 @@ func startEcho(tb testing.TB, n transport.Network, addr string, delay time.Durat
 			tb.Cleanup(func() { _ = conn.Close() })
 			go ServeConn(conn,
 				func(wire.MsgType) bool { return delay > 0 },
-				func(f wire.Frame, reply Reply) {
+				func(f *wire.FrameBuf, reply Reply) {
 					if delay > 0 {
 						time.Sleep(time.Duration(rand.Int63n(int64(delay))))
 					}
-					reply(f.Type+1, f.Body)
+					// The request body is borrowed; reply copies it into
+					// the response frame before the handler returns.
+					reply(f.Type()+1, wire.Raw(f.Body()))
 				}, nil)
 		}
 	}()
@@ -245,17 +247,18 @@ func TestMuxStressNoCrossTalk(t *testing.T) {
 				binary.LittleEndian.PutUint64(body[8:], uint64(i))
 				// Spread flows so every goroutine exercises every
 				// pooled connection.
-				f, err := c.Call(ctx, uint64(g*calls+i), wire.TReleaseReq, body[:])
+				f, err := c.Call(ctx, uint64(g*calls+i), wire.TReleaseReq, wire.Raw(body[:]))
 				if err != nil {
 					errs <- err
 					return
 				}
-				if len(f.Body) != 16 ||
-					binary.LittleEndian.Uint64(f.Body[:8]) != uint64(g) ||
-					binary.LittleEndian.Uint64(f.Body[8:]) != uint64(i) {
-					errs <- fmt.Errorf("goroutine %d call %d got foreign response body %x", g, i, f.Body)
+				if len(f.Body()) != 16 ||
+					binary.LittleEndian.Uint64(f.Body()[:8]) != uint64(g) ||
+					binary.LittleEndian.Uint64(f.Body()[8:]) != uint64(i) {
+					errs <- fmt.Errorf("goroutine %d call %d got foreign response body %x", g, i, f.Body())
 					return
 				}
+				f.Release()
 			}
 		}(g)
 	}
@@ -284,9 +287,9 @@ func TestServeConnInlineOrder(t *testing.T) {
 		if err != nil {
 			return
 		}
-		ServeConn(conn, nil, func(f wire.Frame, reply Reply) {
+		ServeConn(conn, nil, func(f *wire.FrameBuf, reply Reply) {
 			mu.Lock()
-			order = append(order, f.ID)
+			order = append(order, f.ID())
 			mu.Unlock()
 			served <- struct{}{}
 		}, nil)
@@ -299,7 +302,11 @@ func TestServeConnInlineOrder(t *testing.T) {
 	defer func() { _ = conn.Close() }()
 	const frames = 32
 	for i := 1; i <= frames; i++ {
-		if err := conn.Send(wire.Frame{ID: uint64(i), Type: wire.TReleaseReq}); err != nil {
+		fb := wire.GetFrameBuf()
+		if err := fb.SetFrame(uint64(i), wire.TReleaseReq, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(fb); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -21,6 +21,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -334,106 +335,106 @@ func blocking(t wire.MsgType) bool {
 	return false
 }
 
-func (s *Server) dispatch(f wire.Frame, reply rpc.Reply) {
-	switch f.Type {
+func (s *Server) dispatch(f *wire.FrameBuf, reply rpc.Reply) {
+	switch f.Type() {
 	case wire.TReadLockReq:
-		req, err := wire.DecodeReadLockReq(f.Body)
+		req, err := wire.DecodeReadLockReq(f.Body())
 		if err != nil {
-			reply(wire.TReadLockResp, wire.ReadLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReadLockResp, wire.ReadLockResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TReadLockResp, s.handleReadLock(req).Encode())
+		reply(wire.TReadLockResp, s.handleReadLock(req))
 	case wire.TReadLockBatchReq:
-		req, err := wire.DecodeReadLockBatchReq(f.Body)
+		req, err := wire.DecodeReadLockBatchReq(f.Body())
 		if err != nil {
-			reply(wire.TReadLockBatchResp, wire.ReadLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReadLockBatchResp, wire.ReadLockBatchResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TReadLockBatchResp, s.handleReadLockBatch(req).Encode())
+		reply(wire.TReadLockBatchResp, s.handleReadLockBatch(req))
 	case wire.TWriteLockReq:
-		req, err := wire.DecodeWriteLockReq(f.Body)
+		req, err := wire.DecodeWriteLockReq(f.Body())
 		if err != nil {
-			reply(wire.TWriteLockResp, wire.WriteLockResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TWriteLockResp, wire.WriteLockResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TWriteLockResp, s.handleWriteLock(req).Encode())
+		reply(wire.TWriteLockResp, s.handleWriteLock(req))
 	case wire.TWriteLockBatchReq:
-		req, err := wire.DecodeWriteLockBatchReq(f.Body)
+		req, err := wire.DecodeWriteLockBatchReq(f.Body())
 		if err != nil {
-			reply(wire.TWriteLockBatchResp, wire.WriteLockBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TWriteLockBatchResp, wire.WriteLockBatchResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TWriteLockBatchResp, s.handleWriteLockBatch(req).Encode())
+		reply(wire.TWriteLockBatchResp, s.handleWriteLockBatch(req))
 	case wire.TFreezeWriteReq:
-		req, err := wire.DecodeFreezeWriteReq(f.Body)
+		req, err := wire.DecodeFreezeWriteReq(f.Body())
 		if err != nil {
-			reply(wire.TFreezeWriteResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeWriteResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TFreezeWriteResp, s.handleFreezeWrite(req).Encode())
+		reply(wire.TFreezeWriteResp, s.handleFreezeWrite(req))
 	case wire.TFreezeReadReq:
-		req, err := wire.DecodeFreezeReadReq(f.Body)
+		req, err := wire.DecodeFreezeReadReq(f.Body())
 		if err != nil {
-			reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
 		s.key(req.Key).locks.FreezeReadIn(lock.Owner(req.Txn), timestamp.Span(req.Lo, req.Hi))
-		reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK}.Encode())
+		reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK})
 	case wire.TFreezeBatchReq:
-		req, err := wire.DecodeFreezeBatchReq(f.Body)
+		req, err := wire.DecodeFreezeBatchReq(f.Body())
 		if err != nil {
-			reply(wire.TFreezeBatchResp, wire.FreezeBatchResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TFreezeBatchResp, wire.FreezeBatchResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TFreezeBatchResp, s.handleFreezeBatch(req).Encode())
+		reply(wire.TFreezeBatchResp, s.handleFreezeBatch(req))
 	case wire.TReleaseReq:
-		req, err := wire.DecodeReleaseReq(f.Body)
+		req, err := wire.DecodeReleaseReq(f.Body())
 		if err != nil {
-			reply(wire.TReleaseResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReleaseResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TReleaseResp, s.handleRelease(req).Encode())
+		reply(wire.TReleaseResp, s.handleRelease(req))
 	case wire.TReleaseBatchReq:
-		req, err := wire.DecodeReleaseBatchReq(f.Body)
+		req, err := wire.DecodeReleaseBatchReq(f.Body())
 		if err != nil {
-			reply(wire.TReleaseBatchResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TReleaseBatchResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TReleaseBatchResp, s.handleReleaseBatch(req).Encode())
+		reply(wire.TReleaseBatchResp, s.handleReleaseBatch(req))
 	case wire.TDecideReq:
-		req, err := wire.DecodeDecideReq(f.Body)
+		req, err := wire.DecodeDecideReq(f.Body())
 		if err != nil {
 			// An explicit error status: a fabricated "abort" decision
 			// would be indistinguishable from the commitment object
 			// really deciding abort.
-			reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
 		d := s.handleDecide(req)
-		reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS}.Encode())
+		reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS})
 	case wire.TPurgeReq:
-		req, err := wire.DecodePurgeReq(f.Body)
+		req, err := wire.DecodePurgeReq(f.Body())
 		if err != nil {
 			// An explicit error status: an empty PurgeResp would read
 			// as "purged 0, OK".
-			reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
 		v, l := s.purgeBelow(req.Bound)
-		reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusOK, Versions: int64(v), Locks: int64(l)}.Encode())
+		reply(wire.TPurgeResp, wire.PurgeResp{Status: wire.StatusOK, Versions: int64(v), Locks: int64(l)})
 	case wire.TStatsReq:
-		reply(wire.TStatsResp, s.stats().Encode())
+		reply(wire.TStatsResp, s.stats())
 	case wire.TWaitGraphReq:
-		reply(wire.TWaitGraphResp, wire.WaitGraphResp{Edges: s.exportEdges()}.Encode())
+		reply(wire.TWaitGraphResp, wire.WaitGraphResp{Edges: s.exportEdges()})
 	case wire.TVictimAbortReq:
-		req, err := wire.DecodeVictimAbortReq(f.Body)
+		req, err := wire.DecodeVictimAbortReq(f.Body())
 		if err != nil {
-			reply(wire.TVictimAbortResp, wire.Ack{Status: wire.StatusError, Err: err.Error()}.Encode())
+			reply(wire.TVictimAbortResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
-		reply(wire.TVictimAbortResp, s.handleVictimAbort(req).Encode())
+		reply(wire.TVictimAbortResp, s.handleVictimAbort(req))
 	default:
-		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type)
+		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type())
 	}
 }
 
@@ -635,7 +636,10 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 				if !acquired[i] {
 					continue
 				}
-				t.pending[it.Key] = it.Value
+				// The decoded value is a borrowed view of the request
+				// frame, which is recycled when this handler returns;
+				// the pending write outlives it, so copy out.
+				t.pending[it.Key] = bytes.Clone(it.Value)
 				t.writeKeys[it.Key] = true
 			}
 		})
@@ -962,15 +966,16 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 	if decisionSrv == "" || decisionSrv == s.cfg.Addr {
 		return s.registry.Object(txn).Decide(proposal), true
 	}
-	resp, err := s.callPeer(decisionSrv, wire.TDecideReq,
-		wire.DecideReq{Txn: txn, Proposal: wire.DecideAbort}.Encode())
+	f, err := s.callPeer(decisionSrv, wire.TDecideReq,
+		wire.DecideReq{Txn: txn, Proposal: wire.DecideAbort})
 	if err != nil {
 		// Cannot reach the decision server: do not act unilaterally;
 		// the scanner retries later.
 		s.logf("server %s: decide via %s: %v", s.cfg.Addr, decisionSrv, err)
 		return commitment.Decision{}, false
 	}
-	d, err := wire.DecodeDecideResp(resp)
+	d, err := wire.DecodeDecideResp(f.Body())
+	f.Release()
 	if err != nil || d.Status != wire.StatusOK {
 		return commitment.Decision{}, false
 	}
@@ -980,8 +985,10 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 // callPeer performs one synchronous RPC to another server over the
 // cached per-peer rpc.Client. Peer RPCs are rare — suspicion proposals
 // and victim aborts only — so each peer gets a single pipelined
-// connection; concurrent callers multiplex on it by correlation id.
-func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, error) {
+// connection; concurrent callers multiplex on it by correlation id. The
+// caller owns the returned frame buffer and must Release it after
+// decoding.
+func (s *Server) callPeer(addr string, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
 	s.peersMu.Lock()
 	pc, ok := s.peers[addr]
 	if !ok {
@@ -989,11 +996,7 @@ func (s *Server) callPeer(addr string, t wire.MsgType, body []byte) ([]byte, err
 		s.peers[addr] = pc
 	}
 	s.peersMu.Unlock()
-	f, err := pc.Call(context.Background(), 0, t, body)
-	if err != nil {
-		return nil, err
-	}
-	return f.Body, nil
+	return pc.Call(context.Background(), 0, t, m)
 }
 
 // --- maintenance ---------------------------------------------------------------

@@ -28,19 +28,26 @@ func dialRaw(t *testing.T, n transport.Network, addr string) *rawClient {
 	return &rawClient{t: t, conn: conn, next: 1}
 }
 
-func (c *rawClient) call(mt wire.MsgType, body []byte) wire.Frame {
+// call sends m as one frame and returns the response frame. Response
+// buffers are deliberately never released back to the pool here, so
+// decoded views in the tests stay valid for the test's lifetime.
+func (c *rawClient) call(mt wire.MsgType, m wire.Message) *wire.FrameBuf {
 	c.t.Helper()
 	id := c.next
 	c.next++
-	if err := c.conn.Send(wire.Frame{ID: id, Type: mt, Body: body}); err != nil {
+	fb := wire.GetFrameBuf()
+	if err := fb.SetFrame(id, mt, m); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.conn.Send(fb); err != nil {
 		c.t.Fatal(err)
 	}
 	f, err := c.conn.Recv()
 	if err != nil {
 		c.t.Fatal(err)
 	}
-	if f.ID != id {
-		c.t.Fatalf("response id %d for request %d", f.ID, id)
+	if f.ID() != id {
+		c.t.Fatalf("response id %d for request %d", f.ID(), id)
 	}
 	return f
 }
@@ -67,8 +74,8 @@ func ts(v int64) timestamp.Timestamp { return timestamp.New(v, 0) }
 func TestServerReadFreshKey(t *testing.T) {
 	_, n := startServer(t, time.Minute)
 	c := dialRaw(t, n, "srv")
-	f := c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 1, Key: "x", Upper: ts(100), Wait: false}.Encode())
-	resp, err := wire.DecodeReadLockResp(f.Body)
+	f := c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 1, Key: "x", Upper: ts(100), Wait: false})
+	resp, err := wire.DecodeReadLockResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,28 +94,28 @@ func TestServerWriteLockFreezeReadBack(t *testing.T) {
 	set := timestamp.NewSet(timestamp.Span(ts(10), ts(20)))
 	f := c.call(wire.TWriteLockReq, wire.WriteLockReq{
 		Txn: 1, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte("v1"),
-	}.Encode())
-	wresp, err := wire.DecodeWriteLockResp(f.Body)
+	})
+	wresp, err := wire.DecodeWriteLockResp(f.Body())
 	if err != nil || wresp.Status != wire.StatusOK || !wresp.Got.Equal(set) {
 		t.Fatalf("%+v %v", wresp, err)
 	}
 
 	// Commit at 15: decide, then freeze.
-	f = c.call(wire.TDecideReq, wire.DecideReq{Txn: 1, Proposal: wire.DecideCommit, TS: ts(15)}.Encode())
-	dresp, err := wire.DecodeDecideResp(f.Body)
+	f = c.call(wire.TDecideReq, wire.DecideReq{Txn: 1, Proposal: wire.DecideCommit, TS: ts(15)})
+	dresp, err := wire.DecodeDecideResp(f.Body())
 	if err != nil || dresp.Kind != wire.DecideCommit {
 		t.Fatalf("%+v %v", dresp, err)
 	}
-	f = c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 1, Key: "x", TS: ts(15)}.Encode())
-	if ack, err := wire.DecodeAck(f.Body); err != nil || ack.Status != wire.StatusOK {
+	f = c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 1, Key: "x", TS: ts(15)})
+	if ack, err := wire.DecodeAck(f.Body()); err != nil || ack.Status != wire.StatusOK {
 		t.Fatalf("%+v %v", ack, err)
 	}
 	// Release leftover locks.
-	c.call(wire.TReleaseReq, wire.ReleaseReq{Txn: 1, Key: "x"}.Encode())
+	c.call(wire.TReleaseReq, wire.ReleaseReq{Txn: 1, Key: "x"})
 
 	// A later reader sees the committed value.
-	f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 2, Key: "x", Upper: ts(100)}.Encode())
-	rresp, err := wire.DecodeReadLockResp(f.Body)
+	f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 2, Key: "x", Upper: ts(100)})
+	rresp, err := wire.DecodeReadLockResp(f.Body())
 	if err != nil || rresp.Status != wire.StatusOK {
 		t.Fatalf("%+v %v", rresp, err)
 	}
@@ -120,8 +127,8 @@ func TestServerWriteLockFreezeReadBack(t *testing.T) {
 func TestServerFreezeWithoutPendingFails(t *testing.T) {
 	_, n := startServer(t, time.Minute)
 	c := dialRaw(t, n, "srv")
-	f := c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 9, Key: "x", TS: ts(5)}.Encode())
-	ack, err := wire.DecodeAck(f.Body)
+	f := c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 9, Key: "x", TS: ts(5)})
+	ack, err := wire.DecodeAck(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,12 +141,12 @@ func TestServerWriteConflictStatus(t *testing.T) {
 	_, n := startServer(t, time.Minute)
 	c := dialRaw(t, n, "srv")
 	set := timestamp.NewSet(timestamp.Point(ts(5)))
-	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 1, Key: "x", Set: set, Value: []byte("a")}.Encode())
+	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 1, Key: "x", Set: set, Value: []byte("a")})
 	// Exact conflicting request from another txn, no wait, no partial
 	// fallback server-side: server always acquires partially, so Got is
 	// empty and Denied covers the point.
-	f := c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 2, Key: "x", Set: set, Value: []byte("b")}.Encode())
-	resp, err := wire.DecodeWriteLockResp(f.Body)
+	f := c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 2, Key: "x", Set: set, Value: []byte("b")})
+	resp, err := wire.DecodeWriteLockResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +161,7 @@ func TestServerSuspectsDeadCoordinator(t *testing.T) {
 	set := timestamp.NewSet(timestamp.Span(ts(10), ts(20)))
 	c.call(wire.TWriteLockReq, wire.WriteLockReq{
 		Txn: 7, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte("doomed"),
-	}.Encode())
+	})
 	// Coordinator goes silent. The suspicion scanner must abort txn 7
 	// and release its locks.
 	deadline := time.Now().Add(3 * time.Second)
@@ -162,8 +169,8 @@ func TestServerSuspectsDeadCoordinator(t *testing.T) {
 	for {
 		f := other.call(wire.TWriteLockReq, wire.WriteLockReq{
 			Txn: 8, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte("winner"),
-		}.Encode())
-		resp, err := wire.DecodeWriteLockResp(f.Body)
+		})
+		resp, err := wire.DecodeWriteLockResp(f.Body())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,8 +184,8 @@ func TestServerSuspectsDeadCoordinator(t *testing.T) {
 	}
 	// The commitment object must have decided abort for txn 7; a late
 	// commit proposal from the "dead" coordinator is refused.
-	f := c.call(wire.TDecideReq, wire.DecideReq{Txn: 7, Proposal: wire.DecideCommit, TS: ts(15)}.Encode())
-	dresp, err := wire.DecodeDecideResp(f.Body)
+	f := c.call(wire.TDecideReq, wire.DecideReq{Txn: 7, Proposal: wire.DecideCommit, TS: ts(15)})
+	dresp, err := wire.DecodeDecideResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,20 +201,20 @@ func TestServerPurgeAndStats(t *testing.T) {
 	for i, v := range []int64{10, 20, 30} {
 		txn := uint64(i + 1)
 		set := timestamp.NewSet(timestamp.Point(ts(v)))
-		c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: txn, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte{byte(v)}}.Encode())
-		c.call(wire.TDecideReq, wire.DecideReq{Txn: txn, Proposal: wire.DecideCommit, TS: ts(v)}.Encode())
-		c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: txn, Key: "x", TS: ts(v)}.Encode())
+		c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: txn, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte{byte(v)}})
+		c.call(wire.TDecideReq, wire.DecideReq{Txn: txn, Proposal: wire.DecideCommit, TS: ts(v)})
+		c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: txn, Key: "x", TS: ts(v)})
 	}
 	f := c.call(wire.TStatsReq, nil)
-	st, err := wire.DecodeStatsResp(f.Body)
+	st, err := wire.DecodeStatsResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Keys != 1 || st.Versions != 4 { // 3 writes + ⊥
 		t.Fatalf("stats = %+v", st)
 	}
-	f = c.call(wire.TPurgeReq, wire.PurgeReq{Bound: ts(25)}.Encode())
-	presp, err := wire.DecodePurgeResp(f.Body)
+	f = c.call(wire.TPurgeReq, wire.PurgeReq{Bound: ts(25)})
+	presp, err := wire.DecodePurgeResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,8 +226,8 @@ func TestServerPurgeAndStats(t *testing.T) {
 func TestServerMalformedFrame(t *testing.T) {
 	_, n := startServer(t, time.Minute)
 	c := dialRaw(t, n, "srv")
-	f := c.call(wire.TReadLockReq, []byte{1, 2, 3})
-	resp, err := wire.DecodeReadLockResp(f.Body)
+	f := c.call(wire.TReadLockReq, wire.Raw{1, 2, 3})
+	resp, err := wire.DecodeReadLockResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +247,11 @@ func TestServerConcurrentRequestsOneConn(t *testing.T) {
 	// collect: the per-request goroutines must answer all of them.
 	for i := uint64(1); i <= 20; i++ {
 		req := wire.ReadLockReq{Txn: i, Key: "k", Upper: ts(int64(100 + i))}
-		if err := conn.Send(wire.Frame{ID: i, Type: wire.TReadLockReq, Body: req.Encode()}); err != nil {
+		fb := wire.GetFrameBuf()
+		if err := fb.SetFrame(i, wire.TReadLockReq, req); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(fb); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -250,7 +261,8 @@ func TestServerConcurrentRequestsOneConn(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seen[f.ID] = true
+		seen[f.ID()] = true
+		f.Release()
 	}
 	if len(seen) != 20 {
 		t.Fatalf("got %d distinct responses", len(seen))

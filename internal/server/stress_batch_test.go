@@ -125,7 +125,7 @@ func TestServerWriteLockBatch(t *testing.T) {
 
 	// Txn 1 pre-locks key "b" at 5 so the batch below partially fails.
 	pre := timestamp.NewSet(timestamp.Point(ts(5)))
-	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 1, Key: "b", Set: pre, Value: []byte("pre")}.Encode())
+	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 1, Key: "b", Set: pre, Value: []byte("pre")})
 
 	set := timestamp.NewSet(timestamp.Span(ts(1), ts(10)))
 	f := c.call(wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
@@ -136,8 +136,8 @@ func TestServerWriteLockBatch(t *testing.T) {
 			{Key: "b", Set: set, Value: []byte("vb")},
 			{Key: "c", Set: set, Value: []byte("vc")},
 		},
-	}.Encode())
-	resp, err := wire.DecodeWriteLockBatchResp(f.Body)
+	})
+	resp, err := wire.DecodeWriteLockBatchResp(f.Body())
 	if err != nil || resp.Status != wire.StatusOK {
 		t.Fatalf("%+v %v", resp, err)
 	}
@@ -154,8 +154,8 @@ func TestServerWriteLockBatch(t *testing.T) {
 	// Freeze batch commits txn 2 at 7 on all three keys.
 	f = c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{
 		Txn: 2, TS: ts(7), WriteKeys: []string{"a", "b", "c"},
-	}.Encode())
-	fresp, err := wire.DecodeFreezeBatchResp(f.Body)
+	})
+	fresp, err := wire.DecodeFreezeBatchResp(f.Body())
 	if err != nil || fresp.Status != wire.StatusOK || len(fresp.WriteAcks) != 3 {
 		t.Fatalf("%+v %v", fresp, err)
 	}
@@ -165,15 +165,15 @@ func TestServerWriteLockBatch(t *testing.T) {
 		}
 	}
 	// Release batch drops the leftovers.
-	f = c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 2, Keys: []string{"a", "b", "c"}}.Encode())
-	if ack, err := wire.DecodeAck(f.Body); err != nil || ack.Status != wire.StatusOK {
+	f = c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 2, Keys: []string{"a", "b", "c"}})
+	if ack, err := wire.DecodeAck(f.Body()); err != nil || ack.Status != wire.StatusOK {
 		t.Fatalf("%+v %v", ack, err)
 	}
 
 	// A later reader observes the batched commit on every key.
 	for _, k := range []string{"a", "c"} {
-		f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 9, Key: k, Upper: ts(100)}.Encode())
-		rresp, err := wire.DecodeReadLockResp(f.Body)
+		f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 9, Key: k, Upper: ts(100)})
+		rresp, err := wire.DecodeReadLockResp(f.Body())
 		if err != nil || rresp.Status != wire.StatusOK {
 			t.Fatalf("%+v %v", rresp, err)
 		}
@@ -188,8 +188,8 @@ func TestServerWriteLockBatch(t *testing.T) {
 func TestServerFreezeBatchWithoutPendingFails(t *testing.T) {
 	_, n := startServer(t, time.Minute)
 	c := dialRaw(t, n, "srv")
-	f := c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 42, TS: ts(5), WriteKeys: []string{"x"}}.Encode())
-	resp, err := wire.DecodeFreezeBatchResp(f.Body)
+	f := c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 42, TS: ts(5), WriteKeys: []string{"x"}})
+	resp, err := wire.DecodeFreezeBatchResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,14 +208,14 @@ func TestServerBatchOfOneMatchesSingleKey(t *testing.T) {
 	f := c.call(wire.TWriteLockBatchReq, wire.WriteLockBatchReq{
 		Txn: 1, DecisionSrv: "srv",
 		Items: []wire.WriteLockItem{{Key: "x", Set: set, Value: []byte("v1")}},
-	}.Encode())
-	bresp, err := wire.DecodeWriteLockBatchResp(f.Body)
+	})
+	bresp, err := wire.DecodeWriteLockBatchResp(f.Body())
 	if err != nil || bresp.Status != wire.StatusOK || len(bresp.Results) != 1 || !bresp.Results[0].Got.Equal(set) {
 		t.Fatalf("%+v %v", bresp, err)
 	}
 
-	f = c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 2, Key: "x", Set: set, Value: []byte("v2")}.Encode())
-	sresp, err := wire.DecodeWriteLockResp(f.Body)
+	f = c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 2, Key: "x", Set: set, Value: []byte("v2")})
+	sresp, err := wire.DecodeWriteLockResp(f.Body())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,14 +240,14 @@ func TestServerReadLockBatch(t *testing.T) {
 			{Key: "a", Set: set, Value: []byte("va")},
 			{Key: "b", Set: set, Value: []byte("vb")},
 		},
-	}.Encode())
-	c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 1, TS: ts(5), WriteKeys: []string{"a", "b"}}.Encode())
-	c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 1, Keys: []string{"a", "b"}}.Encode())
+	})
+	c.call(wire.TFreezeBatchReq, wire.FreezeBatchReq{Txn: 1, TS: ts(5), WriteKeys: []string{"a", "b"}})
+	c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 1, Keys: []string{"a", "b"}})
 
 	f := c.call(wire.TReadLockBatchReq, wire.ReadLockBatchReq{
 		Txn: 9, Upper: ts(100), Keys: []string{"a", "fresh", "b"},
-	}.Encode())
-	resp, err := wire.DecodeReadLockBatchResp(f.Body)
+	})
+	resp, err := wire.DecodeReadLockBatchResp(f.Body())
 	if err != nil || resp.Status != wire.StatusOK || len(resp.Results) != 3 {
 		t.Fatalf("%+v %v", resp, err)
 	}
@@ -268,11 +268,11 @@ func TestServerReadLockBatch(t *testing.T) {
 	// containing it times out on that key only; the other key settles.
 	c.call(wire.TWriteLockReq, wire.WriteLockReq{
 		Txn: 2, Key: "hot", DecisionSrv: "srv", Set: set, Value: []byte("wip"),
-	}.Encode())
+	})
 	f = c.call(wire.TReadLockBatchReq, wire.ReadLockBatchReq{
 		Txn: 9, Upper: ts(8), Wait: true, Keys: []string{"hot", "a"},
-	}.Encode())
-	resp, err = wire.DecodeReadLockBatchResp(f.Body)
+	})
+	resp, err = wire.DecodeReadLockBatchResp(f.Body())
 	if err != nil || resp.Status != wire.StatusOK || len(resp.Results) != 2 {
 		t.Fatalf("%+v %v", resp, err)
 	}

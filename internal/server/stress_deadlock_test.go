@@ -406,7 +406,7 @@ func TestTxnStateGC(t *testing.T) {
 
 	stats := func() wire.StatsResp {
 		f := c.call(wire.TStatsReq, nil)
-		st, err := wire.DecodeStatsResp(f.Body)
+		st, err := wire.DecodeStatsResp(f.Body())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -417,10 +417,10 @@ func TestTxnStateGC(t *testing.T) {
 	for i := 1; i <= txns; i++ {
 		txn := uint64(i)
 		set := timestamp.NewSet(timestamp.Span(ts(int64(10*i)), ts(int64(10*i+5))))
-		c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: txn, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte{byte(i)}}.Encode())
-		c.call(wire.TDecideReq, wire.DecideReq{Txn: txn, Proposal: wire.DecideCommit, TS: ts(int64(10 * i))}.Encode())
-		c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: txn, Key: "x", TS: ts(int64(10 * i))}.Encode())
-		c.call(wire.TReleaseReq, wire.ReleaseReq{Txn: txn, Key: "x"}.Encode())
+		c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: txn, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte{byte(i)}})
+		c.call(wire.TDecideReq, wire.DecideReq{Txn: txn, Proposal: wire.DecideCommit, TS: ts(int64(10 * i))})
+		c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: txn, Key: "x", TS: ts(int64(10 * i))})
+		c.call(wire.TReleaseReq, wire.ReleaseReq{Txn: txn, Key: "x"})
 	}
 	st := stats()
 	if st.LiveTxns != 0 {
@@ -432,19 +432,19 @@ func TestTxnStateGC(t *testing.T) {
 
 	// Late-arriving messages for a purged transaction must not break or
 	// resurrect anything.
-	f := c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 1, Keys: []string{"x"}}.Encode())
-	if ack, err := wire.DecodeAck(f.Body); err != nil || ack.Status != wire.StatusOK {
+	f := c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 1, Keys: []string{"x"}})
+	if ack, err := wire.DecodeAck(f.Body()); err != nil || ack.Status != wire.StatusOK {
 		t.Fatalf("late release after GC: %+v %v", ack, err)
 	}
-	f = c.call(wire.TDecideReq, wire.DecideReq{Txn: 1, Proposal: wire.DecideCommit, TS: ts(10)}.Encode())
-	dresp, err := wire.DecodeDecideResp(f.Body)
+	f = c.call(wire.TDecideReq, wire.DecideReq{Txn: 1, Proposal: wire.DecideCommit, TS: ts(10)})
+	dresp, err := wire.DecodeDecideResp(f.Body())
 	if err != nil || dresp.Status != wire.StatusOK || dresp.Kind != wire.DecideCommit {
 		t.Fatalf("late decide after GC: %+v %v", dresp, err)
 	}
 	// A late redundant freeze (the decide already installed the value)
 	// must ack OK, not "no pending value".
-	f = c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 1, Key: "x", TS: ts(10)}.Encode())
-	if ack, err := wire.DecodeAck(f.Body); err != nil || ack.Status != wire.StatusOK {
+	f = c.call(wire.TFreezeWriteReq, wire.FreezeWriteReq{Txn: 1, Key: "x", TS: ts(10)})
+	if ack, err := wire.DecodeAck(f.Body()); err != nil || ack.Status != wire.StatusOK {
 		t.Fatalf("late freeze after GC: %+v %v", ack, err)
 	}
 	if st := stats(); st.LiveTxns != 0 {
@@ -453,7 +453,7 @@ func TestTxnStateGC(t *testing.T) {
 
 	// Reads alone must not create transaction state either (a read
 	// racing a decide used to resurrect finished records).
-	c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 99, Key: "x", Upper: ts(1000)}.Encode())
+	c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 99, Key: "x", Upper: ts(1000)})
 	if st := stats(); st.LiveTxns != 0 {
 		t.Fatalf("a read created transaction state: %d live", st.LiveTxns)
 	}

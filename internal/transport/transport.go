@@ -14,6 +14,17 @@
 // in-flight requests per connection over Mem and TCP alike, so the two
 // beds differ only in where the latency and per-frame cost come from
 // (a model here, real syscalls there).
+//
+// # Buffer ownership
+//
+// Frames travel in pooled wire.FrameBuf buffers. Send takes ownership
+// of the buffer it is passed, success or failure: TCP writes the bytes
+// (header and body as one vectored write) and releases the buffer; the
+// in-memory transport delivers the very same buffer to the peer,
+// copy-free — its latency model accounts the frame's size without ever
+// touching the bytes. Recv returns an owned buffer that the receiver
+// must Release once done with the frame and everything borrowed from
+// its body (see package wire).
 package transport
 
 import (
@@ -33,10 +44,13 @@ var ErrClosed = errors.New("transport: closed")
 // Conn is a bidirectional frame stream. Send and Recv are each safe for
 // one concurrent caller; use external locking for more.
 type Conn interface {
-	// Send transmits one frame.
-	Send(f wire.Frame) error
-	// Recv blocks for the next frame.
-	Recv() (wire.Frame, error)
+	// Send transmits one frame, taking ownership of fb (even on error):
+	// the transport releases it, or hands it to the receiving end. The
+	// caller must not touch fb afterwards.
+	Send(fb *wire.FrameBuf) error
+	// Recv blocks for the next frame. The caller owns the result and
+	// must Release it.
+	Recv() (*wire.FrameBuf, error)
 	// Close tears the connection down, unblocking Recv on both ends.
 	Close() error
 }
@@ -77,15 +91,28 @@ type LatencyModel struct {
 	// Zero (the default, and both paper beds) models infinite
 	// per-connection bandwidth: only Base and Jitter matter.
 	PerFrame time.Duration
+	// PerByte is additional sender-side occupancy per wire byte
+	// (header plus body), i.e. the inverse link bandwidth: a frame
+	// occupies its connection for PerFrame + WireLen·PerByte. It is
+	// accounted from the frame's length alone — the model never copies
+	// or inspects the bytes — and makes value-size sweeps interact
+	// with the network model the way they do with a real NIC. Zero
+	// (the default) models infinite bandwidth.
+	PerByte time.Duration
 }
 
-// delay samples one delivery delay.
+// delay samples one propagation delay.
 func (m LatencyModel) delay(rng *rand.Rand) time.Duration {
 	d := m.Base
 	if m.Jitter > 0 {
 		d += time.Duration(rng.Int63n(int64(m.Jitter)))
 	}
 	return d
+}
+
+// occupancy is how long a frame of n wire bytes holds the sender busy.
+func (m LatencyModel) occupancy(n int) time.Duration {
+	return m.PerFrame + time.Duration(n)*m.PerByte
 }
 
 // Mem is an in-process Network. The zero value is not usable; call
@@ -177,7 +204,9 @@ func (l *memListener) Close() error {
 
 func (l *memListener) Addr() string { return l.addr }
 
-// memPipe is one direction of a connection: frames with delivery times.
+// memPipe is one direction of a connection: frame buffers with delivery
+// times. The buffer a sender passes in is the buffer the receiver gets
+// out — the pipe never copies frame bytes, it only schedules them.
 type memPipe struct {
 	model LatencyModel
 
@@ -185,7 +214,8 @@ type memPipe struct {
 	rng   *rand.Rand
 	queue []timedFrame
 	// busyUntil is when the sender finishes transmitting the queued
-	// frames (the PerFrame occupancy); nextAt keeps delivery FIFO.
+	// frames (the PerFrame/PerByte occupancy); nextAt keeps delivery
+	// FIFO.
 	busyUntil time.Time
 	nextAt    time.Time
 	wake      chan struct{}
@@ -193,7 +223,7 @@ type memPipe struct {
 }
 
 type timedFrame struct {
-	frame     wire.Frame
+	fb        *wire.FrameBuf
 	deliverAt time.Time
 }
 
@@ -201,20 +231,21 @@ func newMemPipe(model LatencyModel, seed int64) *memPipe {
 	return &memPipe{model: model, rng: rand.New(rand.NewSource(seed)), wake: make(chan struct{}, 1)}
 }
 
-func (p *memPipe) send(f wire.Frame) error {
+func (p *memPipe) send(fb *wire.FrameBuf) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		fb.Release()
 		return ErrClosed
 	}
-	// The frame first occupies the sender for PerFrame (queueing behind
-	// earlier frames still transmitting), then propagates for the
-	// sampled delay.
+	// The frame first occupies the sender for its occupancy (queueing
+	// behind earlier frames still transmitting — larger frames hold the
+	// link longer), then propagates for the sampled delay.
 	start := time.Now()
 	if p.busyUntil.After(start) {
 		start = p.busyUntil
 	}
-	start = start.Add(p.model.PerFrame)
+	start = start.Add(p.model.occupancy(fb.WireLen()))
 	p.busyUntil = start
 	at := start.Add(p.model.delay(p.rng))
 	// FIFO: delivery times are monotone within the pipe.
@@ -222,7 +253,7 @@ func (p *memPipe) send(f wire.Frame) error {
 		at = p.nextAt
 	}
 	p.nextAt = at
-	p.queue = append(p.queue, timedFrame{frame: f, deliverAt: at})
+	p.queue = append(p.queue, timedFrame{fb: fb, deliverAt: at})
 	p.mu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
@@ -231,7 +262,7 @@ func (p *memPipe) send(f wire.Frame) error {
 	return nil
 }
 
-func (p *memPipe) recv() (wire.Frame, error) {
+func (p *memPipe) recv() (*wire.FrameBuf, error) {
 	for {
 		p.mu.Lock()
 		if len(p.queue) > 0 {
@@ -241,22 +272,32 @@ func (p *memPipe) recv() (wire.Frame, error) {
 				time.Sleep(wait)
 				continue
 			}
+			p.queue[0] = timedFrame{}
 			p.queue = p.queue[1:]
 			p.mu.Unlock()
-			return tf.frame, nil
+			return tf.fb, nil
 		}
 		if p.closed {
 			p.mu.Unlock()
-			return wire.Frame{}, ErrClosed
+			return nil, ErrClosed
 		}
 		p.mu.Unlock()
 		<-p.wake
 	}
 }
 
+// close marks the pipe closed and releases undelivered frames; it is
+// idempotent (both conns sharing the pipe close it).
 func (p *memPipe) close() {
 	p.mu.Lock()
-	p.closed = true
+	if !p.closed {
+		p.closed = true
+		for i, tf := range p.queue {
+			tf.fb.Release()
+			p.queue[i] = timedFrame{}
+		}
+		p.queue = nil
+	}
 	p.mu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
@@ -271,9 +312,9 @@ type memConn struct {
 
 var _ Conn = (*memConn)(nil)
 
-func (c *memConn) Send(f wire.Frame) error { return c.send.send(f) }
+func (c *memConn) Send(fb *wire.FrameBuf) error { return c.send.send(fb) }
 
-func (c *memConn) Recv() (wire.Frame, error) { return c.recv.recv() }
+func (c *memConn) Recv() (*wire.FrameBuf, error) { return c.recv.recv() }
 
 func (c *memConn) Close() error {
 	c.send.close()
@@ -328,16 +369,26 @@ type tcpConn struct {
 
 var _ Conn = (*tcpConn)(nil)
 
-func (c *tcpConn) Send(f wire.Frame) error {
+func (c *tcpConn) Send(fb *wire.FrameBuf) error {
 	c.wm.Lock()
-	defer c.wm.Unlock()
-	return wire.WriteFrame(c.c, f)
+	err := wire.WriteFrame(c.c, fb) // one writev: header + body, no coalescing
+	c.wm.Unlock()
+	fb.Release()
+	if err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
 }
 
-func (c *tcpConn) Recv() (wire.Frame, error) {
+func (c *tcpConn) Recv() (*wire.FrameBuf, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
-	return wire.ReadFrame(c.c)
+	fb := wire.GetFrameBuf()
+	if err := wire.ReadFrame(c.c, fb); err != nil {
+		fb.Release()
+		return nil, err
+	}
+	return fb, nil
 }
 
 func (c *tcpConn) Close() error { return c.c.Close() }

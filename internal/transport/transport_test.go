@@ -10,6 +10,20 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
 
+// sendFrame encodes body into a pooled frame and sends it (the
+// transport consumes the buffer).
+func sendFrame(tb testing.TB, c Conn, id uint64, t wire.MsgType, body []byte) {
+	tb.Helper()
+	fb := wire.GetFrameBuf()
+	if err := fb.SetFrame(id, t, wire.Raw(body)); err != nil {
+		fb.Release()
+		tb.Fatal(err)
+	}
+	if err := c.Send(fb); err != nil {
+		tb.Fatal(err)
+	}
+}
+
 func testNetworkRoundTrip(t *testing.T, n Network, addr string) {
 	t.Helper()
 	l, err := n.Listen(addr)
@@ -32,7 +46,13 @@ func testNetworkRoundTrip(t *testing.T, n Network, addr string) {
 				done <- nil
 				return
 			}
-			f.Body = append([]byte("echo:"), f.Body...)
+			// Re-encode in place: the request's body is copied into the
+			// reply before the same buffer is handed back to Send.
+			body := append([]byte("echo:"), f.Body()...)
+			if err := f.SetFrame(f.ID(), f.Type(), wire.Raw(body)); err != nil {
+				done <- err
+				return
+			}
 			if err := conn.Send(f); err != nil {
 				done <- err
 				return
@@ -46,16 +66,15 @@ func testNetworkRoundTrip(t *testing.T, n Network, addr string) {
 	}
 	for i := 0; i < 10; i++ {
 		msg := fmt.Sprintf("ping-%d", i)
-		if err := c.Send(wire.Frame{ID: uint64(i), Type: 1, Body: []byte(msg)}); err != nil {
-			t.Fatal(err)
-		}
+		sendFrame(t, c, uint64(i), 1, []byte(msg))
 		f, err := c.Recv()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if f.ID != uint64(i) || string(f.Body) != "echo:"+msg {
-			t.Fatalf("frame %d: %+v", i, f)
+		if f.ID() != uint64(i) || string(f.Body()) != "echo:"+msg {
+			t.Fatalf("frame %d: id=%d body=%q", i, f.ID(), f.Body())
 		}
+		f.Release()
 	}
 	_ = c.Close()
 	select {
@@ -127,16 +146,15 @@ func TestMemFIFOOrder(t *testing.T) {
 				close(received)
 				return
 			}
-			received <- f.ID
+			received <- f.ID()
+			f.Release()
 		}
 	}()
 
 	c, _ := n.Dial("srv")
 	const frames = 50
 	for i := 0; i < frames; i++ {
-		if err := c.Send(wire.Frame{ID: uint64(i), Type: 1}); err != nil {
-			t.Fatal(err)
-		}
+		sendFrame(t, c, uint64(i), 1, nil)
 	}
 	for i := 0; i < frames; i++ {
 		got := <-received
@@ -212,16 +230,53 @@ func TestMemPerFramePacing(t *testing.T) {
 	const frames = 5
 	start := time.Now()
 	for i := 0; i < frames; i++ {
-		if err := conn.Send(wire.Frame{ID: uint64(i + 1), Type: 1}); err != nil {
-			t.Fatal(err)
-		}
+		sendFrame(t, conn, uint64(i+1), 1, nil)
 	}
 	for i := 0; i < frames; i++ {
-		if _, err := srv.Recv(); err != nil {
+		f, err := srv.Recv()
+		if err != nil {
 			t.Fatal(err)
 		}
+		f.Release()
 	}
 	if elapsed := time.Since(start); elapsed < frames*2*time.Millisecond {
 		t.Fatalf("%d frames at 2ms occupancy arrived in %v; the per-frame cost is not being charged", frames, elapsed)
+	}
+}
+
+// TestMemPerBytePacing checks the bandwidth model: with a PerByte cost,
+// k frames of n bytes each cannot all arrive before roughly k×n×PerByte
+// has elapsed — the occupancy is charged from the frame length alone,
+// without the pipe ever copying the bytes.
+func TestMemPerBytePacing(t *testing.T) {
+	n := NewMem(LatencyModel{PerByte: 10 * time.Microsecond})
+	l, err := n.Listen("bw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.Dial("bw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5
+	body := make([]byte, 1000) // ~1KB => >=10ms occupancy per frame
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		sendFrame(t, conn, uint64(i+1), 1, body)
+	}
+	for i := 0; i < frames; i++ {
+		f, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Release()
+	}
+	if elapsed := time.Since(start); elapsed < frames*10*time.Millisecond {
+		t.Fatalf("%d 1KB frames at 10µs/B occupancy arrived in %v; bytes are not being accounted", frames, elapsed)
 	}
 }

@@ -13,10 +13,6 @@ import (
 // a batch of size one is exactly equivalent to the corresponding
 // single-key message, which remains supported.
 
-// maxBatchItems bounds the per-key item count of a batch so a malformed
-// frame cannot force a huge allocation before the body length check.
-const maxBatchItems = MaxFrameSize / 8
-
 // WriteLockItem is one key of a WriteLockBatchReq: the requested lock
 // set and the pending value to buffer.
 type WriteLockItem struct {
@@ -36,9 +32,9 @@ type WriteLockBatchReq struct {
 	Items       []WriteLockItem
 }
 
-// Encode serializes the request.
-func (m WriteLockBatchReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m WriteLockBatchReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.DecisionSrv)
 	e.Bool(m.Wait)
@@ -48,7 +44,7 @@ func (m WriteLockBatchReq) Encode() []byte {
 		e.Set(it.Set)
 		e.Blob(it.Value)
 	}
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeWriteLockBatchReq deserializes a WriteLockBatchReq.
@@ -56,7 +52,7 @@ func DecodeWriteLockBatchReq(b []byte) (WriteLockBatchReq, error) {
 	d := NewDecoder(b)
 	m := WriteLockBatchReq{Txn: d.U64(), DecisionSrv: d.Str(), Wait: d.Bool()}
 	n := d.count()
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		m.Items = append(m.Items, WriteLockItem{Key: d.Str(), Set: d.Set(), Value: d.Blob()})
 	}
 	return m, d.Err()
@@ -84,9 +80,9 @@ type WriteLockBatchResp struct {
 	Edges   []WaitEdge
 }
 
-// Encode serializes the response.
-func (m WriteLockBatchResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m WriteLockBatchResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.status(m.Status)
 	e.Str(m.Err)
 	e.I32(int32(len(m.Results)))
@@ -97,7 +93,7 @@ func (m WriteLockBatchResp) Encode() []byte {
 		e.Set(r.Denied)
 	}
 	e.Edges(m.Edges)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeWriteLockBatchResp deserializes a WriteLockBatchResp.
@@ -105,7 +101,7 @@ func DecodeWriteLockBatchResp(b []byte) (WriteLockBatchResp, error) {
 	d := NewDecoder(b)
 	m := WriteLockBatchResp{Status: d.status(), Err: d.Str()}
 	n := d.count()
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		m.Results = append(m.Results, WriteLockResult{
 			Status: d.status(), Err: d.Str(), Got: d.Set(), Denied: d.Set(),
 		})
@@ -131,9 +127,9 @@ type FreezeBatchReq struct {
 	Reads     []FreezeReadItem
 }
 
-// Encode serializes the request.
-func (m FreezeBatchReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m FreezeBatchReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.TS(m.TS)
 	e.StrSlice(m.WriteKeys)
@@ -143,7 +139,7 @@ func (m FreezeBatchReq) Encode() []byte {
 		e.TS(r.Lo)
 		e.TS(r.Hi)
 	}
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeFreezeBatchReq deserializes a FreezeBatchReq.
@@ -151,7 +147,7 @@ func DecodeFreezeBatchReq(b []byte) (FreezeBatchReq, error) {
 	d := NewDecoder(b)
 	m := FreezeBatchReq{Txn: d.U64(), TS: d.TS(), WriteKeys: d.StrSlice()}
 	n := d.count()
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		m.Reads = append(m.Reads, FreezeReadItem{Key: d.Str(), Lo: d.TS(), Hi: d.TS()})
 	}
 	return m, d.Err()
@@ -167,9 +163,9 @@ type FreezeBatchResp struct {
 	WriteAcks []Ack
 }
 
-// Encode serializes the response.
-func (m FreezeBatchResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m FreezeBatchResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.status(m.Status)
 	e.Str(m.Err)
 	e.I32(int32(len(m.WriteAcks)))
@@ -177,7 +173,7 @@ func (m FreezeBatchResp) Encode() []byte {
 		e.status(a.Status)
 		e.Str(a.Err)
 	}
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeFreezeBatchResp deserializes a FreezeBatchResp.
@@ -185,7 +181,7 @@ func DecodeFreezeBatchResp(b []byte) (FreezeBatchResp, error) {
 	d := NewDecoder(b)
 	m := FreezeBatchResp{Status: d.status(), Err: d.Str()}
 	n := d.count()
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		m.WriteAcks = append(m.WriteAcks, Ack{Status: d.status(), Err: d.Str()})
 	}
 	return m, d.Err()
@@ -199,13 +195,13 @@ type ReleaseBatchReq struct {
 	Keys       []string
 }
 
-// Encode serializes the request.
-func (m ReleaseBatchReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReleaseBatchReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Bool(m.WritesOnly)
 	e.StrSlice(m.Keys)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeReleaseBatchReq deserializes a ReleaseBatchReq.
@@ -229,14 +225,14 @@ type ReadLockBatchReq struct {
 	Keys  []string
 }
 
-// Encode serializes the request.
-func (m ReadLockBatchReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReadLockBatchReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.TS(m.Upper)
 	e.Bool(m.Wait)
 	e.StrSlice(m.Keys)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeReadLockBatchReq deserializes a ReadLockBatchReq.
@@ -270,9 +266,9 @@ type ReadLockBatchResp struct {
 	Edges   []WaitEdge
 }
 
-// Encode serializes the response.
-func (m ReadLockBatchResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReadLockBatchResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.status(m.Status)
 	e.Str(m.Err)
 	e.I32(int32(len(m.Results)))
@@ -284,30 +280,45 @@ func (m ReadLockBatchResp) Encode() []byte {
 		e.Interval(r.Got)
 	}
 	e.Edges(m.Edges)
-	return e.Bytes()
+	return e.buf
 }
 
-// DecodeReadLockBatchResp deserializes a ReadLockBatchResp.
-func DecodeReadLockBatchResp(b []byte) (ReadLockBatchResp, error) {
+// DecodeInto deserializes into m, reusing m.Results' capacity — the
+// steady-state decode of the hot read path allocates nothing (values
+// are borrowed views into b, see Decoder.Blob). All fields are
+// overwritten.
+func (m *ReadLockBatchResp) DecodeInto(b []byte) error {
 	d := NewDecoder(b)
-	m := ReadLockBatchResp{Status: d.status(), Err: d.Str()}
+	m.Status = d.status()
+	m.Err = d.Str()
 	n := d.count()
-	for i := 0; i < n; i++ {
+	m.Results = m.Results[:0]
+	for i := 0; i < n && d.err == nil; i++ {
 		m.Results = append(m.Results, ReadLockResult{
 			Status: d.status(), Err: d.Str(), VersionTS: d.TS(), Value: d.Blob(), Got: d.Interval(),
 		})
 	}
 	m.Edges = d.Edges()
-	return m, d.Err()
+	return d.Err()
 }
 
-// count consumes a batch item count, validating its range.
+// DecodeReadLockBatchResp deserializes a ReadLockBatchResp.
+func DecodeReadLockBatchResp(b []byte) (ReadLockBatchResp, error) {
+	var m ReadLockBatchResp
+	err := m.DecodeInto(b)
+	return m, err
+}
+
+// count consumes a batch item count, validating its range: every item
+// encodes to at least one byte, so a valid count can never exceed the
+// remaining buffer — a corrupt prefix fails here instead of driving a
+// huge allocation or a long loop over an already-errored decoder.
 func (d *Decoder) count() int {
 	n := d.I32()
 	if d.err != nil {
 		return 0
 	}
-	if n < 0 || int(n) > maxBatchItems {
+	if n < 0 || int(n) > len(d.buf) {
 		d.err = fmt.Errorf("wire: batch count %d invalid", n)
 		return 0
 	}

@@ -69,14 +69,14 @@ type codecCase struct {
 var codecCases = map[string]func(r *rand.Rand) codecCase{
 	"ReadLockReq": func(r *rand.Rand) codecCase {
 		in := ReadLockReq{Txn: r.Uint64(), Key: randWord(r), Upper: randTS(r), Wait: r.Intn(2) == 0}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockReq(b)
 			return out == in, err
 		}}
 	},
 	"ReadLockResp": func(r *rand.Rand) codecCase {
 		in := ReadLockResp{Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r), Edges: randEdges(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && out.VersionTS == in.VersionTS &&
 				bytes.Equal(out.Value, in.Value) && (out.Value == nil) == (in.Value == nil) && out.Got == in.Got &&
@@ -86,7 +86,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 	},
 	"WriteLockReq": func(r *rand.Rand) codecCase {
 		in := WriteLockReq{Txn: r.Uint64(), Key: randWord(r), DecisionSrv: randWord(r), Set: randTSSet(r), Wait: r.Intn(2) == 0, Value: randBlob(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockReq(b)
 			ok := out.Txn == in.Txn && out.Key == in.Key && out.DecisionSrv == in.DecisionSrv &&
 				out.Set.Equal(in.Set) && out.Wait == in.Wait && bytes.Equal(out.Value, in.Value)
@@ -95,7 +95,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 	},
 	"WriteLockResp": func(r *rand.Rand) codecCase {
 		in := WriteLockResp{Status: randStatus(r), Err: randWord(r), Got: randTSSet(r), Denied: randTSSet(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && out.Got.Equal(in.Got) && out.Denied.Equal(in.Denied)
 			return ok, err
@@ -103,56 +103,56 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 	},
 	"FreezeWriteReq": func(r *rand.Rand) codecCase {
 		in := FreezeWriteReq{Txn: r.Uint64(), Key: randWord(r), TS: randTS(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeFreezeWriteReq(b)
 			return out == in, err
 		}}
 	},
 	"FreezeReadReq": func(r *rand.Rand) codecCase {
 		in := FreezeReadReq{Txn: r.Uint64(), Key: randWord(r), Lo: randTS(r), Hi: randTS(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeFreezeReadReq(b)
 			return out == in, err
 		}}
 	},
 	"ReleaseReq": func(r *rand.Rand) codecCase {
 		in := ReleaseReq{Txn: r.Uint64(), Key: randWord(r), WritesOnly: r.Intn(2) == 0}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReleaseReq(b)
 			return out == in, err
 		}}
 	},
 	"Ack": func(r *rand.Rand) codecCase {
 		in := randAck(r)
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeAck(b)
 			return out == in, err
 		}}
 	},
 	"DecideReq": func(r *rand.Rand) codecCase {
 		in := DecideReq{Txn: r.Uint64(), Proposal: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeDecideReq(b)
 			return out == in, err
 		}}
 	},
 	"DecideResp": func(r *rand.Rand) codecCase {
 		in := DecideResp{Status: randStatus(r), Err: randWord(r), Kind: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeDecideResp(b)
 			return out == in, err
 		}}
 	},
 	"PurgeReq": func(r *rand.Rand) codecCase {
 		in := PurgeReq{Bound: randTS(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodePurgeReq(b)
 			return out == in, err
 		}}
 	},
 	"PurgeResp": func(r *rand.Rand) codecCase {
 		in := PurgeResp{Status: randStatus(r), Err: randWord(r), Versions: r.Int63(), Locks: r.Int63()}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodePurgeResp(b)
 			return out == in, err
 		}}
@@ -162,21 +162,21 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 			Keys: r.Int63(), LockEntries: r.Int63(), FrozenLocks: r.Int63(), Versions: r.Int63(),
 			LiveTxns: r.Int63(), PurgedTxns: r.Int63(),
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeStatsResp(b)
 			return out == in, err
 		}}
 	},
 	"WaitGraphResp": func(r *rand.Rand) codecCase {
 		in := WaitGraphResp{Edges: randEdges(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWaitGraphResp(b)
 			return slices.Equal(out.Edges, in.Edges), err
 		}}
 	},
 	"VictimAbortReq": func(r *rand.Rand) codecCase {
 		in := VictimAbortReq{Txn: r.Uint64(), Key: randWord(r)}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeVictimAbortReq(b)
 			return out == in, err
 		}}
@@ -186,7 +186,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Items = append(in.Items, WriteLockItem{Key: randWord(r), Set: randTSSet(r), Value: randBlob(r)})
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockBatchReq(b)
 			ok := out.Txn == in.Txn && out.DecisionSrv == in.DecisionSrv && out.Wait == in.Wait &&
 				len(out.Items) == len(in.Items)
@@ -205,7 +205,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Results = append(in.Results, WriteLockResult{Status: randStatus(r), Err: randWord(r), Got: randTSSet(r), Denied: randTSSet(r)})
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockBatchResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results) &&
 				slices.Equal(out.Edges, in.Edges)
@@ -228,7 +228,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Reads = append(in.Reads, FreezeReadItem{Key: randWord(r), Lo: randTS(r), Hi: randTS(r)})
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeFreezeBatchReq(b)
 			ok := out.Txn == in.Txn && out.TS == in.TS &&
 				slices.Equal(out.WriteKeys, in.WriteKeys) && slices.Equal(out.Reads, in.Reads)
@@ -240,7 +240,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.WriteAcks = append(in.WriteAcks, randAck(r))
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeFreezeBatchResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && slices.Equal(out.WriteAcks, in.WriteAcks)
 			return ok, err
@@ -251,7 +251,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Keys = append(in.Keys, randWord(r))
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockBatchReq(b)
 			ok := out.Txn == in.Txn && out.Upper == in.Upper && out.Wait == in.Wait &&
 				slices.Equal(out.Keys, in.Keys)
@@ -265,7 +265,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 				Status: randStatus(r), Err: randWord(r), VersionTS: randTS(r), Value: randBlob(r), Got: randIv(r),
 			})
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockBatchResp(b)
 			ok := out.Status == in.Status && out.Err == in.Err && len(out.Results) == len(in.Results) &&
 				slices.Equal(out.Edges, in.Edges)
@@ -287,7 +287,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Keys = append(in.Keys, randWord(r))
 		}
-		return codecCase{in.Encode(), func(b []byte) (bool, error) {
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReleaseBatchReq(b)
 			ok := out.Txn == in.Txn && out.WritesOnly == in.WritesOnly && slices.Equal(out.Keys, in.Keys)
 			return ok, err

@@ -42,14 +42,14 @@ type ReadLockReq struct {
 	Wait  bool
 }
 
-// Encode serializes the request.
-func (m ReadLockReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReadLockReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
 	e.TS(m.Upper)
 	e.Bool(m.Wait)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeReadLockReq deserializes a ReadLockReq.
@@ -73,16 +73,16 @@ type ReadLockResp struct {
 	Edges []WaitEdge
 }
 
-// Encode serializes the response.
-func (m ReadLockResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReadLockResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.buf = append(e.buf, byte(m.Status))
 	e.Str(m.Err)
 	e.TS(m.VersionTS)
 	e.Blob(m.Value)
 	e.Interval(m.Got)
 	e.Edges(m.Edges)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeReadLockResp deserializes a ReadLockResp.
@@ -115,16 +115,16 @@ type WriteLockReq struct {
 	Value       []byte
 }
 
-// Encode serializes the request.
-func (m WriteLockReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m WriteLockReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
 	e.Str(m.DecisionSrv)
 	e.Set(m.Set)
 	e.Bool(m.Wait)
 	e.Blob(m.Value)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeWriteLockReq deserializes a WriteLockReq.
@@ -150,14 +150,14 @@ type WriteLockResp struct {
 	Denied timestamp.Set
 }
 
-// Encode serializes the response.
-func (m WriteLockResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m WriteLockResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.buf = append(e.buf, byte(m.Status))
 	e.Str(m.Err)
 	e.Set(m.Got)
 	e.Set(m.Denied)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeWriteLockResp deserializes a WriteLockResp.
@@ -183,13 +183,13 @@ type FreezeWriteReq struct {
 	TS  timestamp.Timestamp
 }
 
-// Encode serializes the request.
-func (m FreezeWriteReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m FreezeWriteReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
 	e.TS(m.TS)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeFreezeWriteReq deserializes a FreezeWriteReq.
@@ -208,14 +208,14 @@ type FreezeReadReq struct {
 	Hi  timestamp.Timestamp
 }
 
-// Encode serializes the request.
-func (m FreezeReadReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m FreezeReadReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
 	e.TS(m.Lo)
 	e.TS(m.Hi)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeFreezeReadReq deserializes a FreezeReadReq.
@@ -233,13 +233,13 @@ type ReleaseReq struct {
 	WritesOnly bool
 }
 
-// Encode serializes the request.
-func (m ReleaseReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m ReleaseReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
 	e.Bool(m.WritesOnly)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeReleaseReq deserializes a ReleaseReq.
@@ -255,12 +255,12 @@ type Ack struct {
 	Err    string
 }
 
-// Encode serializes the ack.
-func (m Ack) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m Ack) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.buf = append(e.buf, byte(m.Status))
 	e.Str(m.Err)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeAck deserializes an Ack.
@@ -305,13 +305,13 @@ type DecideReq struct {
 	TS       timestamp.Timestamp
 }
 
-// Encode serializes the request.
-func (m DecideReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m DecideReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.buf = append(e.buf, byte(m.Proposal))
 	e.TS(m.TS)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeDecideReq deserializes a DecideReq.
@@ -338,14 +338,14 @@ type DecideResp struct {
 	TS     timestamp.Timestamp
 }
 
-// Encode serializes the response.
-func (m DecideResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m DecideResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.status(m.Status)
 	e.Str(m.Err)
 	e.buf = append(e.buf, byte(m.Kind))
 	e.TS(m.TS)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeDecideResp deserializes a DecideResp.
@@ -368,11 +368,11 @@ type PurgeReq struct {
 	Bound timestamp.Timestamp
 }
 
-// Encode serializes the request.
-func (m PurgeReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m PurgeReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.TS(m.Bound)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodePurgeReq deserializes a PurgeReq.
@@ -392,14 +392,14 @@ type PurgeResp struct {
 	Locks    int64
 }
 
-// Encode serializes the response.
-func (m PurgeResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m PurgeResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.status(m.Status)
 	e.Str(m.Err)
 	e.I64(m.Versions)
 	e.I64(m.Locks)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodePurgeResp deserializes a PurgeResp.
@@ -424,16 +424,16 @@ type StatsResp struct {
 	PurgedTxns int64
 }
 
-// Encode serializes the response.
-func (m StatsResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m StatsResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.I64(m.Keys)
 	e.I64(m.LockEntries)
 	e.I64(m.FrozenLocks)
 	e.I64(m.Versions)
 	e.I64(m.LiveTxns)
 	e.I64(m.PurgedTxns)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeStatsResp deserializes a StatsResp.
@@ -474,7 +474,7 @@ func (d *Decoder) Edges() []WaitEdge {
 		return nil
 	}
 	out := make([]WaitEdge, 0, min(n, 1024))
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		out = append(out, WaitEdge{Waiter: d.U64(), Holder: d.U64(), Key: d.Str()})
 	}
 	if d.err != nil {
@@ -491,11 +491,11 @@ type WaitGraphResp struct {
 	Edges []WaitEdge
 }
 
-// Encode serializes the response.
-func (m WaitGraphResp) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m WaitGraphResp) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.Edges(m.Edges)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeWaitGraphResp deserializes a WaitGraphResp.
@@ -518,12 +518,12 @@ type VictimAbortReq struct {
 	Key string
 }
 
-// Encode serializes the request.
-func (m VictimAbortReq) Encode() []byte {
-	var e Encoder
+// AppendTo implements Message.
+func (m VictimAbortReq) AppendTo(buf []byte) []byte {
+	e := Encoder{buf: buf}
 	e.U64(m.Txn)
 	e.Str(m.Key)
-	return e.Bytes()
+	return e.buf
 }
 
 // DecodeVictimAbortReq deserializes a VictimAbortReq.

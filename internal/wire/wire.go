@@ -7,6 +7,39 @@
 // Every frame is length-prefixed and carries a request id so that many
 // outstanding requests can share one connection: server-side handlers may
 // block on locks, and responses return out of order.
+//
+// # Frame layout
+//
+// A frame is a 13-byte header followed by the message body:
+//
+//	offset  size  field
+//	0       4     length (little endian; counts id+type+body = 9+len(body))
+//	4       8     correlation id
+//	12      1     message type
+//	13      n     body (the message's append-encoding)
+//
+// # Buffer ownership
+//
+// The frame path is allocation-free in steady state: frames live in
+// pooled FrameBuf buffers, messages append-encode directly into them
+// (Message.AppendTo), and decoders parse in place over a borrowed view
+// of the frame body. The ownership rules:
+//
+//   - GetFrameBuf hands out a pooled buffer; Release returns it. Every
+//     buffer has exactly one owner at a time.
+//   - transport.Conn.Send takes ownership of the buffer it is passed —
+//     even on error — and releases it once the bytes are on the wire
+//     (TCP) or hands it to the receiving end (the in-memory transport
+//     delivers the very same buffer, copy-free).
+//   - transport.Conn.Recv returns an owned buffer; the receiver must
+//     Release it when done.
+//   - Decoded messages BORROW the frame body: every []byte field (a
+//     Decoder.Blob result) is a view into the buffer it was decoded
+//     from. A decoded value that outlives the buffer — a pending write
+//     recorded in server state, a read result returned to the
+//     application — must be copied out (bytes.Clone) before Release.
+//     Strings and timestamp sets are materialized by the decoder and
+//     are always safe to keep.
 package wire
 
 import (
@@ -15,6 +48,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"sync"
 
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 )
@@ -66,54 +101,148 @@ const (
 // huge allocation.
 const MaxFrameSize = 16 << 20
 
-// Frame is the unit of transmission.
-type Frame struct {
-	// ID correlates a response with its request.
-	ID uint64
-	// Type is the message kind of Body.
-	Type MsgType
-	// Body is the encoded message.
-	Body []byte
+// headerSize is the fixed frame header: 4-byte length prefix, 8-byte
+// correlation id, 1-byte message type.
+const headerSize = 4 + 8 + 1
+
+// maxPooledBody caps the body capacity a recycled buffer may retain, so
+// one oversized frame does not pin its allocation in the pool forever.
+const maxPooledBody = 64 << 10
+
+// Message is anything that can append its wire encoding to a buffer —
+// the codec convention of this package: encoders never allocate their
+// own output, they extend the (pooled) buffer they are given.
+type Message interface {
+	// AppendTo appends the message's encoding to buf and returns the
+	// extended buffer, like append.
+	AppendTo(buf []byte) []byte
 }
 
-// WriteFrame writes a length-prefixed frame to w.
-func WriteFrame(w io.Writer, f Frame) error {
-	if len(f.Body) > MaxFrameSize {
-		return fmt.Errorf("wire: frame body %d exceeds limit", len(f.Body))
+// Raw is a pre-encoded message body (used by tests and generic
+// forwarding); AppendTo copies it verbatim.
+type Raw []byte
+
+// AppendTo implements Message.
+func (m Raw) AppendTo(buf []byte) []byte { return append(buf, m...) }
+
+// FrameBuf is a pooled buffer holding one frame: the fixed header and
+// the append-encoded message body. The zero value is usable, but hot
+// paths obtain buffers from GetFrameBuf and return them with Release;
+// see the package comment for the ownership rules.
+type FrameBuf struct {
+	hdr  [headerSize]byte
+	body []byte
+	// vec and storage back vectored writes: header and body go to the
+	// kernel as one writev, never coalescing into a third buffer.
+	// net.Buffers consumes the slice it writes, so vec is rebuilt from
+	// storage on every WriteTo without allocating.
+	vec     net.Buffers
+	storage [2][]byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(FrameBuf) }}
+
+// GetFrameBuf returns a frame buffer from the pool.
+func GetFrameBuf() *FrameBuf { return framePool.Get().(*FrameBuf) }
+
+// Release returns the buffer to the pool. It is a no-op on nil, so
+// error paths can release unconditionally. The caller must not touch
+// the buffer — or anything decoded from it — afterwards.
+func (fb *FrameBuf) Release() {
+	if fb == nil {
+		return
 	}
-	hdr := make([]byte, 4+8+1, 4+8+1+len(f.Body))
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(9+len(f.Body)))
-	binary.LittleEndian.PutUint64(hdr[4:12], f.ID)
-	hdr[12] = byte(f.Type)
-	buf := append(hdr, f.Body...)
-	_, err := w.Write(buf)
+	if cap(fb.body) > maxPooledBody {
+		fb.body = nil
+	} else {
+		fb.body = fb.body[:0]
+	}
+	framePool.Put(fb)
+}
+
+// ID returns the frame's correlation id.
+func (fb *FrameBuf) ID() uint64 { return binary.LittleEndian.Uint64(fb.hdr[4:12]) }
+
+// Type returns the frame's message type.
+func (fb *FrameBuf) Type() MsgType { return MsgType(fb.hdr[12]) }
+
+// Body returns the encoded message body. The view is only valid until
+// the buffer is released or re-encoded.
+func (fb *FrameBuf) Body() []byte { return fb.body }
+
+// WireLen returns the frame's size on the wire (header plus body).
+func (fb *FrameBuf) WireLen() int { return headerSize + len(fb.body) }
+
+// SetFrame encodes m (nil for an empty body, e.g. TStatsReq) as the
+// frame's body — reusing the buffer's capacity — and fills the header.
+func (fb *FrameBuf) SetFrame(id uint64, t MsgType, m Message) error {
+	fb.body = fb.body[:0]
+	if m != nil {
+		fb.body = m.AppendTo(fb.body)
+	}
+	// The length field counts id+type+body and must itself pass the
+	// receiver's n <= MaxFrameSize check, so the body allowance is the
+	// header's id+type share smaller — without this a sender-legal
+	// frame would tear down the connection at the receiver.
+	if len(fb.body) > MaxFrameSize-(headerSize-4) {
+		return fmt.Errorf("wire: frame body %d exceeds limit", len(fb.body))
+	}
+	binary.LittleEndian.PutUint32(fb.hdr[0:4], uint32(headerSize-4+len(fb.body)))
+	binary.LittleEndian.PutUint64(fb.hdr[4:12], id)
+	fb.hdr[12] = byte(t)
+	return nil
+}
+
+// WriteFrame writes the frame to w. Header and body are handed to the
+// kernel as one vectored write on net.Conn writers (a single writev
+// syscall, no coalescing copy); other writers receive two Write calls.
+func WriteFrame(w io.Writer, fb *FrameBuf) error {
+	fb.storage[0], fb.storage[1] = fb.hdr[:], fb.body
+	fb.vec = fb.storage[:]
+	_, err := fb.vec.WriteTo(w)
+	fb.storage[0], fb.storage[1] = nil, nil
 	return err
 }
 
-// ReadFrame reads one frame from r.
-func ReadFrame(r io.Reader) (Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Frame{}, err
+// ReadFrame reads one frame from r into fb, reusing fb's capacity. On
+// error fb's contents are undefined; the caller still owns it.
+func ReadFrame(r io.Reader, fb *FrameBuf) error {
+	if _, err := io.ReadFull(r, fb.hdr[0:4]); err != nil {
+		return err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n < 9 || n > MaxFrameSize {
-		return Frame{}, fmt.Errorf("wire: bad frame length %d", n)
+	n := binary.LittleEndian.Uint32(fb.hdr[0:4])
+	if n < headerSize-4 || n > MaxFrameSize {
+		return fmt.Errorf("wire: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return Frame{}, err
+	if _, err := io.ReadFull(r, fb.hdr[4:]); err != nil {
+		return noEOF(err)
 	}
-	return Frame{
-		ID:   binary.LittleEndian.Uint64(buf[0:8]),
-		Type: MsgType(buf[8]),
-		Body: buf[9:],
-	}, nil
+	body := int(n) - (headerSize - 4)
+	if cap(fb.body) < body {
+		fb.body = make([]byte, body)
+	} else {
+		fb.body = fb.body[:body]
+	}
+	if _, err := io.ReadFull(r, fb.body); err != nil {
+		return noEOF(err)
+	}
+	return nil
+}
+
+// noEOF turns a clean EOF mid-frame into ErrUnexpectedEOF: once the
+// length prefix has been read, running out of bytes is a truncation.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // --- encode/decode helpers -------------------------------------------------
 
-// Encoder appends primitive values to a buffer.
+// Encoder appends primitive values to a buffer. Construct it over the
+// destination buffer (Encoder{buf: dst}) and read the result from buf —
+// message AppendTo methods are thin sequences of Encoder appends.
 type Encoder struct{ buf []byte }
 
 // Bytes returns the encoded buffer.
@@ -137,7 +266,7 @@ func (e *Encoder) Bool(v bool) {
 	}
 }
 
-// Bytes appends a length-prefixed byte slice; nil round-trips as nil.
+// Blob appends a length-prefixed byte slice; nil round-trips as nil.
 func (e *Encoder) Blob(v []byte) {
 	if v == nil {
 		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.MaxUint32)
@@ -188,7 +317,9 @@ func (e *Encoder) Set(s timestamp.Set) {
 // ErrTruncated reports a message shorter than its schema.
 var ErrTruncated = errors.New("wire: truncated message")
 
-// Decoder consumes primitive values from a buffer.
+// Decoder consumes primitive values from a buffer, in place: it never
+// copies the buffer, and Blob results are borrowed views into it (see
+// the package comment for the ownership rules).
 type Decoder struct {
 	buf []byte
 	err error
@@ -240,7 +371,10 @@ func (d *Decoder) Bool() bool {
 	return b != nil && b[0] != 0
 }
 
-// Blob consumes a length-prefixed byte slice.
+// Blob consumes a length-prefixed byte slice. The result is a BORROWED
+// view into the decoded buffer, valid only as long as the buffer: a
+// blob that escapes the frame's lifetime must be copied out
+// (bytes.Clone) by the caller.
 func (d *Decoder) Blob() []byte {
 	b := d.take(4)
 	if b == nil {
@@ -254,16 +388,11 @@ func (d *Decoder) Blob() []byte {
 		d.err = fmt.Errorf("wire: blob length %d too large", n)
 		return nil
 	}
-	v := d.take(int(n))
-	if v == nil {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, v)
-	return out
+	return d.take(int(n))
 }
 
-// Str consumes a length-prefixed string.
+// Str consumes a length-prefixed string. Unlike Blob the result is an
+// owned copy (string conversion), safe to keep.
 func (d *Decoder) Str() string { return string(d.Blob()) }
 
 // StrSlice consumes a length-prefixed sequence of strings.
@@ -273,7 +402,7 @@ func (d *Decoder) StrSlice() []string {
 		return nil
 	}
 	out := make([]string, 0, min(n, 1024))
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		out = append(out, d.Str())
 	}
 	if d.err != nil {
@@ -305,15 +434,21 @@ func (d *Decoder) Interval() timestamp.Interval {
 	return timestamp.Span(lo, hi)
 }
 
-// Set consumes an interval set.
+// Set consumes an interval set. The result is owned (materialized into
+// the set's own storage), safe to keep.
 func (d *Decoder) Set() timestamp.Set {
 	n := d.I32()
-	if n < 0 || int(n) > MaxFrameSize/17 {
-		d.err = fmt.Errorf("wire: set length %d invalid", n)
+	// An encoded interval is 24 bytes, so a valid count can never
+	// exceed the remaining buffer: reject early instead of spinning a
+	// huge loop over an already-errored decoder.
+	if n < 0 || int(n) > len(d.buf)/24 {
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: set length %d invalid", n)
+		}
 		return timestamp.Set{}
 	}
 	var s timestamp.Set
-	for i := int32(0); i < n; i++ {
+	for i := int32(0); i < n && d.err == nil; i++ {
 		s.AddInPlace(d.Interval())
 	}
 	return s

@@ -12,46 +12,64 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := Frame{ID: 42, Type: TReadLockReq, Body: []byte("hello")}
+	in := GetFrameBuf()
+	defer in.Release()
+	if err := in.SetFrame(42, TReadLockReq, Raw("hello")); err != nil {
+		t.Fatal(err)
+	}
 	if err := WriteFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ReadFrame(&buf)
-	if err != nil {
+	out := GetFrameBuf()
+	defer out.Release()
+	if err := ReadFrame(&buf, out); err != nil {
 		t.Fatal(err)
 	}
-	if out.ID != in.ID || out.Type != in.Type || !bytes.Equal(out.Body, in.Body) {
-		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	if out.ID() != 42 || out.Type() != TReadLockReq || !bytes.Equal(out.Body(), []byte("hello")) {
+		t.Fatalf("round trip mismatch: %d %d %q", out.ID(), out.Type(), out.Body())
 	}
 }
 
 func TestFrameEmptyBody(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, Frame{ID: 1, Type: TStatsReq}); err != nil {
+	in := GetFrameBuf()
+	defer in.Release()
+	if err := in.SetFrame(1, TStatsReq, nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ReadFrame(&buf)
-	if err != nil {
+	if err := WriteFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Body) != 0 {
-		t.Fatalf("body = %v", out.Body)
+	out := GetFrameBuf()
+	defer out.Release()
+	if err := ReadFrame(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Body()) != 0 {
+		t.Fatalf("body = %v", out.Body())
 	}
 }
 
 func TestReadFrameRejectsBadLength(t *testing.T) {
 	// length 3 < header size
 	buf := bytes.NewBuffer([]byte{3, 0, 0, 0})
-	if _, err := ReadFrame(buf); err == nil {
+	fb := GetFrameBuf()
+	defer fb.Release()
+	if err := ReadFrame(buf, fb); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestReadFrameTruncated(t *testing.T) {
 	var buf bytes.Buffer
-	_ = WriteFrame(&buf, Frame{ID: 7, Type: TReadLockReq, Body: []byte("xyz")})
+	in := GetFrameBuf()
+	defer in.Release()
+	_ = in.SetFrame(7, TReadLockReq, Raw("xyz"))
+	_ = WriteFrame(&buf, in)
 	b := buf.Bytes()[:buf.Len()-2]
-	if _, err := ReadFrame(bytes.NewBuffer(b)); err == nil {
+	fb := GetFrameBuf()
+	defer fb.Release()
+	if err := ReadFrame(bytes.NewBuffer(b), fb); err == nil {
 		t.Fatal("expected error on truncated frame")
 	}
 }
@@ -60,25 +78,34 @@ func TestReadFrameTruncated(t *testing.T) {
 // with random payloads, in the style of the message codec property
 // tests: writing a frame and reading it back must reproduce the id, the
 // type and the body exactly — the id is what routes a response to the
-// one call that sent it, so the header codec must never mangle it.
+// one call that sent it, so the header codec must never mangle it. The
+// same two pooled buffers are reused throughout, which also pins the
+// capacity-reuse path of SetFrame/ReadFrame.
 func TestFrameHeaderRoundTripRandom(t *testing.T) {
 	r := rand.New(rand.NewSource(0xf7a3e))
+	in := GetFrameBuf()
+	defer in.Release()
+	out := GetFrameBuf()
+	defer out.Release()
 	for i := 0; i < 300; i++ {
-		in := Frame{ID: r.Uint64(), Type: MsgType(1 + r.Intn(30))}
+		id, typ := r.Uint64(), MsgType(1+r.Intn(30))
+		var body []byte
 		if r.Intn(4) > 0 {
-			in.Body = make([]byte, r.Intn(200))
-			r.Read(in.Body)
+			body = make([]byte, r.Intn(200))
+			r.Read(body)
+		}
+		if err := in.SetFrame(id, typ, Raw(body)); err != nil {
+			t.Fatalf("iteration %d: encode: %v", i, err)
 		}
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, in); err != nil {
 			t.Fatalf("iteration %d: write: %v", i, err)
 		}
-		out, err := ReadFrame(&buf)
-		if err != nil {
+		if err := ReadFrame(&buf, out); err != nil {
 			t.Fatalf("iteration %d: read: %v", i, err)
 		}
-		if out.ID != in.ID || out.Type != in.Type || !bytes.Equal(out.Body, in.Body) {
-			t.Fatalf("iteration %d: round trip mismatch: %+v vs %+v", i, in, out)
+		if out.ID() != id || out.Type() != typ || !bytes.Equal(out.Body(), body) {
+			t.Fatalf("iteration %d: round trip mismatch", i)
 		}
 	}
 }
@@ -88,16 +115,23 @@ func TestFrameHeaderRoundTripRandom(t *testing.T) {
 // (and with it, a bogus correlation id).
 func TestFrameHeaderRejectTruncation(t *testing.T) {
 	r := rand.New(rand.NewSource(41))
+	in := GetFrameBuf()
+	defer in.Release()
+	fb := GetFrameBuf()
+	defer fb.Release()
 	for i := 0; i < 50; i++ {
-		in := Frame{ID: r.Uint64(), Type: MsgType(1 + r.Intn(30)), Body: make([]byte, r.Intn(40))}
-		r.Read(in.Body)
+		body := make([]byte, r.Intn(40))
+		r.Read(body)
+		if err := in.SetFrame(r.Uint64(), MsgType(1+r.Intn(30)), Raw(body)); err != nil {
+			t.Fatal(err)
+		}
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, in); err != nil {
 			t.Fatal(err)
 		}
 		enc := buf.Bytes()
 		for cut := 0; cut < len(enc); cut++ {
-			if _, err := ReadFrame(bytes.NewReader(enc[:cut])); err == nil {
+			if err := ReadFrame(bytes.NewReader(enc[:cut]), fb); err == nil {
 				t.Fatalf("iteration %d: truncation at %d/%d not detected", i, cut, len(enc))
 			}
 		}
@@ -108,7 +142,7 @@ func ts(a int64, b int32) timestamp.Timestamp { return timestamp.New(a, b) }
 
 func TestReadLockReqRoundTrip(t *testing.T) {
 	in := ReadLockReq{Txn: 9, Key: "alpha", Upper: ts(55, 3), Wait: true}
-	out, err := DecodeReadLockReq(in.Encode())
+	out, err := DecodeReadLockReq(in.AppendTo(nil))
 	if err != nil || out != in {
 		t.Fatalf("%+v %v", out, err)
 	}
@@ -121,7 +155,7 @@ func TestReadLockRespRoundTrip(t *testing.T) {
 		Value:     []byte("val"),
 		Got:       timestamp.Span(ts(11, 0), ts(20, 5)),
 	}
-	out, err := DecodeReadLockResp(in.Encode())
+	out, err := DecodeReadLockResp(in.AppendTo(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +167,7 @@ func TestReadLockRespRoundTrip(t *testing.T) {
 
 func TestReadLockRespNilValue(t *testing.T) {
 	in := ReadLockResp{Status: StatusOK, VersionTS: timestamp.Zero, Value: nil, Got: timestamp.Empty}
-	out, err := DecodeReadLockResp(in.Encode())
+	out, err := DecodeReadLockResp(in.AppendTo(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +182,7 @@ func TestWriteLockReqRoundTrip(t *testing.T) {
 		timestamp.Span(ts(9, 0), ts(12, 0)),
 	)
 	in := WriteLockReq{Txn: 3, Key: "k", DecisionSrv: "server-2", Set: set, Wait: true, Value: []byte("v")}
-	out, err := DecodeWriteLockReq(in.Encode())
+	out, err := DecodeWriteLockReq(in.AppendTo(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +199,7 @@ func TestWriteLockRespRoundTrip(t *testing.T) {
 		Got:    timestamp.NewSet(timestamp.Span(ts(1, 0), ts(2, 0))),
 		Denied: timestamp.NewSet(timestamp.Span(ts(3, 0), ts(4, 0))),
 	}
-	out, err := DecodeWriteLockResp(in.Encode())
+	out, err := DecodeWriteLockResp(in.AppendTo(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,45 +210,45 @@ func TestWriteLockRespRoundTrip(t *testing.T) {
 
 func TestSmallMessagesRoundTrip(t *testing.T) {
 	fw := FreezeWriteReq{Txn: 1, Key: "a", TS: ts(9, 9)}
-	if out, err := DecodeFreezeWriteReq(fw.Encode()); err != nil || out != fw {
+	if out, err := DecodeFreezeWriteReq(fw.AppendTo(nil)); err != nil || out != fw {
 		t.Fatalf("%+v %v", out, err)
 	}
 	fr := FreezeReadReq{Txn: 2, Key: "b", Lo: ts(1, 0), Hi: ts(5, 0)}
-	if out, err := DecodeFreezeReadReq(fr.Encode()); err != nil || out != fr {
+	if out, err := DecodeFreezeReadReq(fr.AppendTo(nil)); err != nil || out != fr {
 		t.Fatalf("%+v %v", out, err)
 	}
 	rl := ReleaseReq{Txn: 3, Key: "c", WritesOnly: true}
-	if out, err := DecodeReleaseReq(rl.Encode()); err != nil || out != rl {
+	if out, err := DecodeReleaseReq(rl.AppendTo(nil)); err != nil || out != rl {
 		t.Fatalf("%+v %v", out, err)
 	}
 	ack := Ack{Status: StatusAborted, Err: "gone"}
-	if out, err := DecodeAck(ack.Encode()); err != nil || out != ack {
+	if out, err := DecodeAck(ack.AppendTo(nil)); err != nil || out != ack {
 		t.Fatalf("%+v %v", out, err)
 	}
 	dq := DecideReq{Txn: 4, Proposal: DecideCommit, TS: ts(77, 2)}
-	if out, err := DecodeDecideReq(dq.Encode()); err != nil || out != dq {
+	if out, err := DecodeDecideReq(dq.AppendTo(nil)); err != nil || out != dq {
 		t.Fatalf("%+v %v", out, err)
 	}
 	dr := DecideResp{Kind: DecideAbort, TS: ts(0, 0)}
-	if out, err := DecodeDecideResp(dr.Encode()); err != nil || out != dr {
+	if out, err := DecodeDecideResp(dr.AppendTo(nil)); err != nil || out != dr {
 		t.Fatalf("%+v %v", out, err)
 	}
 	pq := PurgeReq{Bound: ts(123, 0)}
-	if out, err := DecodePurgeReq(pq.Encode()); err != nil || out != pq {
+	if out, err := DecodePurgeReq(pq.AppendTo(nil)); err != nil || out != pq {
 		t.Fatalf("%+v %v", out, err)
 	}
 	pr := PurgeResp{Versions: 10, Locks: 20}
-	if out, err := DecodePurgeResp(pr.Encode()); err != nil || out != pr {
+	if out, err := DecodePurgeResp(pr.AppendTo(nil)); err != nil || out != pr {
 		t.Fatalf("%+v %v", out, err)
 	}
 	st := StatsResp{Keys: 1, LockEntries: 2, FrozenLocks: 3, Versions: 4}
-	if out, err := DecodeStatsResp(st.Encode()); err != nil || out != st {
+	if out, err := DecodeStatsResp(st.AppendTo(nil)); err != nil || out != st {
 		t.Fatalf("%+v %v", out, err)
 	}
 }
 
 func TestDecodersRejectTruncation(t *testing.T) {
-	full := WriteLockReq{Txn: 3, Key: "key", Set: timestamp.NewSet(timestamp.Point(ts(1, 1))), Value: []byte("v")}.Encode()
+	full := WriteLockReq{Txn: 3, Key: "key", Set: timestamp.NewSet(timestamp.Point(ts(1, 1))), Value: []byte("v")}.AppendTo(nil)
 	for cut := 0; cut < len(full); cut++ {
 		if _, err := DecodeWriteLockReq(full[:cut]); err == nil {
 			t.Fatalf("truncation at %d not detected", cut)

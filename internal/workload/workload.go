@@ -51,6 +51,14 @@ type Config struct {
 	// may restart with an adjusted interval). A retried attempt still
 	// counts one abort and one new attempt.
 	Retry bool
+	// BatchReads groups each transaction's leading read operations
+	// into one static read set issued via kv.GetMulti — O(servers)
+	// round trips on engines with a batched read path instead of one
+	// per key (engines without one fall back to key-at-a-time reads).
+	// The ops are pre-generated, so the leading reads are known before
+	// the transaction starts; writes and trailing reads still run one
+	// at a time. Off by default so figures can compare both shapes.
+	BatchReads bool
 	// Seed makes runs reproducible; 0 derives per-client seeds from 1.
 	Seed int64
 	// Counters, when non-nil, receives the run's events (recording is
@@ -211,7 +219,27 @@ func client(ctx context.Context, db kv.DB, cfg Config, seed int64, ctr *metrics.
 				return false
 			}
 			reads, writes := 0, 0
-			for _, o := range ops {
+			rest := ops
+			if cfg.BatchReads {
+				// The ops are pre-generated, so the leading reads form a
+				// static read set: issue them as one batched GetMulti.
+				lead := 0
+				for lead < len(ops) && !ops[lead].write {
+					lead++
+				}
+				if lead > 1 {
+					keys := make([]string, lead)
+					for i := range keys {
+						keys[i] = ops[i].key
+					}
+					if _, err := kv.GetMulti(txCtx, tx, keys); err != nil {
+						return false
+					}
+					reads += lead
+					rest = ops[lead:]
+				}
+			}
+			for _, o := range rest {
 				if o.write {
 					err = tx.Write(txCtx, o.key, value)
 					writes++

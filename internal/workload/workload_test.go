@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/lpd-epfl/mvtl/internal/client"
 	"github.com/lpd-epfl/mvtl/internal/clock"
+	"github.com/lpd-epfl/mvtl/internal/cluster"
 	"github.com/lpd-epfl/mvtl/internal/core"
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/metrics"
@@ -131,5 +133,64 @@ func TestRetryCountsRestarts(t *testing.T) {
 	}
 	if res.Restarts == 0 {
 		t.Fatal("aborted transactions should have been retried")
+	}
+}
+
+// TestBatchReadsLocalFallback drives the BatchReads knob against the
+// local engine, whose transactions have no GetMulti — the kv.GetMulti
+// fallback reads key-at-a-time — and checks the workload still commits
+// and stays serializable.
+func TestBatchReadsLocalFallback(t *testing.T) {
+	var rec history.Recorder
+	db := newDB(&rec)
+	res, err := workload.Run(context.Background(), db.KV(), workload.Config{
+		Clients:       4,
+		OpsPerTxn:     8,
+		WriteFraction: 0.25,
+		Keys:          100,
+		BatchReads:    true,
+		Measure:       200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatalf("no commits: %+v", res)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("batched-read workload produced non-serializable history: %v", err)
+	}
+}
+
+// TestBatchReadsDistributed drives BatchReads against a real cluster,
+// where the leading reads ride DTxn.GetMulti's one-batch-per-server
+// path, and checks commits and serializability.
+func TestBatchReadsDistributed(t *testing.T) {
+	var rec history.Recorder
+	c, err := cluster.Start(cluster.Config{Servers: 2, Recorder: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient(client.ModeTILEarly, 5000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := workload.Run(context.Background(), cl, workload.Config{
+		Clients:       4,
+		OpsPerTxn:     8,
+		WriteFraction: 0.25,
+		Keys:          200,
+		BatchReads:    true,
+		Measure:       200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatalf("no commits: %+v", res)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("batched-read workload produced non-serializable history: %v", err)
 	}
 }
