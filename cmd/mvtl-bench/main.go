@@ -9,6 +9,11 @@
 //	mvtl-bench -exp all -measure 3s -clients 8,16,32,64,128
 //	mvtl-bench -exp cell -mode mvtil-early -servers 4 -nclients 64
 //	mvtl-bench -exp cell -mode mvto+ -transport tcp -conns 4 -servers 4
+//
+// It also fronts the deterministic fault-injection bed (see TESTING.md):
+//
+//	mvtl-bench -faults partition-crash -fault-verify
+//	mvtl-bench -faults all -fault-seed 7
 package main
 
 import (
@@ -24,7 +29,56 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/bench"
 	"github.com/lpd-epfl/mvtl/internal/client"
 	"github.com/lpd-epfl/mvtl/internal/cluster"
+	"github.com/lpd-epfl/mvtl/internal/faultbed"
 )
+
+// runFaults executes fault-injection scenarios and reports violations:
+// every scenario is serializability-checked, and with verify the
+// transcript-asserted ones run twice so a determinism regression (H13)
+// fails the command, not just a test.
+func runFaults(name string, seed int64, verify bool) error {
+	var scenarios []faultbed.Scenario
+	if name == "all" {
+		scenarios = faultbed.Matrix()
+	} else {
+		s, err := faultbed.Find(name)
+		if err != nil {
+			return err
+		}
+		scenarios = []faultbed.Scenario{s}
+	}
+	failed := false
+	for _, s := range scenarios {
+		if seed != 0 {
+			s.Seed = seed
+		}
+		res, err := faultbed.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
+		fmt.Println(res.Summary())
+		if res.CheckErr != nil {
+			failed = true
+		}
+		if verify && s.AssertTranscript {
+			again, err := faultbed.Run(s)
+			if err != nil {
+				return fmt.Errorf("%s (verify run): %w", s.Name, err)
+			}
+			if res.Transcript != again.Transcript || res.FaultLog != again.FaultLog || res.Events != again.Events {
+				failed = true
+				fmt.Printf("%s: DETERMINISM FAILURE — same seed, different runs\n--- run 1 transcript\n%s--- run 2 transcript\n%s",
+					s.Name, res.Transcript, again.Transcript)
+			} else {
+				fmt.Printf("%s: reproduced byte-identically (seed %d)\n", s.Name, res.Scenario.Seed)
+			}
+		}
+	}
+	if failed {
+		return fmt.Errorf("fault matrix failed")
+	}
+	return nil
+}
 
 func parseClients(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
@@ -75,7 +129,19 @@ func main() {
 	conns := flag.Int("conns", 0, "RPC connections per server per coordinator for -exp cell (0 = default of 1)")
 	valueSize := flag.Int("valuesize", 0, "written value size in bytes for -exp cell (0 = the paper's 8-byte cells)")
 	getMulti := flag.Bool("getmulti", false, "batch each transaction's leading reads into one GetMulti per server for -exp cell")
+
+	// Fault-injection bed flags.
+	faults := flag.String("faults", "", "run a fault-injection scenario (a name from the matrix, or \"all\") instead of a benchmark")
+	faultSeed := flag.Int64("fault-seed", 0, "override the scenario seed (0 keeps the scenario's own)")
+	faultVerify := flag.Bool("fault-verify", false, "run each transcript-asserted scenario twice and require byte-identical transcripts")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := runFaults(*faults, *faultSeed, *faultVerify); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	points, err := parseClients(*clients)
 	if err != nil {

@@ -19,6 +19,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -101,6 +102,46 @@ type Config struct {
 	// observe the previous version (still serializable, possibly
 	// stale).
 	ConnsPerServer int
+	// CallTimeout bounds each RPC: a partitioned or crashed server
+	// costs one timeout instead of hanging the transaction. It must
+	// exceed the servers' lock-wait timeout, or waiting lock requests
+	// are cut off spuriously. Zero disables per-call deadlines (the
+	// caller's context still applies).
+	CallTimeout time.Duration
+}
+
+// RetryPolicy bounds retries of retryable failures (rpc.IsRetryable)
+// with exponential backoff. The backoff is deterministic — no jitter —
+// so a seeded fault scenario replays the same schedule run after run.
+type RetryPolicy struct {
+	// Base is the pause after the first failure; zero retries
+	// immediately.
+	Base time.Duration
+	// Max caps the doubling; zero leaves it uncapped.
+	Max time.Duration
+	// Attempts is the total number of tries including the first;
+	// values below one mean one (no retries).
+	Attempts int
+}
+
+// Backoff returns the pause before retry number attempt (1-based: the
+// pause after the attempt-th failure), doubling from Base, capped at
+// Max.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	if p.Base <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			return p.Max
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		return p.Max
+	}
+	return d
 }
 
 // Client coordinates transactions from one client process.
@@ -193,13 +234,43 @@ func (c *Client) conn(addr string) *rpc.Client {
 	return rc
 }
 
-// call performs one RPC against the server at addr. flow pins all
-// frames of one transaction to one pooled connection (FIFO within the
-// flow); callers outside any transaction pass 0. The caller owns the
-// returned frame buffer and must Release it after decoding the
-// response (copying out anything that escapes, see package wire).
+// evict drops the pooled RPC client for addr — if it is still the
+// cached one (identity-checked, so a concurrent redial is never torn
+// down) and err says the connection itself died rather than the one
+// request — so the next use redials. Package rpc is crash-stop: a
+// broken Client never redials on its own, which is correct for the
+// paper's failure model but would leave a crash-RESTARTED server
+// permanently unreachable without this.
+func (c *Client) evict(addr string, rc *rpc.Client, err error) {
+	if !errors.Is(err, rpc.ErrClosed) && !errors.Is(err, transport.ErrClosed) && !errors.Is(err, transport.ErrTimeout) {
+		return
+	}
+	c.mu.Lock()
+	if c.conns[addr] == rc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	_ = rc.Close()
+}
+
+// call performs one RPC against the server at addr, bounded by
+// CallTimeout when configured. flow pins all frames of one transaction
+// to one pooled connection (FIFO within the flow); callers outside any
+// transaction pass 0. The caller owns the returned frame buffer and
+// must Release it after decoding the response (copying out anything
+// that escapes, see package wire).
 func (c *Client) call(ctx context.Context, addr string, flow uint64, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
-	return c.conn(addr).Call(ctx, flow, t, m)
+	rc := c.conn(addr)
+	if d := c.cfg.CallTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	f, err := rc.Call(ctx, flow, t, m)
+	if err != nil {
+		c.evict(addr, rc, err)
+	}
+	return f, err
 }
 
 // callWaitable is call for lock requests that may park server-side:
@@ -218,7 +289,12 @@ func (c *Client) callWaitable(ctx context.Context, addr string, flow uint64, t w
 // guarantees that the transaction's subsequent frames to the same
 // server observe the message's effects.
 func (c *Client) cast(addr string, flow uint64, t wire.MsgType, m wire.Message) error {
-	return c.conn(addr).Cast(flow, t, m)
+	rc := c.conn(addr)
+	err := rc.Cast(flow, t, m)
+	if err != nil {
+		c.evict(addr, rc, err)
+	}
+	return err
 }
 
 // Begin implements kv.DB.

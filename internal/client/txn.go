@@ -3,11 +3,13 @@ package client
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
+	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
 
@@ -57,6 +59,34 @@ func (tx *DTxn) Committed() bool { return tx.committed }
 func (tx *DTxn) abortErr(ctx context.Context, cause error) error {
 	tx.abort(ctx)
 	return fmt.Errorf("%w (%w)", kv.ErrAborted, cause)
+}
+
+// uncertainErr finishes the transaction in the unknown state: the
+// commit proposal departed but its outcome never came back, so the
+// commitment object may have decided commit — reporting an abort here
+// would be a lie the fault bed is built to catch. No locks are
+// released and no abort is proposed (either could fight a decided
+// commit); the servers' suspicion path resolves the outcome through
+// the commitment object and cleans up either way (Lemma 4). The
+// recorder, when present, is told the commit is a "maybe" at commitTS
+// so the checker can resolve it from observation.
+func (tx *DTxn) uncertainErr(commitTS timestamp.Timestamp, cause error) error {
+	tx.done = true
+	tx.CommitTS = commitTS
+	if rec := tx.client.cfg.Recorder; rec != nil {
+		reads := make([]history.Read, 0, len(tx.readOrder))
+		for _, key := range tx.readOrder {
+			reads = append(reads, history.Read{Key: key, VersionTS: tx.readVers[key]})
+		}
+		rec.Record(history.Commit{
+			ID:        tx.id,
+			CommitTS:  commitTS,
+			Reads:     reads,
+			WriteKeys: append([]string(nil), tx.writeOrder...),
+			Maybe:     true,
+		})
+	}
+	return fmt.Errorf("%w (%w)", kv.ErrUncertain, cause)
 }
 
 // Read implements kv.Txn (Alg. 11 lines 10-14): a batch of one key
@@ -448,7 +478,15 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	if len(tx.writeOrder) > 0 {
 		d, err := tx.decide(ctx, wire.DecideCommit, commitTS)
 		if err != nil {
-			return tx.abortErr(ctx, err)
+			// A dial that never connected provably never delivered the
+			// proposal, and only the coordinator proposes commit, so the
+			// outcome can still only be abort. Any other failure —
+			// timeout, reset, partition — leaves the proposal possibly
+			// delivered and possibly decided: the outcome is unknown.
+			if errors.Is(err, transport.ErrUnavailable) {
+				return tx.abortErr(ctx, err)
+			}
+			return tx.uncertainErr(commitTS, err)
 		}
 		if d.Kind != wire.DecideCommit {
 			return tx.abortErr(ctx, fmt.Errorf("commitment object decided abort"))

@@ -67,6 +67,21 @@ type Config struct {
 	// server (see client.Config.ConnsPerServer); zero keeps the
 	// single-connection default.
 	ConnsPerServer int
+	// CallTimeout bounds every coordinator RPC (see
+	// client.Config.CallTimeout); zero disables per-call deadlines.
+	CallTimeout time.Duration
+	// DeadlockPoll is every coordinator's deadlock-detector poll
+	// interval (see client.Config.DeadlockPoll).
+	DeadlockPoll time.Duration
+}
+
+// endpointNetwork is implemented by transports that hand out
+// per-process views of one shared network (the fault bed's
+// faultbed.Net), so every frame is attributable to a (from, to) link.
+// Servers get the view named by their address; client i gets
+// "client-i".
+type endpointNetwork interface {
+	Endpoint(name string) transport.Network
 }
 
 // Cluster is a running set of servers plus the plumbing to create
@@ -74,14 +89,27 @@ type Config struct {
 type Cluster struct {
 	cfg     Config
 	network transport.Network
-	servers []*server.Server
 	addrs   []string
+	// serverCfgs are the resolved per-server configurations (address
+	// and network view filled in), kept so RestartServer can bring a
+	// crashed server back with the same identity.
+	serverCfgs []server.Config
 
 	mu           sync.Mutex
+	servers      []*server.Server // nil slots are stopped servers
 	clients      []*client.Client
 	nextClientID int32
 
 	ts *tsservice.Service
+}
+
+// netFor returns the network view for the named endpoint (pass-through
+// unless the transport partitions by endpoint).
+func (c *Cluster) netFor(name string) transport.Network {
+	if en, ok := c.network.(endpointNetwork); ok {
+		return en.Endpoint(name)
+	}
+	return c.network
 }
 
 // Start launches the cluster's servers.
@@ -104,8 +132,12 @@ func Start(cfg Config) (*Cluster, error) {
 			// Real sockets: bind loopback ephemeral ports; the server's
 			// identity is the resolved srv.Addr().
 			scfg.Addr = "127.0.0.1:0"
+		} else {
+			scfg.Network = c.netFor(scfg.Addr)
 		}
-		scfg.Network = network
+		if scfg.Network == nil {
+			scfg.Network = network
+		}
 		srv, err := server.New(scfg)
 		if err != nil {
 			c.Close()
@@ -113,8 +145,64 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		c.servers = append(c.servers, srv)
 		c.addrs = append(c.addrs, srv.Addr())
+		// Remember the resolved identity so a restart rebinds the same
+		// address (for TCP, the ephemeral port that was allocated).
+		scfg.Addr = srv.Addr()
+		c.serverCfgs = append(c.serverCfgs, scfg)
 	}
 	return c, nil
+}
+
+// StopServer crash-stops server i: its listener and connections close
+// immediately and its entire state — versions, locks, commitment
+// objects — is lost, as in the paper's crash failure model. In-flight
+// requests against it fail; it is an error to stop a stopped server.
+func (c *Cluster) StopServer(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.servers) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no server %d", i)
+	}
+	srv := c.servers[i]
+	c.servers[i] = nil
+	c.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("cluster: server %d already stopped", i)
+	}
+	return srv.Close()
+}
+
+// RestartServer brings a stopped server back empty on its original
+// address: the identity survives the crash, the state does not.
+// Coordinators reconnect on their next call (their broken connections
+// are evicted and redialed).
+func (c *Cluster) RestartServer(i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.serverCfgs) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no server %d", i)
+	}
+	if c.servers[i] != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: server %d is already running", i)
+	}
+	scfg := c.serverCfgs[i]
+	c.mu.Unlock()
+	srv, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("cluster: restart server %d: %w", i, err)
+	}
+	c.mu.Lock()
+	c.servers[i] = srv
+	c.mu.Unlock()
+	return nil
+}
+
+// ServerRunning reports whether server i is currently up.
+func (c *Cluster) ServerRunning(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return i >= 0 && i < len(c.servers) && c.servers[i] != nil
 }
 
 // Addrs returns the server addresses.
@@ -133,12 +221,14 @@ func (c *Cluster) NewClient(mode client.Mode, delta int64, src clock.Source) (*c
 	cl, err := client.New(client.Config{
 		ID:             id,
 		Servers:        c.addrs,
-		Network:        c.network,
+		Network:        c.netFor(fmt.Sprintf("client-%d", id)),
 		Mode:           mode,
 		Delta:          delta,
 		Clock:          src,
 		Recorder:       c.cfg.Recorder,
 		ConnsPerServer: c.cfg.ConnsPerServer,
+		CallTimeout:    c.cfg.CallTimeout,
+		DeadlockPoll:   c.cfg.DeadlockPoll,
 	})
 	if err != nil {
 		return nil, err
@@ -207,12 +297,15 @@ func (c *Cluster) Close() {
 	c.mu.Lock()
 	clients := c.clients
 	c.clients = nil
+	servers := c.servers
+	c.servers = nil
 	c.mu.Unlock()
 	for _, cl := range clients {
 		_ = cl.Close()
 	}
-	for _, s := range c.servers {
-		_ = s.Close()
+	for _, s := range servers {
+		if s != nil {
+			_ = s.Close()
+		}
 	}
-	c.servers = nil
 }

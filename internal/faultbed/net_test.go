@@ -1,0 +1,218 @@
+package faultbed
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+	"github.com/lpd-epfl/mvtl/internal/wire"
+)
+
+// fastModel keeps unit tests snappy.
+var fastModel = transport.LatencyModel{Base: 50 * time.Microsecond}
+
+// send encodes body into a pooled frame and sends it.
+func send(tb testing.TB, c transport.Conn, id uint64, body []byte) error {
+	tb.Helper()
+	fb := wire.GetFrameBuf()
+	if err := fb.SetFrame(id, 1, wire.Raw(body)); err != nil {
+		fb.Release()
+		tb.Fatal(err)
+	}
+	return c.Send(fb)
+}
+
+// collect receives frames until the connection goes quiet for the grace
+// period, returning the received bodies.
+func collect(tb testing.TB, c transport.Conn, grace time.Duration) []string {
+	tb.Helper()
+	var got []string
+	frames := make(chan string)
+	fail := make(chan error, 1)
+	go func() {
+		for {
+			f, err := c.Recv()
+			if err != nil {
+				fail <- err
+				return
+			}
+			frames <- string(f.Body())
+			f.Release()
+		}
+	}()
+	for {
+		select {
+		case b := <-frames:
+			got = append(got, b)
+		case <-fail:
+			return got
+		case <-time.After(grace):
+			return got
+		}
+	}
+}
+
+// accept starts a listener for name and returns the first accepted conn.
+func accept(tb testing.TB, n *Net, name string) (transport.Listener, <-chan transport.Conn) {
+	tb.Helper()
+	l, err := n.Endpoint(name).Listen(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ch := make(chan transport.Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			ch <- c
+		}
+	}()
+	return l, ch
+}
+
+func TestPartitionBlocksDialAndHeals(t *testing.T) {
+	n := New(Config{Model: fastModel, Seed: 1})
+	l, _ := accept(t, n, "b")
+	defer func() { _ = l.Close() }()
+
+	n.Partition("a", "b")
+	if _, err := n.Endpoint("a").Dial("b"); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("dial across partition: %v, want ErrUnavailable", err)
+	}
+	// Wildcards cut too.
+	n.Partition("c", "*")
+	if _, err := n.Endpoint("c").Dial("b"); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("dial across wildcard partition: %v, want ErrUnavailable", err)
+	}
+	n.Heal("a", "b")
+	n.Heal("c", "*")
+	if _, err := n.Endpoint("a").Dial("b"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+func TestAsymPartitionDropsOneDirection(t *testing.T) {
+	n := New(Config{Model: fastModel, Seed: 1})
+	l, accepted := accept(t, n, "b")
+	defer func() { _ = l.Close() }()
+
+	cl, err := n.Endpoint("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	// Cut a->b only: a's frames vanish, b's still arrive.
+	n.PartitionAsym("a", "b")
+	if err := send(t, cl, 1, []byte("lost")); err != nil {
+		t.Fatalf("send into asym partition: %v (must be silent)", err)
+	}
+	if got := collect(t, srv, 50*time.Millisecond); len(got) != 0 {
+		t.Fatalf("frames crossed the cut direction: %v", got)
+	}
+	if err := send(t, srv, 2, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, cl, 100*time.Millisecond); len(got) != 1 || got[0] != "back" {
+		t.Fatalf("reverse direction: got %v, want [back]", got)
+	}
+}
+
+func TestChaosDropAndDup(t *testing.T) {
+	// Drop everything on a's links.
+	n := New(Config{Model: fastModel, Seed: 1, Chaos: Chaos{Drop: 1, Endpoints: []string{"a"}}})
+	l, accepted := accept(t, n, "b")
+	cl, err := n.Endpoint("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+	for i := 0; i < 5; i++ {
+		if err := send(t, cl, uint64(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := collect(t, srv, 50*time.Millisecond); len(got) != 0 {
+		t.Fatalf("Drop=1 delivered %v", got)
+	}
+	// Chaos applies only to the named endpoint: an unlisted client's
+	// frames (on its own connection) sail through.
+	cl2, err := n.Endpoint("ctl").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvCtl := <-accepted
+	if err := send(t, cl2, 9, []byte("ctl")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, srvCtl, 100*time.Millisecond); len(got) != 1 || got[0] != "ctl" {
+		t.Fatalf("unlisted endpoint: got %v, want [ctl]", got)
+	}
+	_ = l.Close()
+
+	// Duplicate everything: one send, two arrivals.
+	n2 := New(Config{Model: fastModel, Seed: 1, Chaos: Chaos{Dup: 1, Endpoints: []string{"a"}}})
+	l2, accepted2 := accept(t, n2, "b")
+	defer func() { _ = l2.Close() }()
+	cl3, err := n2.Endpoint("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := <-accepted2
+	if err := send(t, cl3, 1, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, srv2, 100*time.Millisecond); len(got) != 2 || got[0] != "twice" || got[1] != "twice" {
+		t.Fatalf("Dup=1: got %v, want [twice twice]", got)
+	}
+}
+
+func TestChaosResetBreaksConn(t *testing.T) {
+	n := New(Config{Model: fastModel, Seed: 1, Chaos: Chaos{Reset: 1, Endpoints: []string{"a"}}})
+	l, _ := accept(t, n, "b")
+	defer func() { _ = l.Close() }()
+	cl, err := n.Endpoint("a").Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send(t, cl, 1, []byte("x")); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Reset=1 send: %v, want ErrClosed", err)
+	}
+}
+
+// TestFaultLogDeterminism drives the same frame sequence through two
+// identically seeded chaos nets and requires byte-identical fault
+// logs; a different seed must produce a different log.
+func TestFaultLogDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		n := New(Config{Model: fastModel, Seed: seed,
+			Chaos: Chaos{Drop: 0.3, Dup: 0.3, Delay: 0.3, Endpoints: []string{"a"}}})
+		l, accepted := accept(t, n, "b")
+		defer func() { _ = l.Close() }()
+		cl, err := n.Endpoint("a").Dial("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := <-accepted
+		for i := 0; i < 40; i++ {
+			if err := send(t, cl, uint64(i), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		collect(t, srv, 50*time.Millisecond)
+		return n.FaultLog()
+	}
+	a, b := run(3), run(3)
+	if a != b {
+		t.Fatalf("same seed, different fault logs:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+	if a == run(4) {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+	if a == "" {
+		t.Fatal("chaos at 30% injected nothing over 40 frames")
+	}
+}

@@ -1,0 +1,110 @@
+package faultbed
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestScenarioMatrix runs every matrix scenario once and requires a
+// serializable history from each — including the acceptance scenario,
+// which partitions a server mid-run and then crash-restarts it.
+func TestScenarioMatrix(t *testing.T) {
+	for _, s := range Matrix() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("harness: %v\nevents:\n%s\ntranscript:\n%s", err, res.Events, res.Transcript)
+			}
+			t.Log(res.Summary())
+			if res.CheckErr != nil {
+				t.Fatalf("serializability violation: %v\nevents:\n%s\ntranscript:\n%s",
+					res.CheckErr, res.Events, res.Transcript)
+			}
+			if res.Commits == 0 {
+				t.Fatalf("nothing committed:\n%s", res.Transcript)
+			}
+			if len(s.Events) > 0 && res.Aborts == 0 {
+				t.Fatalf("fault schedule caused no aborts — the faults did not bite:\n%s", res.Transcript)
+			}
+		})
+	}
+}
+
+// TestH13SameSeedSameTranscript is the determinism invariant: running a
+// transcript-asserted scenario twice with the same seed must reproduce
+// the commit/abort transcript, the fault log and the event log byte for
+// byte. It exercises both flavors of nondeterminism source — stochastic
+// frame chaos ("chaos") and scheduled partition plus crash-restart
+// ("partition-crash", the acceptance scenario).
+func TestH13SameSeedSameTranscript(t *testing.T) {
+	for _, name := range []string{"chaos", "partition-crash"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Find(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.AssertTranscript {
+				t.Fatalf("scenario %s is not transcript-asserted", name)
+			}
+			first, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cmp := range []struct{ what, a, b string }{
+				{"transcript", first.Transcript, second.Transcript},
+				{"fault log", first.FaultLog, second.FaultLog},
+				{"event log", first.Events, second.Events},
+			} {
+				if cmp.a != cmp.b {
+					t.Errorf("same seed, different %s:\n--- run 1\n%s--- run 2\n%s", cmp.what, cmp.a, cmp.b)
+				}
+			}
+			if first.CheckErr != nil {
+				t.Errorf("serializability violation: %v", first.CheckErr)
+			}
+		})
+	}
+}
+
+// TestSoakMatrix is the opt-in long matrix: every transcript-asserted
+// scenario across several seeds, each run twice and compared. Enable
+// with MVTL_SOAK=1.
+func TestSoakMatrix(t *testing.T) {
+	if os.Getenv("MVTL_SOAK") == "" {
+		t.Skip("set MVTL_SOAK=1 to run the long fault matrix")
+	}
+	for _, base := range Matrix() {
+		for seed := int64(1); seed <= 5; seed++ {
+			s := base
+			s.Seed = seed
+			t.Run(fmt.Sprintf("%s/seed=%d", s.Name, seed), func(t *testing.T) {
+				first, err := Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Log(first.Summary())
+				if first.CheckErr != nil {
+					t.Fatalf("serializability violation: %v\n%s", first.CheckErr, first.Transcript)
+				}
+				if !s.AssertTranscript {
+					return
+				}
+				second, err := Run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first.Transcript != second.Transcript || first.FaultLog != second.FaultLog {
+					t.Errorf("same seed, different runs:\n--- run 1\n%s--- run 2\n%s",
+						first.Transcript, second.Transcript)
+				}
+			})
+		}
+	}
+}

@@ -38,6 +38,12 @@ type Commit struct {
 	// WriteKeys lists the keys whose versions this transaction created,
 	// all at CommitTS.
 	WriteKeys []string
+	// Maybe marks a commit whose outcome the coordinator never learned:
+	// the commit proposal was sent but its reply was lost (partition,
+	// crash), so the transaction either committed at CommitTS or
+	// aborted. The checker resolves Maybe commits from observation —
+	// see ResolveMaybes.
+	Maybe bool
 }
 
 // Recorder accumulates committed transactions. It is safe for concurrent
@@ -83,8 +89,69 @@ type versionKey struct {
 	ts  timestamp.Timestamp
 }
 
+// ResolveMaybes splits a history with uncertain outcomes into the
+// commits to check and the Maybe commits to drop. A Maybe commit really
+// committed iff some transaction observed one of its versions: storage
+// servers expose a value only once its writer's commit is decided, so a
+// read of (key, CommitTS) written only by the Maybe commit proves the
+// decision was commit. The inclusion is a fixpoint — a Maybe observed
+// only by another included Maybe counts — and unobserved Maybe commits
+// are dropped, which is sound: removing a version nobody read removes
+// MVSG nodes and edges but never adds any, so it cannot mask a cycle
+// among the remaining commits.
+func ResolveMaybes(commits []Commit) (included, dropped []Commit) {
+	var maybes []Commit
+	for _, c := range commits {
+		if c.Maybe {
+			maybes = append(maybes, c)
+		} else {
+			included = append(included, c)
+		}
+	}
+	if len(maybes) == 0 {
+		return included, nil
+	}
+	observed := map[versionKey]bool{}
+	for _, c := range included {
+		for _, rd := range c.Reads {
+			observed[versionKey{key: rd.Key, ts: rd.VersionTS}] = true
+		}
+	}
+	pending := maybes
+	for {
+		var still []Commit
+		changed := false
+		for _, m := range pending {
+			wasRead := false
+			for _, k := range m.WriteKeys {
+				if observed[versionKey{key: k, ts: m.CommitTS}] {
+					wasRead = true
+					break
+				}
+			}
+			if !wasRead {
+				still = append(still, m)
+				continue
+			}
+			m.Maybe = false
+			included = append(included, m)
+			for _, rd := range m.Reads {
+				observed[versionKey{key: rd.Key, ts: rd.VersionTS}] = true
+			}
+			changed = true
+		}
+		pending = still
+		if !changed {
+			break
+		}
+	}
+	return included, pending
+}
+
 // CheckCommits validates a committed history; see Recorder.Check.
+// Maybe commits are first resolved from observation (ResolveMaybes).
 func CheckCommits(commits []Commit) error {
+	commits, _ = ResolveMaybes(commits)
 	writer := map[versionKey]uint64{} // (key, ts) -> writer txn
 	for _, c := range commits {
 		for _, k := range c.WriteKeys {

@@ -1,0 +1,86 @@
+package history
+
+import (
+	"testing"
+)
+
+// TestMaybeDroppedWhenUnobserved: an uncertain commit nobody read is
+// set aside, and the rest of the history checks clean.
+func TestMaybeDroppedWhenUnobserved(t *testing.T) {
+	commits := []Commit{
+		{ID: 1, CommitTS: ts(10), WriteKeys: []string{"a"}},
+		{ID: 2, CommitTS: ts(20), WriteKeys: []string{"b"}, Maybe: true},
+		{ID: 3, CommitTS: ts(30), Reads: []Read{{Key: "a", VersionTS: ts(10)}}, WriteKeys: []string{"c"}},
+	}
+	included, dropped := ResolveMaybes(commits)
+	if len(included) != 2 || len(dropped) != 1 || dropped[0].ID != 2 {
+		t.Fatalf("included %d, dropped %+v", len(included), dropped)
+	}
+	if err := CheckCommits(commits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaybeIncludedWhenRead: a read of the uncertain commit's version
+// proves it committed — servers expose values only after a decided
+// commit — so it joins the checked history, Maybe flag cleared.
+func TestMaybeIncludedWhenRead(t *testing.T) {
+	commits := []Commit{
+		{ID: 1, CommitTS: ts(10), WriteKeys: []string{"a"}, Maybe: true},
+		{ID: 2, CommitTS: ts(20), Reads: []Read{{Key: "a", VersionTS: ts(10)}}},
+	}
+	included, dropped := ResolveMaybes(commits)
+	if len(included) != 2 || len(dropped) != 0 {
+		t.Fatalf("included %d, dropped %d", len(included), len(dropped))
+	}
+	for _, c := range included {
+		if c.Maybe {
+			t.Fatalf("included commit %d still flagged Maybe", c.ID)
+		}
+	}
+}
+
+// TestMaybeTransitiveInclusion: Maybe M2 is observed only by Maybe M1,
+// and M1 is observed by a definite commit — the fixpoint must pull both
+// in, in whatever order they appear.
+func TestMaybeTransitiveInclusion(t *testing.T) {
+	commits := []Commit{
+		{ID: 1, CommitTS: ts(10), WriteKeys: []string{"a"}, Maybe: true},
+		{ID: 2, CommitTS: ts(20), Reads: []Read{{Key: "a", VersionTS: ts(10)}}, WriteKeys: []string{"b"}, Maybe: true},
+		{ID: 3, CommitTS: ts(30), Reads: []Read{{Key: "b", VersionTS: ts(20)}}},
+	}
+	included, dropped := ResolveMaybes(commits)
+	if len(included) != 3 || len(dropped) != 0 {
+		t.Fatalf("included %d, dropped %d (want 3, 0)", len(included), len(dropped))
+	}
+}
+
+// TestMaybeViolationStillDetected: resolving maybes must not launder a
+// real violation — here a stale read among the definite commits.
+func TestMaybeViolationStillDetected(t *testing.T) {
+	commits := []Commit{
+		{ID: 1, CommitTS: ts(10), WriteKeys: []string{"a", "b"}},
+		{ID: 2, CommitTS: ts(15), WriteKeys: []string{"x"}, Maybe: true},
+		// Fractured read: sees T1's b but pre-T1 a, a T3<->T1 cycle.
+		{ID: 3, CommitTS: ts(30),
+			Reads:     []Read{{Key: "a", VersionTS: ts(0)}, {Key: "b", VersionTS: ts(10)}},
+			WriteKeys: []string{"c"}},
+	}
+	if err := CheckCommits(commits); err == nil {
+		t.Fatal("fractured read not detected once maybes were resolved")
+	}
+}
+
+// TestMaybeIncludedViolation: a Maybe proven committed participates in
+// the graph — if its inclusion creates a duplicate version, that must
+// surface.
+func TestMaybeIncludedViolation(t *testing.T) {
+	commits := []Commit{
+		{ID: 1, CommitTS: ts(10), WriteKeys: []string{"a"}, Maybe: true},
+		{ID: 2, CommitTS: ts(20), Reads: []Read{{Key: "a", VersionTS: ts(10)}}},
+		{ID: 3, CommitTS: ts(10), WriteKeys: []string{"a"}},
+	}
+	if err := CheckCommits(commits); err == nil {
+		t.Fatal("duplicate version involving an included maybe not detected")
+	}
+}

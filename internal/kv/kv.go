@@ -24,6 +24,14 @@ var (
 	// work was killed on purpose, so the right retry policy is an
 	// immediate restart rather than a backoff.
 	ErrDeadlock = errors.New("kv: deadlock victim")
+	// ErrUncertain reports that the commit outcome is unknown: the
+	// decision request was sent but its reply was lost (partition,
+	// crash, timeout), so the transaction may be durably committed or
+	// may later abort. It is NOT wrapped with ErrAborted — callers must
+	// not count it as an abort, must not blind-retry the transaction
+	// (a retry could double-apply its writes), and must treat the
+	// transaction's effects as possibly visible.
+	ErrUncertain = errors.New("kv: commit outcome uncertain")
 )
 
 // DB is a transactional store.

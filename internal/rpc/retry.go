@@ -1,0 +1,50 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+)
+
+// IsRetryable reports whether err is a transient peer/network failure —
+// one where re-issuing the request against a fresh connection (possibly
+// after the peer restarts) can legitimately succeed: the peer is gone
+// or unreachable (ErrClosed, transport.ErrClosed, transport.
+// ErrUnavailable, connection refused), the connection died under the
+// call (reset, broken pipe, unexpected EOF), or an I/O deadline expired
+// (transport.ErrTimeout, context.DeadlineExceeded, net timeouts).
+//
+// It deliberately excludes context.Canceled (the caller gave up — a
+// retry would outlive its owner) and anything else, in particular codec
+// or protocol errors: a frame that fails to decode will fail to decode
+// again, and retrying it only hides the corruption. Callers classify
+// with this predicate instead of string-matching error text.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) ||
+		errors.Is(err, transport.ErrClosed) ||
+		errors.Is(err, transport.ErrUnavailable) ||
+		errors.Is(err, transport.ErrTimeout) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/lpd-epfl/mvtl/internal/transport"
+)
+
+// timeoutErr implements net.Error with Timeout() true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "synthetic timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+var _ net.Error = timeoutErr{}
+
+func TestIsRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"rpc closed", ErrClosed, true},
+		{"rpc closed wrapped", closedErr("server-1"), true},
+		{"transport closed", transport.ErrClosed, true},
+		{"transport closed wrapped", fmt.Errorf("rpc: send to x: %w", transport.ErrClosed), true},
+		{"peer unavailable", fmt.Errorf("rpc: dial x: %w", transport.ErrUnavailable), true},
+		{"io deadline", fmt.Errorf("transport: send: %w", transport.ErrTimeout), true},
+		{"call deadline", context.DeadlineExceeded, true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"conn reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"conn refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"broken pipe", &net.OpError{Op: "write", Err: syscall.EPIPE}, true},
+		{"net timeout", timeoutErr{}, true},
+		{"net timeout wrapped", fmt.Errorf("recv: %w", timeoutErr{}), true},
+		{"caller cancelled", context.Canceled, false},
+		{"codec corruption", errors.New("wire: frame too large"), false},
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("%s: IsRetryable(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestCallAgainstDownServerIsRetryable exercises the predicate against
+// real errors from the stack: dialing an address nobody listens on, and
+// a call cut off by the peer closing mid-flight.
+func TestCallAgainstDownServerIsRetryable(t *testing.T) {
+	n := transport.NewMem(transport.LatencyModel{})
+	c := NewClient(n, "down", 1)
+	defer func() { _ = c.Close() }()
+	_, err := c.Call(context.Background(), 1, 1, nil)
+	if err == nil {
+		t.Fatal("call to down server succeeded")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("dial to down server not retryable: %v", err)
+	}
+
+	l, err := n.Listen("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Accept one frame, then hang up without replying.
+		f, err := conn.Recv()
+		if err == nil {
+			f.Release()
+		}
+		_ = conn.Close()
+	}()
+	c2 := NewClient(n, "up", 1)
+	defer func() { _ = c2.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err = c2.Call(ctx, 1, 1, nil)
+	if err == nil {
+		t.Fatal("call cut off by peer succeeded")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("peer hang-up not retryable: %v", err)
+	}
+	_ = l.Close()
+}

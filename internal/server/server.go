@@ -55,6 +55,10 @@ type Config struct {
 	WriteLockTimeout time.Duration
 	// ScanInterval is the suspicion scanner period. Default 250ms.
 	ScanInterval time.Duration
+	// PeerCallTimeout bounds one server-to-server RPC (suspicion
+	// proposals and victim aborts), so a partitioned peer costs the
+	// scanner a timeout instead of wedging it. Default 2s.
+	PeerCallTimeout time.Duration
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -68,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScanInterval == 0 {
 		c.ScanInterval = 250 * time.Millisecond
+	}
+	if c.PeerCallTimeout == 0 {
+		c.PeerCallTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -987,7 +994,10 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 // and victim aborts only — so each peer gets a single pipelined
 // connection; concurrent callers multiplex on it by correlation id. The
 // caller owns the returned frame buffer and must Release it after
-// decoding.
+// decoding. Calls are bounded by PeerCallTimeout, and a client whose
+// connection died is evicted (identity-checked) so the next scanner
+// pass redials — a peer that crash-restarted on the same address
+// becomes reachable again instead of failing forever.
 func (s *Server) callPeer(addr string, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
 	s.peersMu.Lock()
 	pc, ok := s.peers[addr]
@@ -996,7 +1006,18 @@ func (s *Server) callPeer(addr string, t wire.MsgType, m wire.Message) (*wire.Fr
 		s.peers[addr] = pc
 	}
 	s.peersMu.Unlock()
-	return pc.Call(context.Background(), 0, t, m)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
+	defer cancel()
+	f, err := pc.Call(ctx, 0, t, m)
+	if err != nil && (errors.Is(err, rpc.ErrClosed) || errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout)) {
+		s.peersMu.Lock()
+		if s.peers[addr] == pc {
+			delete(s.peers, addr)
+		}
+		s.peersMu.Unlock()
+		_ = pc.Close()
+	}
+	return f, err
 }
 
 // --- maintenance ---------------------------------------------------------------

@@ -17,3 +17,29 @@ func FNV1a(s string) uint32 {
 	}
 	return h
 }
+
+// FNV1a64 returns the 64-bit FNV-1a hash of s. The transport and fault
+// layers use it to derive per-link seeds from link names, so every link
+// gets an independent random stream regardless of dial order.
+func FNV1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap bijective mixer that turns
+// structured inputs (seed ^ link hash ^ counter) into well-distributed
+// seeds for independent random streams.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -35,11 +35,23 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
 
 // ErrClosed reports use of a closed connection, listener or network.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrUnavailable reports a dial to an address with no listener — the
+// peer is down (crashed, not yet started, or partitioned away). It is
+// returned wrapped with the address; test with errors.Is. Retryable:
+// the peer may come back.
+var ErrUnavailable = errors.New("transport: peer unavailable")
+
+// ErrTimeout reports an I/O deadline expiring on a connection with
+// configured timeouts. It is returned wrapped; test with errors.Is.
+// Retryable: the peer may just be slow or partitioned.
+var ErrTimeout = errors.New("transport: i/o timeout")
 
 // Conn is a bidirectional frame stream. Send and Recv are each safe for
 // one concurrent caller; use external locking for more.
@@ -116,24 +128,43 @@ func (m LatencyModel) occupancy(n int) time.Duration {
 }
 
 // Mem is an in-process Network. The zero value is not usable; call
-// NewMem.
+// NewMem or NewMemSeeded.
+//
+// Randomness is partitioned per link: the jitter streams of a
+// connection are seeded from (network seed, dialed address, per-address
+// dial counter), never from a shared generator, so dialing one link
+// cannot perturb the delays of another and a fixed seed yields the same
+// delay schedule run after run regardless of goroutine interleaving.
 type Mem struct {
 	model LatencyModel
+	seed  uint64
 
 	mu        sync.Mutex
-	rng       *rand.Rand
+	dials     map[string]uint64
 	listeners map[string]*memListener
 }
 
 var _ Network = (*Mem)(nil)
 
-// NewMem returns an in-memory network with the given latency model.
-func NewMem(model LatencyModel) *Mem {
+// NewMem returns an in-memory network with the given latency model and
+// the default seed.
+func NewMem(model LatencyModel) *Mem { return NewMemSeeded(model, 1) }
+
+// NewMemSeeded returns an in-memory network whose per-link jitter
+// streams all derive from seed.
+func NewMemSeeded(model LatencyModel, seed int64) *Mem {
 	return &Mem{
 		model:     model,
-		rng:       rand.New(rand.NewSource(1)),
+		seed:      uint64(seed),
+		dials:     make(map[string]uint64),
 		listeners: make(map[string]*memListener),
 	}
+}
+
+// pipeSeed derives the jitter seed for one direction of the n-th
+// connection dialed to addr.
+func (m *Mem) pipeSeed(addr string, dial uint64, dir uint64) int64 {
+	return int64(strhash.Mix64(m.seed ^ strhash.FNV1a64(addr) ^ dial<<1 ^ dir))
 }
 
 // Listen implements Network.
@@ -148,24 +179,28 @@ func (m *Mem) Listen(addr string) (Listener, error) {
 	return l, nil
 }
 
-// Dial implements Network.
+// Dial implements Network. A full listener backlog blocks the dial (a
+// reconnect storm queues instead of failing spuriously); closing the
+// listener unblocks it with ErrClosed. Dialing an address with no
+// listener fails with ErrUnavailable.
 func (m *Mem) Dial(addr string) (Conn, error) {
 	m.mu.Lock()
 	l, ok := m.listeners[addr]
-	seed := m.rng.Int63()
+	dial := m.dials[addr]
+	m.dials[addr] = dial + 1
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: no listener at %q", addr)
+		return nil, fmt.Errorf("transport: dial %q: %w", addr, ErrUnavailable)
 	}
-	a2b := newMemPipe(m.model, seed)
-	b2a := newMemPipe(m.model, seed+1)
+	a2b := newMemPipe(m.model, m.pipeSeed(addr, dial, 0))
+	b2a := newMemPipe(m.model, m.pipeSeed(addr, dial, 1))
 	client := &memConn{send: a2b, recv: b2a}
 	server := &memConn{send: b2a, recv: a2b}
 	select {
 	case l.backlog <- server:
 		return client, nil
-	default:
-		return nil, fmt.Errorf("transport: backlog full at %q", addr)
+	case <-l.closed:
+		return nil, fmt.Errorf("transport: dial %q: %w", addr, ErrClosed)
 	}
 }
 
@@ -324,37 +359,54 @@ func (c *memConn) Close() error {
 
 // --- TCP network -------------------------------------------------------------
 
-// TCP is a Network over real sockets.
-type TCP struct{}
+// TCP is a Network over real sockets. The zero value uses no I/O
+// deadlines (a dead peer hangs Recv until the kernel gives up);
+// non-zero timeouts bound each frame read/write and surface expiry as
+// ErrTimeout, which the RPC layer classifies as retryable. ReadTimeout
+// is a maximum silence, not a liveness probe: set it well above the
+// connection's expected idle time, or pair it with eviction-and-redial
+// in the caller (as internal/client does), because an idle healthy
+// connection will be torn down when it expires.
+type TCP struct {
+	// ReadTimeout bounds how long Recv waits for the next frame.
+	// Zero means no deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one frame write. Zero means no deadline.
+	WriteTimeout time.Duration
+}
 
 var _ Network = TCP{}
 
 // Dial implements Network.
-func (TCP) Dial(addr string) (Conn, error) {
+func (t TCP) Dial(addr string) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q: %w", addr, err)
 	}
-	return &tcpConn{c: nc}, nil
+	return &tcpConn{c: nc, readTimeout: t.ReadTimeout, writeTimeout: t.WriteTimeout}, nil
 }
 
 // Listen implements Network.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
-	return &tcpListener{l: nl}, nil
+	return &tcpListener{l: nl, readTimeout: t.ReadTimeout, writeTimeout: t.WriteTimeout}, nil
 }
 
-type tcpListener struct{ l net.Listener }
+type tcpListener struct {
+	l            net.Listener
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
 
 func (l *tcpListener) Accept() (Conn, error) {
 	nc, err := l.l.Accept()
 	if err != nil {
 		return nil, err
 	}
-	return &tcpConn{c: nc}, nil
+	return &tcpConn{c: nc, readTimeout: l.readTimeout, writeTimeout: l.writeTimeout}, nil
 }
 
 func (l *tcpListener) Close() error { return l.l.Close() }
@@ -362,20 +414,35 @@ func (l *tcpListener) Close() error { return l.l.Close() }
 func (l *tcpListener) Addr() string { return l.l.Addr().String() }
 
 type tcpConn struct {
-	c  net.Conn
-	wm sync.Mutex
-	rm sync.Mutex
+	c            net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	wm           sync.Mutex
+	rm           sync.Mutex
 }
 
 var _ Conn = (*tcpConn)(nil)
 
+// wrapTimeout maps a net deadline expiry to the ErrTimeout sentinel so
+// callers can classify it without string matching.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
+
 func (c *tcpConn) Send(fb *wire.FrameBuf) error {
 	c.wm.Lock()
+	if c.writeTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
 	err := wire.WriteFrame(c.c, fb) // one writev: header + body, no coalescing
 	c.wm.Unlock()
 	fb.Release()
 	if err != nil {
-		return fmt.Errorf("transport: send: %w", err)
+		return fmt.Errorf("transport: send: %w", wrapTimeout(err))
 	}
 	return nil
 }
@@ -383,10 +450,13 @@ func (c *tcpConn) Send(fb *wire.FrameBuf) error {
 func (c *tcpConn) Recv() (*wire.FrameBuf, error) {
 	c.rm.Lock()
 	defer c.rm.Unlock()
+	if c.readTimeout > 0 {
+		_ = c.c.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
 	fb := wire.GetFrameBuf()
 	if err := wire.ReadFrame(c.c, fb); err != nil {
 		fb.Release()
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	return fb, nil
 }

@@ -107,8 +107,184 @@ func TestTCPRoundTrip(t *testing.T) {
 
 func TestMemDialUnknownAddr(t *testing.T) {
 	n := NewMem(LatencyModel{})
-	if _, err := n.Dial("nowhere"); err == nil {
-		t.Fatal("expected dial error")
+	if _, err := n.Dial("nowhere"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+// TestMemDialBlocksOnFullBacklog checks that a dial burst beyond the
+// backlog queues instead of failing, drains once the listener accepts,
+// and that closing the listener unblocks a stuck dial with ErrClosed.
+func TestMemDialBlocksOnFullBacklog(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const backlog = 64
+	for i := 0; i < backlog; i++ {
+		if _, err := n.Dial("srv"); err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+	}
+	extra := make(chan error, 1)
+	go func() {
+		_, err := n.Dial("srv")
+		extra <- err
+	}()
+	select {
+	case err := <-extra:
+		t.Fatalf("dial past backlog should block, returned %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Accepting one connection makes room for the blocked dial.
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-extra:
+		if err != nil {
+			t.Fatalf("blocked dial after accept: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked dial did not complete after accept")
+	}
+	// The unblocked dial refilled the accepted slot, so the backlog is
+	// full again; the next dial must be unblocked by Close.
+	go func() {
+		_, err := n.Dial("srv")
+		extra <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-extra:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed from dial unblocked by close, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked dial did not unblock on listener close")
+	}
+}
+
+// TestMemSeededDeterminism checks the per-link seed discipline: the
+// delay schedule of a link depends only on (network seed, address, dial
+// index), so interleaving dials to other addresses does not perturb it.
+func TestMemSeededDeterminism(t *testing.T) {
+	// sample dials "target" and returns the inter-arrival schedule of
+	// one 20-frame burst; extraDials dials unrelated addresses first.
+	sample := func(seed int64, extraDials int) []time.Duration {
+		n := NewMemSeeded(LatencyModel{Base: time.Millisecond, Jitter: 30 * time.Millisecond}, seed)
+		for _, addr := range []string{"other-a", "other-b"} {
+			l, err := n.Listen(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				for {
+					if _, err := l.Accept(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < extraDials; i++ {
+			if _, err := n.Dial([]string{"other-a", "other-b"}[i%2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l, err := n.Listen("target")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		c, err := n.Dial("target")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const frames = 20
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			sendFrame(t, c, uint64(i+1), 1, nil)
+		}
+		var at []time.Duration
+		for i := 0; i < frames; i++ {
+			f, err := srv.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Release()
+			at = append(at, time.Since(start))
+		}
+		_ = c.Close()
+		return at
+	}
+
+	base := sample(7, 0)
+	perturbed := sample(7, 5)
+	// Delivery times are wall-clock so exact equality is not testable;
+	// but the sampled jitter sequence is, via the FIFO delivery floor:
+	// compare coarse schedules with a generous tolerance.
+	for i := range base {
+		d := base[i] - perturbed[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 10*time.Millisecond {
+			t.Fatalf("frame %d: schedule diverged (%v vs %v) — dial order perturbs the link's jitter stream", i, base[i], perturbed[i])
+		}
+	}
+	other := sample(8, 0)
+	var diverged bool
+	for i := range base {
+		d := base[i] - other[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 10*time.Millisecond {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced the same schedule; seeding is inert")
+	}
+}
+
+// TestTCPReadTimeout checks that a silent peer trips the configured
+// read deadline as ErrTimeout instead of hanging Recv forever.
+func TestTCPReadTimeout(t *testing.T) {
+	n := TCP{ReadTimeout: 50 * time.Millisecond}
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Never send: the dialer's Recv must time out.
+		_, _ = c.Recv()
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Recv()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v; deadline not applied", elapsed)
 	}
 }
 

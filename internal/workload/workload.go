@@ -123,6 +123,63 @@ func (r Result) String() string {
 // in the paper's implementation).
 func Key(i int) string { return fmt.Sprintf("k%07d", i) }
 
+// Op is one generated transaction operation.
+type Op struct {
+	// Key is the operation's key.
+	Key string
+	// Write selects a write (with the generator's value) over a read.
+	Write bool
+}
+
+// Gen deterministically generates the operation stream one closed-loop
+// client runs: same config and seed, same stream, independent of
+// timing. The fault bed drives its scenario workloads through a Gen so
+// a scenario's transaction sequence is a pure function of its seed.
+// Not safe for concurrent use.
+type Gen struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	value []byte
+}
+
+// NewGen returns a generator for cfg seeded with seed. Only the key
+// and operation-shape fields of cfg are used (Keys, Dist, OpsPerTxn,
+// WriteFraction, ValueSize).
+func NewGen(cfg Config, seed int64) *Gen {
+	cfg = cfg.withDefaults()
+	g := &Gen{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Dist == Zipf {
+		g.zipf = rand.NewZipf(g.rng, 1.2, 1, uint64(cfg.Keys-1))
+	}
+	g.value = make([]byte, cfg.ValueSize)
+	for i := range g.value {
+		g.value[i] = byte('a' + g.rng.Intn(26))
+	}
+	return g
+}
+
+// Value returns the value every write of this generator carries.
+func (g *Gen) Value() []byte { return g.value }
+
+// pickKey draws one key.
+func (g *Gen) pickKey() string {
+	if g.zipf != nil {
+		return Key(int(g.zipf.Uint64()))
+	}
+	return Key(g.rng.Intn(g.cfg.Keys))
+}
+
+// Txn generates the next transaction's operations. Retries of an
+// aborted transaction should replay the same ops, not draw new ones.
+func (g *Gen) Txn() []Op {
+	ops := make([]Op, g.cfg.OpsPerTxn)
+	for i := range ops {
+		ops[i] = Op{Key: g.pickKey(), Write: g.rng.Float64() < g.cfg.WriteFraction}
+	}
+	return ops
+}
+
 // Run drives db with the configured closed-loop clients and returns the
 // measured result. The context cancels the whole run early.
 func Run(ctx context.Context, db kv.DB, cfg Config) (Result, error) {
@@ -183,33 +240,12 @@ func RunWithSampler(ctx context.Context, db kv.DB, cfg Config, sampler *metrics.
 // client is one closed-loop worker: generate a transaction, run it,
 // optionally retry on abort, repeat.
 func client(ctx context.Context, db kv.DB, cfg Config, seed int64, ctr *metrics.Counters) {
-	rng := rand.New(rand.NewSource(seed))
-	var zipf *rand.Zipf
-	if cfg.Dist == Zipf {
-		zipf = rand.NewZipf(rng, 1.2, 1, uint64(cfg.Keys-1))
-	}
-	value := make([]byte, cfg.ValueSize)
-	for i := range value {
-		value[i] = byte('a' + rng.Intn(26))
-	}
-
-	pickKey := func() string {
-		if zipf != nil {
-			return Key(int(zipf.Uint64()))
-		}
-		return Key(rng.Intn(cfg.Keys))
-	}
+	gen := NewGen(cfg, seed)
+	value := gen.Value()
 
 	for ctx.Err() == nil {
 		// Pre-generate the transaction so retries replay the same ops.
-		type op struct {
-			key   string
-			write bool
-		}
-		ops := make([]op, cfg.OpsPerTxn)
-		for i := range ops {
-			ops[i] = op{key: pickKey(), write: rng.Float64() < cfg.WriteFraction}
-		}
+		ops := gen.Txn()
 
 		attempt := func() bool {
 			txCtx, cancel := context.WithTimeout(ctx, cfg.TxnTimeout)
@@ -224,13 +260,13 @@ func client(ctx context.Context, db kv.DB, cfg Config, seed int64, ctr *metrics.
 				// The ops are pre-generated, so the leading reads form a
 				// static read set: issue them as one batched GetMulti.
 				lead := 0
-				for lead < len(ops) && !ops[lead].write {
+				for lead < len(ops) && !ops[lead].Write {
 					lead++
 				}
 				if lead > 1 {
 					keys := make([]string, lead)
 					for i := range keys {
-						keys[i] = ops[i].key
+						keys[i] = ops[i].Key
 					}
 					if _, err := kv.GetMulti(txCtx, tx, keys); err != nil {
 						return false
@@ -240,11 +276,11 @@ func client(ctx context.Context, db kv.DB, cfg Config, seed int64, ctr *metrics.
 				}
 			}
 			for _, o := range rest {
-				if o.write {
-					err = tx.Write(txCtx, o.key, value)
+				if o.Write {
+					err = tx.Write(txCtx, o.Key, value)
 					writes++
 				} else {
-					_, err = tx.Read(txCtx, o.key)
+					_, err = tx.Read(txCtx, o.Key)
 					reads++
 				}
 				if err != nil {
