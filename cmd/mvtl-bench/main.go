@@ -9,6 +9,7 @@
 //	mvtl-bench -exp all -measure 3s -clients 8,16,32,64,128
 //	mvtl-bench -exp cell -mode mvtil-early -servers 4 -nclients 64
 //	mvtl-bench -exp cell -mode mvto+ -transport tcp -conns 4 -servers 4
+//	mvtl-bench -exp cell -json   # machine-readable results on stdout
 //
 // It also fronts the deterministic fault-injection bed (see TESTING.md):
 //
@@ -18,8 +19,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -134,6 +137,8 @@ func main() {
 	faults := flag.String("faults", "", "run a fault-injection scenario (a name from the matrix, or \"all\") instead of a benchmark")
 	faultSeed := flag.Int64("fault-seed", 0, "override the scenario seed (0 keeps the scenario's own)")
 	faultVerify := flag.Bool("fault-verify", false, "run each transcript-asserted scenario twice and require byte-identical transcripts")
+
+	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout instead of tables (benchmarks only)")
 	flag.Parse()
 
 	if *faults != "" {
@@ -149,27 +154,46 @@ func main() {
 	}
 	sc := bench.Scale{ClientPoints: points, Measure: *measure, WarmUp: *warmup}
 	ctx := context.Background()
-	w := os.Stdout
+	var w io.Writer = os.Stdout
+	if *jsonOut {
+		w = io.Discard // tables off; the JSON document is the output
+	}
 
-	type figFn func() error
+	// Every experiment returns its data series; with -json the collected
+	// results are emitted as one document instead of the printed tables.
+	type figFn func() (any, error)
 	figs := map[string]figFn{
-		"fig1": func() error { _, err := bench.Fig1(ctx, w, sc); return err },
-		"fig2": func() error { _, err := bench.Fig2(ctx, w, sc); return err },
-		"fig3": func() error { _, err := bench.Fig3(ctx, w, sc); return err },
-		"fig4": func() error { _, err := bench.Fig4(ctx, w, sc); return err },
-		"fig5": func() error { _, err := bench.Fig5(ctx, w, sc); return err },
-		"fig6": func() error { _, err := bench.Fig6(ctx, w, sc); return err },
-		"fig7": func() error { _, err := bench.Fig7(ctx, w, sc); return err },
+		"fig1": func() (any, error) { return bench.Fig1(ctx, w, sc) },
+		"fig2": func() (any, error) { return bench.Fig2(ctx, w, sc) },
+		"fig3": func() (any, error) { return bench.Fig3(ctx, w, sc) },
+		"fig4": func() (any, error) { return bench.Fig4(ctx, w, sc) },
+		"fig5": func() (any, error) { return bench.Fig5(ctx, w, sc) },
+		"fig6": func() (any, error) { return bench.Fig6(ctx, w, sc) },
+		"fig7": func() (any, error) { return bench.Fig7(ctx, w, sc) },
+	}
+	emit := func(v any) {
+		if !*jsonOut {
+			return
+		}
+		out, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
 	}
 
 	switch *exp {
 	case "all":
+		results := make(map[string]any)
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} {
-			if err := figs[name](); err != nil {
+			res, err := figs[name]()
+			if err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
+			results[name] = res
 			fmt.Fprintln(w)
 		}
+		emit(results)
 	case "cell":
 		mode, err := parseMode(*modeFlag)
 		if err != nil {
@@ -197,13 +221,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(w, row)
+		emit(row)
 	default:
 		fn, ok := figs[*exp]
 		if !ok {
 			log.Fatalf("unknown experiment %q", *exp)
 		}
-		if err := fn(); err != nil {
+		res, err := fn()
+		if err != nil {
 			log.Fatal(err)
 		}
+		emit(map[string]any{*exp: res})
 	}
 }

@@ -15,6 +15,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -97,6 +98,35 @@ func (r Row) String() string {
 	}
 	return fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d%s | %8.0f txs/s  commit=%.3f",
 		r.Mode, r.Servers, r.Clients, r.OpsPerTxn, r.WriteFrac*100, r.Keys, net, r.Throughput, r.CommitRate)
+}
+
+// MarshalJSON renders the row flat for machine-readable output
+// (mvtl-bench -json): the protocol by name, the workload shape, and the
+// measured outcome — the same fields the BENCH_*.json trajectory files
+// track, so future runs can be diffed against them mechanically.
+func (r Row) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mode       string  `json:"mode"`
+		Servers    int     `json:"servers"`
+		Clients    int     `json:"clients"`
+		TCP        bool    `json:"tcp,omitempty"`
+		Conns      int     `json:"conns,omitempty"`
+		OpsPerTxn  int     `json:"ops_per_txn"`
+		WriteFrac  float64 `json:"write_frac"`
+		Keys       int     `json:"keys"`
+		ValueSize  int     `json:"value_size,omitempty"`
+		BatchReads bool    `json:"getmulti,omitempty"`
+		Throughput float64 `json:"txs_per_sec"`
+		CommitRate float64 `json:"commit_rate"`
+		Commits    int64   `json:"commits"`
+		Aborts     int64   `json:"aborts"`
+	}{
+		Mode: r.Mode.String(), Servers: r.Servers, Clients: r.Clients,
+		TCP: r.TCP, Conns: r.Conns, OpsPerTxn: r.OpsPerTxn,
+		WriteFrac: r.WriteFrac, Keys: r.Keys, ValueSize: r.ValueSize,
+		BatchReads: r.BatchReads, Throughput: r.Throughput,
+		CommitRate: r.CommitRate, Commits: r.Commits, Aborts: r.Aborts,
+	})
 }
 
 // pool round-robins Begin across several coordinator connections so that

@@ -69,6 +69,13 @@ func (c *countingConn) Send(f *wire.FrameBuf) error {
 	return c.Conn.Send(f)
 }
 
+// SendBatch keeps the frame counts exact under opportunistic
+// coalescing: a batch of n frames is n sends, not one.
+func (c *countingConn) SendBatch(fbs []*wire.FrameBuf) error {
+	c.sent.Add(int64(len(fbs)))
+	return c.Conn.SendBatch(fbs)
+}
+
 func startServers(t *testing.T, n transport.Network, count int) []string {
 	t.Helper()
 	addrs := make([]string, count)

@@ -397,6 +397,102 @@ func (c *chaosConn) Send(fb *wire.FrameBuf) error {
 	return err
 }
 
+// SendBatch implements transport.Conn. Chaos stays per-frame: every
+// frame of the batch consumes its own send index and rolls its own
+// coins, exactly as len(fbs) unbatched Sends would, so the fault
+// schedule of a link depends only on the frame sequence — never on how
+// the sender happened to group frames into flushes (H13). Surviving
+// frames are re-grouped and forwarded as a batch. A delay spike flushes
+// the survivors collected so far before sleeping, and a reset before
+// closing the inner connection — on the unbatched path those frames
+// were already on the wire when the fault hit. Frames behind a reset
+// keep rolling their coins (on the unbatched path each would reach this
+// wrapper and roll before its doomed inner Send), so the recorded fault
+// schedule is byte-identical however the frames were grouped; their
+// forwarding then fails on the closed inner connection, which consumes
+// them.
+func (c *chaosConn) SendBatch(fbs []*wire.FrameBuf) error {
+	var firstErr error
+	fwd := make([]*wire.FrameBuf, 0, len(fbs))
+	flush := func() {
+		if len(fwd) == 0 {
+			return
+		}
+		if err := c.in.SendBatch(fwd); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		fwd = fwd[:0]
+	}
+	ch := c.net.chaos
+	stream := c.link + " send"
+	for i, fb := range fbs {
+		fbs[i] = nil
+		idx := c.sendIdx
+		c.sendIdx++
+		if c.net.isCut(c.from, c.to) {
+			fb.Release()
+			continue
+		}
+		if !c.chaos {
+			fwd = append(fwd, fb)
+			continue
+		}
+		if ch.Reset > 0 && c.roll(0, idx, kindReset) < ch.Reset {
+			c.net.record(stream, fmt.Sprintf("%04d reset", idx))
+			fb.Release()
+			flush() // frames ahead of the reset were already sent
+			_ = c.in.Close()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("faultbed: %s: connection reset: %w", c.link, transport.ErrClosed)
+			}
+			continue
+		}
+		if ch.Drop > 0 && c.roll(0, idx, kindDrop) < ch.Drop {
+			c.net.record(stream, fmt.Sprintf("%04d drop", idx))
+			fb.Release()
+			continue
+		}
+		var dup *wire.FrameBuf
+		if ch.Dup > 0 && c.roll(0, idx, kindDup) < ch.Dup {
+			d := wire.GetFrameBuf()
+			if err := d.SetFrame(fb.ID(), fb.Type(), wire.Raw(fb.Body())); err != nil {
+				d.Release()
+			} else {
+				c.net.record(stream, fmt.Sprintf("%04d dup", idx))
+				dup = d
+			}
+		}
+		if ch.Delay > 0 && c.roll(0, idx, kindDelay) < ch.Delay {
+			span := ch.DelayMax - ch.DelayMin
+			d := ch.DelayMin
+			if span > 0 {
+				d += time.Duration(c.roll(0, idx, kindDelayLen) * float64(span))
+			}
+			c.net.record(stream, fmt.Sprintf("%04d delay %v", idx, d.Round(time.Microsecond)))
+			flush()
+			time.Sleep(d)
+		}
+		if ch.Reorder > 0 && c.roll(0, idx, kindReorder) < ch.Reorder {
+			c.net.record(stream, fmt.Sprintf("%04d reorder", idx))
+			fb := fb
+			dup := dup
+			time.AfterFunc(ch.ReorderDelay, func() {
+				_ = c.in.Send(fb)
+				if dup != nil {
+					_ = c.in.Send(dup)
+				}
+			})
+			continue
+		}
+		fwd = append(fwd, fb)
+		if dup != nil {
+			fwd = append(fwd, dup)
+		}
+	}
+	flush()
+	return firstErr
+}
+
 // Recv implements transport.Conn: frames arriving through a partition
 // of the reverse direction are swallowed, and chaos can drop them.
 func (c *chaosConn) Recv() (*wire.FrameBuf, error) {

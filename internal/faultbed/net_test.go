@@ -216,3 +216,71 @@ func TestFaultLogDeterminism(t *testing.T) {
 		t.Fatal("chaos at 30% injected nothing over 40 frames")
 	}
 }
+
+// TestFaultLogBatchingInvariance pins the H13 batching rule: chaos
+// coins are per frame, so the same frame sequence must produce a
+// byte-identical fault log and identical deliveries whether the sender
+// flushed frame by frame or in arbitrary coalesced batches — including
+// the frames behind a mid-batch reset, which still roll their coins.
+func TestFaultLogBatchingInvariance(t *testing.T) {
+	chaos := Chaos{Drop: 0.25, Dup: 0.2, Delay: 0.2, Reset: 0.03, Endpoints: []string{"a"}}
+	const frames = 40
+	run := func(groups []int) (string, []string) {
+		n := New(Config{Model: fastModel, Seed: 7, Chaos: chaos})
+		l, accepted := accept(t, n, "b")
+		defer func() { _ = l.Close() }()
+		cl, err := n.Endpoint("a").Dial("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := <-accepted
+		id := uint64(0)
+		mk := func() *wire.FrameBuf {
+			fb := wire.GetFrameBuf()
+			body := []byte{byte('a' + id%26)}
+			if err := fb.SetFrame(id, 1, wire.Raw(body)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+			return fb
+		}
+		for _, g := range groups {
+			// Errors are expected once a reset coin fires; the frame
+			// sequence continues either way, exactly like the unbatched
+			// sender whose post-reset sends fail one by one.
+			if g == 1 {
+				_ = cl.Send(mk())
+				continue
+			}
+			batch := make([]*wire.FrameBuf, g)
+			for j := range batch {
+				batch[j] = mk()
+			}
+			_ = cl.SendBatch(batch)
+		}
+		if id != frames {
+			t.Fatalf("grouping covers %d frames, want %d", id, frames)
+		}
+		return n.FaultLog(), collect(t, srv, 50*time.Millisecond)
+	}
+	singles := make([]int, frames)
+	for i := range singles {
+		singles[i] = 1
+	}
+	logA, gotA := run(singles)
+	logB, gotB := run([]int{1, 3, 7, 1, 5, 2, 11, 4, 6})
+	if logA != logB {
+		t.Fatalf("batching changed the fault log:\n--- unbatched\n%s--- batched\n%s", logA, logB)
+	}
+	if len(gotA) != len(gotB) {
+		t.Fatalf("batching changed deliveries: %v vs %v", gotA, gotB)
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, gotA[i], gotB[i])
+		}
+	}
+	if logA == "" {
+		t.Fatal("chaos injected nothing over 40 frames")
+	}
+}

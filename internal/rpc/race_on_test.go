@@ -1,0 +1,7 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports that this binary was built with -race, under
+// which allocation counts are instrumented and not meaningful.
+const raceEnabled = true

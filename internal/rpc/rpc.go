@@ -3,18 +3,45 @@
 // one server and share a small pool of pipelined transport connections
 // instead of waiting for each other's replies.
 //
-// # Wire format
+// # Correlation ids
 //
-// Every request is one frame whose correlation id is allocated from a
-// per-connection counter and never reused for the lifetime of the
-// connection. The response to a request is the frame carrying the same
-// id back; responses may arrive in any order (server handlers block on
-// locks independently), and a per-connection demux goroutine routes
-// each response frame to the channel of the one call that sent its ID.
-// A response whose ID matches no outstanding call — e.g. the reply to a
-// call whose context was cancelled, or to a Cast — is dropped (and its
-// pooled buffer released). A call can therefore never observe another
-// call's response.
+// Every call occupies a waiter slot in a per-connection freelist, and
+// the frame's correlation id encodes the slot's position:
+//
+//	bit  63     cast flag (fire-and-forget, no waiter)
+//	bits 32-62  slot index
+//	bits 0-31   slot generation
+//
+// A slot holds a persistent buffered response channel and a generation
+// counter that is bumped every time the slot is recycled. The response
+// to a request is the frame carrying the same id back; responses may
+// arrive in any order (server handlers block on locks independently),
+// and the per-connection demux goroutine routes each response by
+// indexing the slot table and comparing generations — no map lookup, no
+// per-call channel allocation. A response whose generation no longer
+// matches — the reply to a call whose context was cancelled, a chaos
+// duplicate, or the echo of a cast (cast flag set) — is released back
+// to the buffer pool immediately. A call can therefore never observe
+// another call's response: a slot is recycled only after its tenant is
+// done, and recycling changes the generation every response must match.
+//
+// # Frame coalescing
+//
+// Senders do not write to the transport directly: each connection owns
+// a batcher that appends encoded frames to a pending list, and whichever
+// sender finds the connection idle drains the whole list through
+// transport.Conn.SendBatch — one vectored write (one syscall on TCP) for
+// every frame that accumulated while the previous flush was in flight.
+// Coalescing is opportunistic: a lone frame flushes immediately, so idle
+// connections pay no added latency, and concurrent callers amortize the
+// per-frame transmission cost that would otherwise serialize them.
+// Frames flush in enqueue order and flushes never overlap, so the
+// transport's per-connection FIFO guarantee is preserved. The server
+// half coalesces through a dedicated flusher goroutine instead: replies
+// are generated sequentially by the read loop, so a sender-flushes
+// scheme would never see two replies pending at once — handlers enqueue
+// and return, and every reply that accumulates while the flusher's
+// previous write is on the wire goes out in the next vectored write.
 //
 // # Buffer ownership
 //
@@ -48,9 +75,12 @@
 // Close tears every pooled connection down. A call in flight when its
 // connection closes — locally via Close or remotely by the peer — fails
 // fast with ErrClosed wrapped with the server address; it never hangs
-// and never receives another call's response. Once closed (or once a
-// connection breaks), a Client stays closed: calls fail immediately and
-// no redial is attempted, matching the crash-stop failure model of §H.
+// and never receives another call's response. A sender whose frame was
+// coalesced behind another caller's failing flush learns of the failure
+// the same way: the flusher closes the transport, the demux fails every
+// outstanding slot. Once closed (or once a connection breaks), a Client
+// stays closed: calls fail immediately and no redial is attempted,
+// matching the crash-stop failure model of §H.
 package rpc
 
 import (
@@ -152,11 +182,11 @@ func (c *Client) Call(ctx context.Context, flow uint64, t wire.MsgType, m wire.M
 }
 
 // Cast sends a request on the flow's pooled connection without waiting
-// for the response; the reply is dropped (and its buffer recycled) by
-// the demultiplexer. Used for the fire-and-forget messages of Alg. 11 —
-// freeze-write-locks, freeze-read-locks and releases are sent "without
-// waiting for replies" (§H), which is what makes the protocol
-// communication efficient.
+// for the response; the reply carries the cast flag back and is dropped
+// (and its buffer recycled) by the demultiplexer. Used for the
+// fire-and-forget messages of Alg. 11 — freeze-write-locks,
+// freeze-read-locks and releases are sent "without waiting for replies"
+// (§H), which is what makes the protocol communication efficient.
 func (c *Client) Cast(flow uint64, t wire.MsgType, m wire.Message) error {
 	cn, err := c.conn(flow)
 	if err != nil {
@@ -187,32 +217,123 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn is one pipelined connection: a correlation-id counter, a demux
-// goroutine, and the waiter registry it routes response frames through.
+// castFlag marks a correlation id as having no waiter: the demux
+// releases the response unexamined. Server handlers echo the id back
+// verbatim, so the flag round-trips.
+const castFlag = uint64(1) << 63
+
+// callID packs a waiter slot's position into a correlation id.
+func callID(idx uint32, gen uint32) uint64 { return uint64(idx)<<32 | uint64(gen) }
+
+// waiterSlot is one reusable waiter: a persistent response channel plus
+// the generation that distinguishes its current tenant from every past
+// and future one.
+type waiterSlot struct {
+	// ch is buffered (capacity 1), never closed, and reused across
+	// calls: the demux delivers at most one frame (or one nil closed
+	// sentinel) per activation, so a send never blocks.
+	ch chan *wire.FrameBuf
+	// gen is bumped every time the slot is recycled; a late response
+	// carrying an old generation can never be delivered to the slot's
+	// next tenant. It wraps at 2^32, which would take 2^32 recycles of
+	// the same slot with a response from the very first still in flight
+	// to confuse — beyond any connection's plausible lifetime.
+	gen uint32
+	// active is set while a call owns the slot and no response has been
+	// delivered; the demux claims a delivery by clearing it, so a
+	// duplicated response (chaos Dup) cannot deliver twice.
+	active bool
+}
+
+// conn is one pipelined connection: a waiter-slot freelist, a demux
+// goroutine routing response frames by slot index + generation, and a
+// batcher coalescing concurrent senders' frames into vectored writes.
 type conn struct {
 	addr   string
 	tc     transport.Conn
-	nextID atomic.Uint64
+	castID atomic.Uint64
+	out    batcher
 
-	mu      sync.Mutex
-	sendMu  sync.Mutex
-	waiters map[uint64]chan *wire.FrameBuf
-	closed  bool
+	mu     sync.Mutex
+	slots  []*waiterSlot // grows on demand, never shrinks
+	free   []uint32      // LIFO freelist of slot indices
+	closed bool
+
+	// lateDrops counts responses released by slot/generation mismatch:
+	// late replies to cancelled calls and chaos duplicates (cast echoes
+	// are expected traffic and not counted).
+	lateDrops atomic.Uint64
 
 	done chan struct{}
 }
 
 func newConn(addr string, tc transport.Conn) *conn {
-	cn := &conn{addr: addr, tc: tc, waiters: make(map[uint64]chan *wire.FrameBuf)}
+	cn := &conn{addr: addr, tc: tc}
+	cn.out.tc = tc
 	cn.done = make(chan struct{})
 	go cn.recvLoop()
 	return cn
 }
 
-// recvLoop routes response frames to their callers until the transport
-// fails, then fails every outstanding call fast by closing its channel.
-// Frames with no registered waiter (cast replies, cancelled calls) are
-// released back to the pool here.
+// acquire claims a waiter slot (growing the table if the freelist is
+// empty) and returns its index, the slot, and the correlation id of its
+// new tenancy.
+func (cn *conn) acquire() (uint32, *waiterSlot, uint64, error) {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return 0, nil, 0, closedErr(cn.addr)
+	}
+	if len(cn.free) == 0 {
+		cn.free = append(cn.free, uint32(len(cn.slots)))
+		cn.slots = append(cn.slots, &waiterSlot{ch: make(chan *wire.FrameBuf, 1)})
+	}
+	idx := cn.free[len(cn.free)-1]
+	cn.free = cn.free[:len(cn.free)-1]
+	s := cn.slots[idx]
+	s.active = true
+	id := callID(idx, s.gen)
+	cn.mu.Unlock()
+	return idx, s, id, nil
+}
+
+// freeSlot recycles a slot whose tenant is done: the generation bump
+// invalidates any response still in flight for the old tenancy.
+func (cn *conn) freeSlot(idx uint32, s *waiterSlot) {
+	cn.mu.Lock()
+	s.active = false
+	s.gen++
+	cn.free = append(cn.free, idx)
+	cn.mu.Unlock()
+}
+
+// unregister abandons a slot mid-call (context cancelled, send failed).
+// If the demux already claimed a delivery for this tenancy, the frame —
+// or the nil closed sentinel — is drained from the persistent channel
+// and released, fixing the old map-based demux's tolerated leak of late
+// responses into abandoned channels.
+func (cn *conn) unregister(idx uint32, s *waiterSlot) {
+	cn.mu.Lock()
+	if s.active {
+		s.active = false
+		s.gen++
+		cn.free = append(cn.free, idx)
+		cn.mu.Unlock()
+		return
+	}
+	cn.mu.Unlock()
+	// The demux (or the close sweep) claimed the slot before we could
+	// invalidate it: exactly one value is in the channel or about to be
+	// sent — a bounded wait, since claimed sends never block.
+	if f := <-s.ch; f != nil {
+		f.Release()
+	}
+	cn.freeSlot(idx, s)
+}
+
+// recvLoop routes response frames to their slots until the transport
+// fails, then fails every active slot fast by delivering a nil closed
+// sentinel on its persistent channel.
 func (cn *conn) recvLoop() {
 	defer close(cn.done)
 	for {
@@ -220,90 +341,96 @@ func (cn *conn) recvLoop() {
 		if err != nil {
 			cn.mu.Lock()
 			cn.closed = true
-			for id, ch := range cn.waiters {
-				close(ch)
-				delete(cn.waiters, id)
+			var fail []*waiterSlot
+			for _, s := range cn.slots {
+				if s.active {
+					s.active = false
+					fail = append(fail, s)
+				}
 			}
 			cn.mu.Unlock()
+			for _, s := range fail {
+				s.ch <- nil // claimed above: the channel is empty
+			}
 			return
 		}
-		cn.mu.Lock()
-		ch, ok := cn.waiters[f.ID()]
-		if ok {
-			delete(cn.waiters, f.ID())
-		}
-		cn.mu.Unlock()
-		if ok {
-			// Buffered (capacity 1) and registered exactly once, so this
-			// never blocks the demux loop.
-			ch <- f
-		} else {
-			f.Release()
-		}
+		cn.route(f)
 	}
 }
 
-// send encodes m into a pooled frame buffer and hands it to the
-// transport (which consumes it), serializing concurrent senders.
+// route delivers one response frame by slot index + generation, or
+// releases it back to the pool: cast echoes (cast flag), late replies
+// to cancelled calls (generation mismatch), duplicates (active already
+// cleared), and garbage ids all recycle here.
+func (cn *conn) route(f *wire.FrameBuf) {
+	id := f.ID()
+	if id&castFlag != 0 {
+		f.Release()
+		return
+	}
+	idx, gen := uint32(id>>32), uint32(id)
+	var s *waiterSlot
+	cn.mu.Lock()
+	if int(idx) < len(cn.slots) {
+		if cand := cn.slots[idx]; cand.active && cand.gen == gen {
+			cand.active = false // claim the delivery; a dup can't deliver twice
+			s = cand
+		}
+	}
+	cn.mu.Unlock()
+	if s == nil {
+		cn.lateDrops.Add(1)
+		f.Release()
+		return
+	}
+	s.ch <- f // capacity 1 and claimed exactly once: never blocks
+}
+
+// send encodes m into a pooled frame buffer and enqueues it on the
+// connection's batcher, which flushes it — coalesced with any frames
+// concurrent senders enqueued — as one vectored write.
 func (cn *conn) send(id uint64, t wire.MsgType, m wire.Message) error {
 	out := wire.GetFrameBuf()
 	if err := out.SetFrame(id, t, m); err != nil {
 		out.Release()
 		return err
 	}
-	cn.sendMu.Lock()
-	err := cn.tc.Send(out)
-	cn.sendMu.Unlock()
-	return err
+	return cn.out.send(out)
 }
 
 func (cn *conn) call(ctx context.Context, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
-	id := cn.nextID.Add(1)
-	ch := make(chan *wire.FrameBuf, 1)
-	cn.mu.Lock()
-	if cn.closed {
-		cn.mu.Unlock()
-		return nil, closedErr(cn.addr)
+	idx, s, id, err := cn.acquire()
+	if err != nil {
+		return nil, err
 	}
-	cn.waiters[id] = ch
-	cn.mu.Unlock()
-
 	if err := cn.send(id, t, m); err != nil {
-		cn.mu.Lock()
-		delete(cn.waiters, id)
-		cn.mu.Unlock()
+		cn.unregister(idx, s)
 		if errors.Is(err, transport.ErrClosed) {
 			return nil, closedErr(cn.addr)
 		}
 		return nil, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
 	}
 	select {
-	case f, ok := <-ch:
-		if !ok {
+	case f := <-s.ch:
+		cn.freeSlot(idx, s)
+		if f == nil {
 			return nil, closedErr(cn.addr)
 		}
 		return f, nil
 	case <-ctx.Done():
-		// Unregister so a late response is dropped (and recycled by the
-		// demux) instead of leaking a registry entry. The demux may
-		// already hold the channel, in which case the frame sits in the
-		// abandoned buffered channel — garbage for the GC, a tolerated
-		// pool miss.
-		cn.mu.Lock()
-		delete(cn.waiters, id)
-		cn.mu.Unlock()
+		cn.unregister(idx, s)
 		return nil, ctx.Err()
 	}
 }
 
 func (cn *conn) cast(t wire.MsgType, m wire.Message) error {
 	cn.mu.Lock()
-	if cn.closed {
-		cn.mu.Unlock()
+	closed := cn.closed
+	cn.mu.Unlock()
+	if closed {
 		return closedErr(cn.addr)
 	}
-	cn.mu.Unlock()
-	id := cn.nextID.Add(1)
+	id := castFlag | cn.castID.Add(1)
 	if err := cn.send(id, t, m); err != nil {
 		if errors.Is(err, transport.ErrClosed) {
 			return closedErr(cn.addr)
@@ -318,22 +445,238 @@ func (cn *conn) close() {
 	<-cn.done
 }
 
+// batcher coalesces concurrent frame sends on one transport connection.
+// Senders append to a pending list; whichever sender finds the
+// connection idle becomes the flusher and drains the list through
+// SendBatch — repeatedly, so frames that accumulate while a flush's
+// vectored write is in the kernel go out together on the next one —
+// while later senders just append and return. Frames flush in enqueue
+// order and flushes never overlap, preserving the transport's
+// per-connection FIFO. Two swapped backing arrays make the steady state
+// allocation-free.
+type batcher struct {
+	tc transport.Conn
+
+	mu       sync.Mutex
+	pending  []*wire.FrameBuf
+	spare    []*wire.FrameBuf // previous flush's array, reused for the next
+	flushing bool
+	err      error // first flush error; the connection is dead beyond it
+}
+
+// send enqueues fb, taking ownership like transport.Conn.Send. An error
+// is returned only if the connection is already known broken or this
+// caller's own flush failed; a frame enqueued behind an active flusher
+// reports success, and if its flush later fails the flusher closes the
+// transport, so the demux fails the waiting call fast (casts are
+// fire-and-forget anyway).
+func (b *batcher) send(fb *wire.FrameBuf) error {
+	b.mu.Lock()
+	if b.err != nil {
+		err := b.err
+		b.mu.Unlock()
+		fb.Release()
+		return err
+	}
+	b.pending = append(b.pending, fb)
+	if b.flushing {
+		b.mu.Unlock()
+		return nil
+	}
+	b.flushing = true
+	var err error
+	for err == nil && len(b.pending) > 0 {
+		batch := b.pending
+		b.pending = b.spare[:0]
+		b.mu.Unlock()
+		if len(batch) == 1 {
+			err = b.tc.Send(batch[0])
+			batch[0] = nil
+		} else {
+			err = b.tc.SendBatch(batch) // consumes and nils every entry
+		}
+		b.mu.Lock()
+		b.spare = batch[:0]
+	}
+	b.flushing = false
+	if err == nil {
+		b.mu.Unlock()
+		return nil
+	}
+	b.err = err
+	pend := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	// Frames enqueued while the failing flush was in flight are
+	// consumed here (their senders already returned nil); closing the
+	// transport makes the receive loop fail every outstanding call.
+	wire.ReleaseAll(pend)
+	_ = b.tc.Close()
+	return err
+}
+
+// replyFlusher coalesces response frames through a dedicated flusher
+// goroutine. The server's replies are generated sequentially by the
+// read loop, so unlike the client's concurrent callers they would never
+// coalesce under a sender-flushes scheme — and a reply send that blocks
+// (transport backpressure) would stall request dispatch. Here handlers
+// enqueue and return immediately; the flusher drains everything that
+// accumulated during its previous write into one vectored write. Frames
+// flush in enqueue order, so per-connection FIFO is preserved.
+type replyFlusher struct {
+	tc    transport.Conn
+	onErr func(error) // reported once per failing flush; may be nil
+
+	mu      sync.Mutex
+	pending []*wire.FrameBuf
+	spare   []*wire.FrameBuf // previous flush's array, reused
+	err     error            // first flush error; the connection is dead beyond it
+	stopped bool
+
+	wake chan struct{} // capacity 1: at most one buffered wakeup
+	done chan struct{}
+}
+
+func newReplyFlusher(tc transport.Conn, onErr func(error)) *replyFlusher {
+	q := &replyFlusher{tc: tc, onErr: onErr, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go q.loop()
+	return q
+}
+
+// send enqueues fb, taking ownership like transport.Conn.Send. Flush
+// failures surface asynchronously through onErr; send itself fails only
+// once the connection is already known broken or the flusher stopped.
+func (q *replyFlusher) send(fb *wire.FrameBuf) error {
+	q.mu.Lock()
+	if q.err != nil || q.stopped {
+		err := q.err
+		q.mu.Unlock()
+		fb.Release()
+		if err == nil {
+			err = transport.ErrClosed
+		}
+		return err
+	}
+	q.pending = append(q.pending, fb)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (q *replyFlusher) loop() {
+	defer close(q.done)
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 {
+			if q.stopped || q.err != nil {
+				q.mu.Unlock()
+				return
+			}
+			q.mu.Unlock()
+			<-q.wake
+			q.mu.Lock()
+		}
+		batch := q.pending
+		q.pending = q.spare[:0]
+		q.mu.Unlock()
+		var err error
+		if len(batch) == 1 {
+			err = q.tc.Send(batch[0])
+			batch[0] = nil
+		} else {
+			err = q.tc.SendBatch(batch) // consumes and nils every entry
+		}
+		q.mu.Lock()
+		q.spare = batch[:0]
+		if err == nil {
+			q.mu.Unlock()
+			continue
+		}
+		q.err = err
+		pend := q.pending
+		q.pending = nil
+		q.mu.Unlock()
+		wire.ReleaseAll(pend)
+		if q.onErr != nil {
+			q.onErr(err)
+		}
+		// Closing the transport fails ServeConn's read loop, tearing the
+		// connection down rather than serving requests whose responses
+		// can no longer be written.
+		_ = q.tc.Close()
+		return
+	}
+}
+
+// stop drains queued replies through a final flush and waits for the
+// flusher goroutine to exit. Callers must ensure no further send can
+// race with it (ServeConn stops only after every handler returned).
+func (q *replyFlusher) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	<-q.done
+}
+
 // Reply sends one response frame, correlated with the request that the
 // enclosing handler is serving: m is append-encoded into a pooled
-// buffer that the transport consumes. It is safe for concurrent use.
+// buffer that the transport consumes. It is safe for concurrent use
+// while the handler runs, and must not be called after the handler has
+// returned.
 type Reply func(t wire.MsgType, m wire.Message)
+
+// replyState backs the inline dispatch path's single Reply closure:
+// inline handlers run sequentially on the read loop and may not retain
+// reply beyond the handler's return, so one mutable correlation id per
+// connection is safe — and the per-frame closure allocation of the old
+// code is gone.
+type replyState struct {
+	out       *replyFlusher
+	onSendErr func(error)
+	id        uint64
+}
+
+func (r *replyState) reply(t wire.MsgType, m wire.Message) {
+	sendReply(r.out, r.onSendErr, r.id, t, m)
+}
+
+// sendReply encodes one response frame and enqueues it on the
+// connection's reply flusher, so consecutive replies coalesce into
+// vectored writes and handlers never block on transmission.
+func sendReply(out *replyFlusher, onSendErr func(error), id uint64, t wire.MsgType, m wire.Message) {
+	fb := wire.GetFrameBuf()
+	if err := fb.SetFrame(id, t, m); err != nil {
+		fb.Release()
+		if onSendErr != nil {
+			onSendErr(err)
+		}
+		return
+	}
+	if err := out.send(fb); err != nil && onSendErr != nil {
+		onSendErr(err)
+	}
+}
 
 // ServeConn is the server half of the mux: it reads frames from conn
 // and dispatches each to handle with a Reply bound to the frame's
-// correlation id. Response encodes and frame writes are serialized
-// internally, so handlers running in parallel may reply out of order
-// without interleaving bytes. Frames whose type spawn reports true
-// (handlers that may block, e.g. on lock waits) run in their own
-// goroutine; all others run inline on the read loop, in arrival order —
-// preserving the per-flow FIFO semantics coordinators rely on when they
-// fire-and-forget a freeze and then issue the next request on the same
-// flow. Each request frame is released back to the pool after its
-// handler returns: handlers may decode in place, but anything that
+// correlation id. Responses are enqueued on the connection's reply
+// flusher — consecutive replies coalesce into vectored writes, never
+// interleave bytes, and never block the handler that sent them. Frames
+// whose type spawn reports true (handlers that may block, e.g. on lock
+// waits) run in their own goroutine; all others run inline on the read
+// loop, in arrival order — preserving the per-flow FIFO semantics
+// coordinators rely on when they fire-and-forget a freeze and then
+// issue the next request on the same flow — and share one pre-allocated
+// Reply, so the inline request/reply path allocates nothing beyond the
+// pooled frames. Each request frame is released back to the pool after
+// its handler returns: handlers may decode in place, but anything that
 // outlives the handler must be copied out, and reply must not be called
 // after the handler has returned. ServeConn returns when Recv fails
 // (connection closed), after every spawned handler finished. Failed
@@ -341,41 +684,32 @@ type Reply func(t wire.MsgType, m wire.Message)
 // client waiting on a correlation id whose response was never written
 // is otherwise invisible on the server side.
 func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f *wire.FrameBuf, reply Reply), onSendErr func(error)) {
-	var sendMu sync.Mutex
+	out := newReplyFlusher(conn, onSendErr)
+	inline := &replyState{out: out, onSendErr: onSendErr}
+	inlineReply := Reply(inline.reply) // one closure for the whole connection
 	var handlers sync.WaitGroup
-	defer handlers.Wait()
+	defer func() {
+		handlers.Wait() // no reply can be enqueued past this point
+		out.stop()
+	}()
 	for {
 		f, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		reply := func(id uint64) Reply {
-			return func(t wire.MsgType, m wire.Message) {
-				out := wire.GetFrameBuf()
-				if err := out.SetFrame(id, t, m); err != nil {
-					out.Release()
-					if onSendErr != nil {
-						onSendErr(err)
-					}
-					return
-				}
-				sendMu.Lock()
-				err := conn.Send(out) // Send consumes out
-				sendMu.Unlock()
-				if err != nil && onSendErr != nil {
-					onSendErr(err)
-				}
-			}
-		}(f.ID())
 		if spawn != nil && spawn(f.Type()) {
 			handlers.Add(1)
-			go func(f *wire.FrameBuf, reply Reply) {
+			id := f.ID()
+			go func(f *wire.FrameBuf) {
 				defer handlers.Done()
 				defer f.Release()
-				handle(f, reply)
-			}(f, reply)
+				handle(f, func(t wire.MsgType, m wire.Message) {
+					sendReply(out, onSendErr, id, t, m)
+				})
+			}(f)
 		} else {
-			handle(f, reply)
+			inline.id = f.ID()
+			handle(f, inlineReply)
 			f.Release()
 		}
 	}

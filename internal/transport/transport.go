@@ -60,6 +60,16 @@ type Conn interface {
 	// the transport releases it, or hands it to the receiving end. The
 	// caller must not touch fb afterwards.
 	Send(fb *wire.FrameBuf) error
+	// SendBatch transmits every frame in fbs back to back, in order,
+	// taking ownership of all of them — even on a partial error, every
+	// frame is consumed (released or delivered) and the entries of fbs
+	// are left nil, so the caller may recycle the slice but must not
+	// touch the frames. The bytes on the wire are identical to len(fbs)
+	// sequential Sends; what batching changes is the cost: TCP hands
+	// the whole batch to the kernel as one vectored write (one writev
+	// for N frames), and Mem charges the PerFrame occupancy once per
+	// batch. An empty batch is a no-op.
+	SendBatch(fbs []*wire.FrameBuf) error
 	// Recv blocks for the next frame. The caller owns the result and
 	// must Release it.
 	Recv() (*wire.FrameBuf, error)
@@ -93,14 +103,17 @@ type LatencyModel struct {
 	Base time.Duration
 	// Jitter adds a uniform random extra in [0, Jitter).
 	Jitter time.Duration
-	// PerFrame is the sender-side occupancy per frame: the connection
-	// transmits at most one frame per PerFrame, so frames queue behind
-	// a busy connection the way they queue behind a socket's
-	// per-frame syscall and serialization cost on real hardware. It is
-	// what makes connection pooling measurable on the in-memory bed —
-	// one connection caps at 1/PerFrame frames per second regardless
-	// of pipelining, while a pool of n transmits n frames in parallel.
-	// Zero (the default, and both paper beds) models infinite
+	// PerFrame is the sender-side occupancy per flush: the connection
+	// transmits at most one frame — or one coalesced batch — per
+	// PerFrame, and Send/SendBatch block the sender until the link is
+	// free of earlier flushes (the flush just queued transmits
+	// asynchronously — a one-frame device queue, like a socket buffer
+	// backpressuring a writer). It is what makes connection pooling and
+	// frame coalescing measurable on the in-memory bed — one connection
+	// caps at 1/PerFrame flushes per second, so single frames queue
+	// behind a busy connection while a batch of n moves n frames in one
+	// charge, and an idle connection still sends with zero sender
+	// latency. Zero (the default, and both paper beds) models infinite
 	// per-connection bandwidth: only Base and Jitter matter.
 	PerFrame time.Duration
 	// PerByte is additional sender-side occupancy per wire byte
@@ -245,9 +258,14 @@ func (l *memListener) Addr() string { return l.addr }
 type memPipe struct {
 	model LatencyModel
 
-	mu    sync.Mutex
-	rng   *rand.Rand
+	mu  sync.Mutex
+	rng *rand.Rand
+	// queue[head:] holds the undelivered frames; popping advances head
+	// and the array is rewound once it drains, so the steady state
+	// appends into the same backing array instead of reallocating every
+	// few frames (queue = queue[1:] would strand the popped prefix).
 	queue []timedFrame
+	head  int
 	// busyUntil is when the sender finishes transmitting the queued
 	// frames (the PerFrame/PerByte occupancy); nextAt keeps delivery
 	// FIFO.
@@ -276,13 +294,16 @@ func (p *memPipe) send(fb *wire.FrameBuf) error {
 	// The frame first occupies the sender for its occupancy (queueing
 	// behind earlier frames still transmitting — larger frames hold the
 	// link longer), then propagates for the sampled delay.
-	start := time.Now()
-	if p.busyUntil.After(start) {
-		start = p.busyUntil
-	}
-	start = start.Add(p.model.occupancy(fb.WireLen()))
+	now := time.Now()
+	free := p.busyUntil
+	start := p.occupancyStart(now, p.model.occupancy(fb.WireLen()))
 	p.busyUntil = start
-	at := start.Add(p.model.delay(p.rng))
+	// Propagation cannot begin before the send call itself.
+	base := start
+	if base.Before(now) {
+		base = now
+	}
+	at := base.Add(p.model.delay(p.rng))
 	// FIFO: delivery times are monotone within the pipe.
 	if at.Before(p.nextAt) {
 		at = p.nextAt
@@ -294,21 +315,112 @@ func (p *memPipe) send(fb *wire.FrameBuf) error {
 	case p.wake <- struct{}{}:
 	default:
 	}
+	p.backpressure(free)
+	return nil
+}
+
+// senderWakeGrace bounds how far into the past a flush may backdate its
+// occupancy. time.Sleep on a loaded machine overshoots by roughly the
+// timer granularity (~1ms), so a parked flusher reliably wakes a little
+// after the link frees; anything within the grace is treated as
+// back-to-back demand rather than idle link time.
+const senderWakeGrace = 2 * time.Millisecond
+
+// occupancyStart returns when the flush being queued finishes
+// transmitting, charging its occupancy from the link-free instant when
+// the link is still busy — or freed within senderWakeGrace, so a
+// flusher that parked in backpressure and woke with sleep overshoot
+// transmits back-to-back instead of turning every overshoot into
+// phantom idle bandwidth. A genuinely idle link (or a pure-delay model
+// with no occupancy, where nobody ever parks) restarts the clock at
+// now. Caller holds p.mu.
+func (p *memPipe) occupancyStart(now time.Time, occ time.Duration) time.Time {
+	start := p.busyUntil
+	if start.Before(now) && (occ == 0 || start.Before(now.Add(-senderWakeGrace))) {
+		start = now
+	}
+	return start.Add(occ)
+}
+
+// backpressure blocks the sender until the link is free of every
+// earlier flush; the flush just queued then transmits asynchronously —
+// a one-frame device queue, the way a writer can hand the kernel one
+// buffered write and only blocks on the next when the socket buffer is
+// still draining. An idle connection therefore sends with zero sender
+// latency, while a caller racing a busy one parks — which is what lets
+// opportunistic coalescing accumulate frames behind an in-flight flush
+// on the in-memory bed. A no-op (free in the past, and always for pure
+// Base/Jitter models).
+func (p *memPipe) backpressure(free time.Time) {
+	if wait := time.Until(free); wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// sendBatch queues a coalesced flush: the sender occupancy is charged
+// once for the whole batch (PerFrame once — the per-flush cost that
+// coalescing amortizes — plus PerByte over the batch's total bytes),
+// but each frame still samples its own propagation delay from the
+// pipe's rng, in order, so the jitter stream consumption is exactly
+// what len(fbs) unbatched sends would be — batching never perturbs the
+// deterministic delay schedule of later frames.
+func (p *memPipe) sendBatch(fbs []*wire.FrameBuf) error {
+	if len(fbs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		wire.ReleaseAll(fbs)
+		return ErrClosed
+	}
+	total := 0
+	for _, fb := range fbs {
+		total += fb.WireLen()
+	}
+	now := time.Now()
+	free := p.busyUntil
+	start := p.occupancyStart(now, p.model.occupancy(total))
+	p.busyUntil = start
+	// Propagation cannot begin before the send call itself.
+	base := start
+	if base.Before(now) {
+		base = now
+	}
+	for i, fb := range fbs {
+		at := base.Add(p.model.delay(p.rng))
+		if at.Before(p.nextAt) {
+			at = p.nextAt
+		}
+		p.nextAt = at
+		p.queue = append(p.queue, timedFrame{fb: fb, deliverAt: at})
+		fbs[i] = nil
+	}
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	p.backpressure(free)
 	return nil
 }
 
 func (p *memPipe) recv() (*wire.FrameBuf, error) {
 	for {
 		p.mu.Lock()
-		if len(p.queue) > 0 {
-			tf := p.queue[0]
+		if p.head < len(p.queue) {
+			tf := p.queue[p.head]
 			if wait := time.Until(tf.deliverAt); wait > 0 {
 				p.mu.Unlock()
 				time.Sleep(wait)
 				continue
 			}
-			p.queue[0] = timedFrame{}
-			p.queue = p.queue[1:]
+			p.queue[p.head] = timedFrame{}
+			p.head++
+			if p.head == len(p.queue) {
+				p.queue = p.queue[:0]
+				p.head = 0
+			}
 			p.mu.Unlock()
 			return tf.fb, nil
 		}
@@ -327,11 +439,11 @@ func (p *memPipe) close() {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		for i, tf := range p.queue {
-			tf.fb.Release()
+		for i := p.head; i < len(p.queue); i++ {
+			p.queue[i].fb.Release()
 			p.queue[i] = timedFrame{}
 		}
-		p.queue = nil
+		p.queue, p.head = nil, 0
 	}
 	p.mu.Unlock()
 	select {
@@ -348,6 +460,8 @@ type memConn struct {
 var _ Conn = (*memConn)(nil)
 
 func (c *memConn) Send(fb *wire.FrameBuf) error { return c.send.send(fb) }
+
+func (c *memConn) SendBatch(fbs []*wire.FrameBuf) error { return c.send.sendBatch(fbs) }
 
 func (c *memConn) Recv() (*wire.FrameBuf, error) { return c.recv.recv() }
 
@@ -419,6 +533,8 @@ type tcpConn struct {
 	writeTimeout time.Duration
 	wm           sync.Mutex
 	rm           sync.Mutex
+	// vec is the reusable iovec backing for SendBatch, guarded by wm.
+	vec net.Buffers
 }
 
 var _ Conn = (*tcpConn)(nil)
@@ -441,6 +557,24 @@ func (c *tcpConn) Send(fb *wire.FrameBuf) error {
 	err := wire.WriteFrame(c.c, fb) // one writev: header + body, no coalescing
 	c.wm.Unlock()
 	fb.Release()
+	if err != nil {
+		return fmt.Errorf("transport: send: %w", wrapTimeout(err))
+	}
+	return nil
+}
+
+func (c *tcpConn) SendBatch(fbs []*wire.FrameBuf) error {
+	if len(fbs) == 0 {
+		return nil
+	}
+	c.wm.Lock()
+	if c.writeTimeout > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	var err error
+	c.vec, err = wire.WriteFrames(c.c, fbs, c.vec) // one writev for the whole batch
+	c.wm.Unlock()
+	wire.ReleaseAll(fbs)
 	if err != nil {
 		return fmt.Errorf("transport: send: %w", wrapTimeout(err))
 	}

@@ -456,3 +456,130 @@ func TestMemPerBytePacing(t *testing.T) {
 		t.Fatalf("%d 1KB frames at 10µs/B occupancy arrived in %v; bytes are not being accounted", frames, elapsed)
 	}
 }
+
+// makeBatch builds n pooled frames with ids 1..n and the given body.
+func makeBatch(tb testing.TB, n int, body []byte) []*wire.FrameBuf {
+	tb.Helper()
+	fbs := make([]*wire.FrameBuf, n)
+	for i := range fbs {
+		fb := wire.GetFrameBuf()
+		if err := fb.SetFrame(uint64(i+1), 1, wire.Raw(body)); err != nil {
+			fb.Release()
+			tb.Fatal(err)
+		}
+		fbs[i] = fb
+	}
+	return fbs
+}
+
+// TestMemBatchAmortizesPerFrame pins the coalescing model: a batch of k
+// frames is one flush, charged PerFrame once — where k sequential Sends
+// pay it k times (TestMemPerFramePacing). All k frames must land well
+// before k×PerFrame.
+func TestMemBatchAmortizesPerFrame(t *testing.T) {
+	const perFrame = 20 * time.Millisecond
+	n := NewMem(LatencyModel{PerFrame: perFrame})
+	l, err := n.Listen("batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.Dial("batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5
+	start := time.Now()
+	if err := conn.SendBatch(makeBatch(t, frames, nil)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		f, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.ID(); got != uint64(i+1) {
+			t.Fatalf("batch broke FIFO: frame %d has id %d", i, got)
+		}
+		f.Release()
+	}
+	if elapsed := time.Since(start); elapsed >= frames*perFrame {
+		t.Fatalf("batch of %d took %v, >= the %v unbatched floor: PerFrame is not amortized per flush", frames, elapsed, frames*perFrame)
+	}
+}
+
+// TestTCPSendBatchRoundTrip checks the vectored write path end to end:
+// one SendBatch, n frames back to back on the wire, each received
+// intact and in order.
+func TestTCPSendBatchRoundTrip(t *testing.T) {
+	n := TCP{}
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	conn, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	srv := <-acc
+	defer srv.Close()
+
+	const frames = 7
+	body := []byte("batched-over-tcp")
+	if err := conn.SendBatch(makeBatch(t, frames, body)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < frames; i++ {
+		f, err := srv.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID() != uint64(i+1) || string(f.Body()) != string(body) {
+			t.Fatalf("frame %d corrupted: id=%d body=%q", i, f.ID(), f.Body())
+		}
+		f.Release()
+	}
+}
+
+// TestMemSendBatchClosedConsumesFrames pins the SendBatch ownership
+// rule: even when the connection is already closed, the batch is
+// consumed — every entry released and nilled — and the send fails with
+// ErrClosed.
+func TestMemSendBatchClosedConsumesFrames(t *testing.T) {
+	n := NewMem(LatencyModel{})
+	l, err := n.Listen("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.Dial("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	fbs := makeBatch(t, 3, nil)
+	if err := conn.SendBatch(fbs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	for i, fb := range fbs {
+		if fb != nil {
+			t.Fatalf("entry %d not consumed on error", i)
+		}
+	}
+}

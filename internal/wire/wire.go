@@ -204,6 +204,38 @@ func WriteFrame(w io.Writer, fb *FrameBuf) error {
 	return err
 }
 
+// WriteFrames writes every frame in fbs back to back as one vectored
+// write: each frame contributes its header and body views, so on
+// net.Conn writers a whole batch reaches the kernel as a single writev
+// (the runtime splits batches beyond the iovec limit). The bytes are
+// identical to len(fbs) sequential WriteFrame calls — batching is
+// invisible to the receiver. scratch is the caller's reusable iovec
+// backing (nil is fine); the zeroed slice is returned for the next
+// call, so steady-state batch writes allocate nothing. WriteFrames does
+// not release the frames; the caller (the transport) still owns them.
+func WriteFrames(w io.Writer, fbs []*FrameBuf, scratch net.Buffers) (net.Buffers, error) {
+	vec := scratch[:0]
+	for _, fb := range fbs {
+		vec = append(vec, fb.hdr[:], fb.body)
+	}
+	bufs := vec // WriteTo consumes bufs; vec keeps the backing array
+	_, err := bufs.WriteTo(w)
+	for i := range vec {
+		vec[i] = nil
+	}
+	return vec[:0], err
+}
+
+// ReleaseAll releases every frame in fbs and nils the entries, so a
+// reused batch slice cannot leak stale references to repooled buffers.
+// Nil entries are skipped.
+func ReleaseAll(fbs []*FrameBuf) {
+	for i, fb := range fbs {
+		fb.Release()
+		fbs[i] = nil
+	}
+}
+
 // ReadFrame reads one frame from r into fb, reusing fb's capacity. On
 // error fb's contents are undefined; the caller still owns it.
 func ReadFrame(r io.Reader, fb *FrameBuf) error {
