@@ -1,0 +1,71 @@
+// mvtl-lint is the project's analysis multichecker: it mechanically
+// enforces the ownership, escape, and determinism invariants that
+// PROTOCOL.md and TESTING.md state in prose (see internal/lint for the
+// analyzers and TESTING.md "Mechanically enforced invariants" for the
+// rules, suppression directives, and CI wiring).
+//
+// Usage:
+//
+//	go run ./cmd/mvtl-lint [-only names] [-list] [packages]
+//
+// With no packages, ./... is checked. Exit status 1 means findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/loader"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mvtl-lint [-only names] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mvtl-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -243,10 +243,19 @@ func (r *runner) eventf(ev Event, format string, args ...any) {
 // follow start against a quiescent cluster — the settle duration itself
 // is wall-clock-dependent and therefore never recorded.
 func (r *runner) settle() error {
-	deadline := time.Now().Add(settleTimeout)
+	// Iteration-bounded rather than deadline-bounded: the retry budget
+	// is a fixed count instead of a wall-clock read, so the watchdog
+	// itself cannot become a hidden source of timing dependence (the
+	// determinism analyzer forbids time.Now in this package).
+	attempts := int(settleTimeout / settlePoll)
 	addrs := r.clus.Addrs()
-	for {
-		live, reachable := int64(0), true
+	var live int64
+	for try := 0; try <= attempts; try++ {
+		if try > 0 {
+			time.Sleep(settlePoll)
+		}
+		reachable := true
+		live = 0
 		for i, addr := range addrs {
 			if !r.clus.ServerRunning(i) {
 				continue
@@ -261,11 +270,8 @@ func (r *runner) settle() error {
 		if reachable && live == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("faultbed: cluster did not settle within %v (%d live txn records)", settleTimeout, live)
-		}
-		time.Sleep(settlePoll)
 	}
+	return fmt.Errorf("faultbed: cluster did not settle within %v (%d live txn records)", settleTimeout, live)
 }
 
 // recoverServer re-writes, through the control client, the

@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+)
+
+// BorrowedViewAnalyzer enforces PROTOCOL.md "Buffer ownership" rule 5:
+// every []byte decoded from a frame (wire.Decoder.Blob, FrameBuf.Body,
+// and the blob fields of wire.Decode*/DecodeInto results) is a borrowed
+// view into the pooled frame body, valid only until the buffer is
+// released. Storing such a view into a struct field, a global, or a
+// map — or capturing it in a goroutine closure — without an intervening
+// bytes.Clone (or a copying conversion like string(v) /
+// append(dst, v...)) is a use-after-release waiting for pool reuse.
+//
+// The wire package itself is exempt: its decoders construct the views
+// by design.
+var BorrowedViewAnalyzer = &analysis.Analyzer{
+	Name: "borrowedview",
+	Doc: "flag borrowed frame-body []byte views (Decoder.Blob, FrameBuf.Body, decoded " +
+		"message blob fields) stored into fields, globals, maps, or goroutine closures " +
+		"without bytes.Clone",
+	Run: runBorrowedView,
+}
+
+func runBorrowedView(pass *analysis.Pass) error {
+	if pass.PkgPath == wirePath {
+		return nil
+	}
+	// Unlike the other analyzers, function literals are NOT analyzed
+	// independently here: a closure shares its enclosing function's
+	// variables, so each top-level function body is walked once with
+	// its literals inline.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			bv := &bvWalker{pass: pass, events: map[*types.Var][]bvEvent{}, containers: map[*types.Var]bool{}}
+			bv.collect(fn.Body)
+			bv.checkStores(fn.Body)
+		}
+	}
+	return nil
+}
+
+// bvEvent records that a variable became borrowed or clean at pos.
+type bvEvent struct {
+	pos      token.Pos
+	borrowed bool
+}
+
+type bvWalker struct {
+	pass *analysis.Pass
+
+	// events, per variable, in source order: the latest event before a
+	// use decides whether the use sees a borrowed view.
+	events map[*types.Var][]bvEvent
+
+	// containers holds variables whose value is (or aggregates) a
+	// decoded wire message, so their []byte-typed field selections are
+	// borrowed views.
+	containers map[*types.Var]bool
+}
+
+// --- phase 1: taint collection -----------------------------------------------
+
+// collect walks body in source order, recording which variables hold
+// borrowed views or decoded-message containers at which positions.
+// Function literals are walked too: they share the enclosing scope.
+func (bv *bvWalker) collect(body *ast.BlockStmt) {
+	info := bv.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			bv.collectAssign(st)
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == len(vs.Names) {
+						for i, val := range vs.Values {
+							bv.classifyBinding(vs.Names[i], val, info.Defs[vs.Names[i]])
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging over a decoded container (e.g. resp.Results)
+			// makes the value variable a container too.
+			if bv.containerish(st.X) || bv.taints(st.X) {
+				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj, ok := info.Defs[id].(*types.Var); ok {
+						bv.containers[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// m.DecodeInto(buf) fills m with borrowed views.
+			if sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "DecodeInto" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj, ok := info.Uses[id].(*types.Var); ok {
+						bv.containers[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (bv *bvWalker) collectAssign(st *ast.AssignStmt) {
+	info := bv.pass.TypesInfo
+	// Tuple form: v, err := wire.DecodeX(buf).
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && bv.isWireDecodeCall(call) {
+			if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj, ok := bindingVar(info, id).(*types.Var); ok {
+					bv.containers[obj] = true
+				}
+			}
+		}
+		return
+	}
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, rhs := range st.Rhs {
+		id, ok := st.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		bv.classifyBinding(id, rhs, bindingVar(info, id))
+	}
+}
+
+// classifyBinding records the effect of `id = rhs` (or := / var).
+func (bv *bvWalker) classifyBinding(id *ast.Ident, rhs ast.Expr, obj types.Object) {
+	v, ok := obj.(*types.Var)
+	if !ok || v == nil {
+		return
+	}
+	if isByteSlice(v.Type()) {
+		bv.events[v] = append(bv.events[v], bvEvent{pos: id.Pos(), borrowed: bv.taints(rhs)})
+		return
+	}
+	// Non-[]byte binding: container propagation (decoded structs,
+	// slices/maps of them, and copies thereof).
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && bv.isWireDecodeCall(call) {
+		bv.containers[v] = true
+		return
+	}
+	if bv.containerish(rhs) {
+		bv.containers[v] = true
+	}
+}
+
+// isWireDecodeCall matches wire.Decode* package functions.
+func (bv *bvWalker) isWireDecodeCall(call *ast.CallExpr) bool {
+	f := calleeFunc(bv.pass.TypesInfo, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == wirePath &&
+		strings.HasPrefix(f.Name(), "Decode") && f.Type().(*types.Signature).Recv() == nil
+}
+
+// --- phase 2: escape checks ---------------------------------------------------
+
+func (bv *bvWalker) checkStores(body *ast.BlockStmt) {
+	info := bv.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				rhs := st.Rhs[i]
+				if !isByteSlice(typeOf(info, rhs)) || !bv.taints(rhs) {
+					continue
+				}
+				if why := bv.escapingLValue(lhs); why != "" {
+					bv.pass.Reportf(st.Pos(),
+						"borrowed frame view stored into %s without bytes.Clone: the bytes die when the frame buffer is released", why)
+				}
+			}
+		case *ast.GoStmt:
+			bv.checkClosureCapture(st.Call, "goroutine")
+			return true
+		}
+		return true
+	})
+}
+
+// checkClosureCapture flags borrowed views referenced inside function
+// literals that escape the frame's synchronous lifetime (go statements).
+func (bv *bvWalker) checkClosureCapture(call *ast.CallExpr, how string) {
+	info := bv.pass.TypesInfo
+	ast.Inspect(call, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || !isByteSlice(obj.Type()) {
+				return true
+			}
+			if bv.borrowedAt(obj, id.Pos()) {
+				bv.pass.Reportf(id.Pos(),
+					"borrowed frame view %s captured by a %s closure without bytes.Clone: the frame buffer may be released before it runs", id.Name, how)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// escapingLValue describes why storing into lhs outlives the frame, or
+// returns "" when the store target is safely local.
+func (bv *bvWalker) escapingLValue(lhs ast.Expr) string {
+	info := bv.pass.TypesInfo
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			return "struct field " + types.ExprString(l)
+		}
+		if obj, ok := info.Uses[l.Sel].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+			return "package-level variable " + types.ExprString(l)
+		}
+	case *ast.IndexExpr:
+		baseT := typeOf(info, l.X)
+		if baseT == nil {
+			return ""
+		}
+		if _, isMap := baseT.Underlying().(*types.Map); isMap {
+			return "map " + types.ExprString(l.X)
+		}
+		// Slice element store: escaping when the slice itself lives in
+		// a field or global (xs[i] = v with xs a bare local stays
+		// within the frame's scope and is the caller's problem).
+		if why := bv.escapingLValue(l.X); why != "" {
+			return "slice in " + why
+		}
+		return ""
+	case *ast.Ident:
+		if obj, ok := info.Uses[l].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "package-level variable " + l.Name
+		}
+	}
+	return ""
+}
+
+// --- taint predicates ---------------------------------------------------------
+
+// borrowedAt reports whether v holds a borrowed view at pos.
+func (bv *bvWalker) borrowedAt(v *types.Var, pos token.Pos) bool {
+	state := false
+	for _, e := range bv.events[v] {
+		if e.pos > pos {
+			break
+		}
+		state = e.borrowed
+	}
+	return state
+}
+
+// containerish reports whether e denotes a decoded-message aggregate:
+// a container variable, or a selector/index/slice path rooted at one.
+func (bv *bvWalker) containerish(e ast.Expr) bool {
+	info := bv.pass.TypesInfo
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok {
+			return bv.containers[obj]
+		}
+	case *ast.SelectorExpr:
+		return bv.containerish(x.X)
+	case *ast.IndexExpr:
+		return bv.containerish(x.X)
+	case *ast.SliceExpr:
+		return bv.containerish(x.X)
+	case *ast.StarExpr:
+		return bv.containerish(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return bv.containerish(x.X)
+		}
+	}
+	return false
+}
+
+// taints reports whether evaluating e yields (or aliases) borrowed
+// frame bytes. Sanitizers — bytes.Clone, conversion to string,
+// append(clean, v...) — act as barriers.
+func (bv *bvWalker) taints(e ast.Expr) bool {
+	info := bv.pass.TypesInfo
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if isPkgCall(info, x, "bytes", "Clone") {
+			return false
+		}
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			// Conversion: string(v) copies; []byte-to-[]byte style
+			// conversions keep the backing array.
+			if isByteSlice(tv.Type) {
+				return len(x.Args) == 1 && bv.taints(x.Args[0])
+			}
+			return false
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				// append(dst, src...) copies src's bytes but still
+				// aliases dst's array when capacity suffices.
+				if len(x.Args) > 0 {
+					return bv.taints(x.Args[0])
+				}
+				return false
+			}
+		}
+		if methodOn(info, x, wirePath, "Decoder", "Blob") {
+			return true
+		}
+		if methodOn(info, x, wirePath, "FrameBuf", "Body") {
+			return true
+		}
+		return false
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok && isByteSlice(obj.Type()) {
+			return bv.borrowedAt(obj, x.Pos())
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A []byte field of a decoded message is a borrowed view.
+		if isByteSlice(typeOf(info, x)) && bv.containerish(x.X) {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		if isByteSlice(typeOf(info, x)) && bv.containerish(x.X) {
+			return true
+		}
+		return bv.taints(x.X)
+	case *ast.SliceExpr:
+		return bv.taints(x.X)
+	case *ast.BinaryExpr:
+		return false // comparisons/concats produce fresh values
+	}
+	return false
+}
+
+func bindingVar(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysistest"
+)
+
+// TestBorrowedViewAnalyzer proves escaping borrowed views are flagged
+// (bad) while clone-then-store and local uses pass (ok).
+func TestBorrowedViewAnalyzer(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lint.BorrowedViewAnalyzer},
+		"testdata/src/borrowedview/bad",
+		"testdata/src/borrowedview/ok",
+	)
+}

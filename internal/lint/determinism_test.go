@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysistest"
+)
+
+// TestDeterminismAnalyzer proves every H13 rule fires (bad) and the
+// seeded-stream / collect-then-sort idioms pass (ok).
+func TestDeterminismAnalyzer(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lint.DeterminismAnalyzer},
+		"testdata/src/determinism/bad",
+		"testdata/src/determinism/ok",
+	)
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysistest"
+)
+
+// TestIgnoreDirectives proves a justified //mvtl:ignore silences its
+// finding (same-line and line-above), while malformed and
+// unknown-analyzer directives are themselves reported.
+func TestIgnoreDirectives(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lint.DeterminismAnalyzer},
+		"testdata/src/directive",
+	)
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysistest"
+)
+
+// TestFrameBufAnalyzer proves the ownership checker fires on every
+// violation class (bad) and stays silent on the repo's real idioms
+// (ok) — including the branch-send/branch-release and defer-Release
+// flow cases.
+func TestFrameBufAnalyzer(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lint.FrameBufAnalyzer},
+		"testdata/src/framebuf/bad",
+		"testdata/src/framebuf/ok",
+	)
+}

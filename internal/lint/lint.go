@@ -1,0 +1,294 @@
+// Package lint implements mvtl's project-specific static analyzers.
+// Each analyzer mechanically enforces an invariant that PROTOCOL.md or
+// TESTING.md states in prose and that the compiler cannot see:
+//
+//   - framebuf: pooled wire.FrameBuf ownership — every GetFrameBuf
+//     reaches exactly one Release/Send/transfer on every path, and a
+//     buffer is never touched after a consuming call.
+//   - borrowedview: []byte views borrowed from frame bodies
+//     (Decoder.Blob, FrameBuf.Body, decoded-message fields) must be
+//     bytes.Clone'd before they are stored anywhere that outlives the
+//     frame.
+//   - determinism: in //mvtl:deterministic packages (and
+//     internal/faultbed), no wall-clock reads, no global math/rand, no
+//     multi-case selects, no output-feeding iteration over unsorted
+//     maps — the H13 same-seed ⇒ byte-identical-transcript rule.
+//   - lockorder: no mutex held across a blocking RPC or transport
+//     send — the bug class PR 3's per-peer-mutex fix repaired by hand.
+//   - codecpair: every wire message type has an AppendTo/decoder pair
+//     and a fuzz seed corpus entry.
+//
+// False positives are suppressed with a justified directive on the
+// flagged line or the line above:
+//
+//	//mvtl:ignore <analyzer> <justification>
+//
+// The justification is mandatory; a bare directive is itself reported.
+// See TESTING.md "Mechanically enforced invariants".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/loader"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		FrameBufAnalyzer,
+		BorrowedViewAnalyzer,
+		DeterminismAnalyzer,
+		LockOrderAnalyzer,
+		CodecPairAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("framebuf,lockorder").
+func ByName(names string) ([]*analysis.Analyzer, error) {
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range Analyzers() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies analyzers to pkgs, filters suppressed findings through
+// //mvtl:ignore directives, and returns the survivors sorted by
+// position. Malformed directives (missing analyzer name or
+// justification) are reported as findings of the pseudo-analyzer
+// "directive" and cannot be suppressed.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := collectIgnores(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				TestFiles: pkg.TestSyntax,
+				PkgPath:   pkg.PkgPath,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// --- //mvtl:ignore directives ------------------------------------------------
+
+// ignoreSet records, per file and line, which analyzers are silenced.
+// A directive covers its own line and the next one, so both trailing
+// comments and a comment line above the flagged statement work.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{pos.Line, pos.Line - 1} {
+		if lines[ln][analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "mvtl:ignore"
+
+func collectIgnores(pkg *loader.Package) (ignoreSet, []Finding) {
+	set := ignoreSet{}
+	var bad []Finding
+	files := append(append([]*ast.File{}, pkg.Syntax...), pkg.TestSyntax...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  "malformed //mvtl:ignore: want \"//mvtl:ignore <analyzer> <justification>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				if _, err := ByName(name); err != nil {
+					bad = append(bad, Finding{
+						Analyzer: "directive",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//mvtl:ignore names unknown analyzer %q", name),
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = map[string]bool{}
+				}
+				lines[pos.Line][name] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// --- shared type helpers ------------------------------------------------------
+
+const (
+	wirePath      = "github.com/lpd-epfl/mvtl/internal/wire"
+	transportPath = "github.com/lpd-epfl/mvtl/internal/transport"
+	rpcPath       = "github.com/lpd-epfl/mvtl/internal/rpc"
+)
+
+// namedAs reports whether t (after stripping one pointer) is the named
+// type pkgPath.name.
+func namedAs(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isFrameBufPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && namedAs(p.Elem(), wirePath, "FrameBuf")
+}
+
+// calleeFunc resolves a call to its *types.Func (package function or
+// method), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call: pkg.Fn.
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// methodOn reports whether call is a method call named name whose
+// receiver (after stripping one pointer) is pkgPath.typeName.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return namedAs(s.Recv(), pkgPath, typeName)
+}
+
+// usesIdentOf reports whether node references obj anywhere beneath it.
+func usesIdentOf(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies yields every function/method body and every function
+// literal body in the file, each exactly once, paired with a printable
+// name. Function literals are visited as independent functions.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", fn.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+)
+
+// LockOrderAnalyzer flags a sync.Mutex/RWMutex held across a blocking
+// network operation: rpc.Client.Call/Cast or a transport.Conn
+// Send/SendBatch/Recv through the interface. Holding a lock across
+// such a call head-of-line-blocks every other path needing that lock
+// for a full network round trip (or forever, against a dead peer) —
+// the exact bug class PR 3's per-peer-mutex fix repaired by hand.
+//
+// Transport implementations themselves (tcpConn's write mutex, the Mem
+// pipe) are not matched: their mutexes exist to serialize the wire and
+// their receivers are concrete types, not the transport.Conn interface.
+var LockOrderAnalyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag sync.Mutex/RWMutex held across rpc.Client.Call/Cast or " +
+		"transport.Conn.Send/SendBatch/Recv",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *analysis.Pass) error {
+	w := &lockWalker{pass: pass}
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			w.walkStmts(body.List, map[string]bool{})
+		})
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+}
+
+// walkStmts threads the set of held mutexes (keyed by the printed
+// receiver expression, e.g. "s.peersMu") through a statement list.
+// Nested control flow runs on a copy: a lock balanced inside a branch
+// stays inside it, a lock taken and left held propagates only through
+// the straight-line suffix — an approximation that matches the
+// Lock/defer-Unlock and Lock...Unlock idioms this repo uses.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, op := w.mutexOp(st.X); key != "" {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = true
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		w.checkExpr(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to function end by
+		// design; the held set already reflects that. Other deferred
+		// calls run after the function body — no blocking risk now.
+		if key, op := w.mutexOp(st.Call); key != "" && (op == "Lock" || op == "RLock") {
+			held[key] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.checkExpr(r, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.checkExpr(st.Cond, held)
+		w.walkStmts(st.Body.List, cloneHeld(held))
+		if st.Else != nil {
+			w.walkStmt(st.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		inner := cloneHeld(held)
+		w.walkStmts(st.Body.List, inner)
+		if st.Post != nil {
+			w.walkStmt(st.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(st.X, held)
+		w.walkStmts(st.Body.List, cloneHeld(held))
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := cloneHeld(held)
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, inner)
+				}
+				w.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs without the caller's locks.
+	case *ast.SendStmt:
+		w.checkExpr(st.Value, held)
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// nothing blocking
+	}
+}
+
+func cloneHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k := range held {
+		c[k] = true
+	}
+	return c
+}
+
+// mutexOp recognizes <expr>.Lock/Unlock/RLock/RUnlock() on a
+// sync.Mutex or sync.RWMutex (directly or embedded) and returns the
+// printed receiver expression as the lock's identity.
+func (w *lockWalker) mutexOp(e ast.Expr) (key, op string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+		return "", ""
+	}
+	s, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), name
+}
+
+// checkExpr reports blocking RPC/transport calls beneath e while any
+// mutex is held. Function literals are skipped: they run later.
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	info := w.pass.TypesInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if what := blockingCall(info, call); what != "" {
+			w.pass.Reportf(call.Pos(), "%s while holding %s: a blocked peer holds the lock for a full round trip (or forever)",
+				what, firstKey(held))
+		}
+		return true
+	})
+}
+
+// blockingCall describes a call that can block on the network, or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	switch {
+	case methodOn(info, call, rpcPath, "Client", "Call"):
+		return "rpc.Client.Call"
+	case methodOn(info, call, rpcPath, "Client", "Cast"):
+		return "rpc.Client.Cast"
+	case methodOn(info, call, transportPath, "Conn", "Send"):
+		return "transport.Conn.Send"
+	case methodOn(info, call, transportPath, "Conn", "SendBatch"):
+		return "transport.Conn.SendBatch"
+	case methodOn(info, call, transportPath, "Conn", "Recv"):
+		return "transport.Conn.Recv"
+	}
+	return ""
+}
+
+func firstKey(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/lpd-epfl/mvtl/internal/lint"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysis"
+	"github.com/lpd-epfl/mvtl/internal/lint/analysistest"
+)
+
+// TestLockOrderAnalyzer proves locks held across blocking RPC/transport
+// calls are flagged (bad) while balanced locking, goroutine hand-off,
+// and concrete-transport serialization mutexes pass (ok).
+func TestLockOrderAnalyzer(t *testing.T) {
+	analysistest.Run(t, []*analysis.Analyzer{lint.LockOrderAnalyzer},
+		"testdata/src/lockorder/bad",
+		"testdata/src/lockorder/ok",
+	)
+}

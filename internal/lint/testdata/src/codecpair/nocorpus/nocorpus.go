@@ -1,0 +1,19 @@
+// Package nocorpus has a complete encoder/decoder pair but no
+// codecCases seed corpus at all: nothing stresses the codec.
+//
+//mvtl:wire-codec
+package nocorpus
+
+import "encoding/binary"
+
+type Lone struct { // want `no codecCases fuzz seed corpus found`
+	A uint64
+}
+
+func (m Lone) AppendTo(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, m.A)
+}
+
+func DecodeLone(b []byte) (Lone, error) {
+	return Lone{A: binary.LittleEndian.Uint64(b)}, nil
+}

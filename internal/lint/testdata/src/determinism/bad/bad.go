@@ -1,0 +1,58 @@
+// Package bad opts into the H13 determinism rules and then breaks each
+// one: every same-seed run of this code could produce a different
+// transcript.
+//
+//mvtl:deterministic
+package bad
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// wallClock reads real time into what would become transcript state.
+func wallClock() int64 {
+	t := time.Now() // want `wall-clock read time.Now in a deterministic package`
+	return t.UnixNano()
+}
+
+// elapsed is the same bug through time.Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since in a deterministic package`
+}
+
+// globalRand uses the shared process-wide generator instead of a
+// seed-derived stream.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand call Intn in a deterministic package`
+}
+
+// racySelect lets the runtime pick pseudo-randomly between two ready
+// channels.
+func racySelect(a, b chan int) int {
+	select { // want `select with 2 communication cases in a deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// printedMapRange externalizes map iteration order directly.
+func printedMapRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order reaches output \(call to Fprintf\)`
+	}
+}
+
+// unsortedCollect appends map keys to an outer slice and never sorts
+// it, so the slice's order differs run to run.
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys which is never sorted`
+	}
+	return keys
+}

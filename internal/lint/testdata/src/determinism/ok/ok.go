@@ -1,0 +1,50 @@
+// Package ok opts into the H13 determinism rules and follows them:
+// seed-derived randomness, collect-then-sort map iteration, single-case
+// selects. The determinism analyzer must stay silent.
+//
+//mvtl:deterministic
+package ok
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededRand derives every draw from an explicit seed — the repo's
+// chaos-transport pattern.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// collectThenSort is the idiom FaultLog and recoverServer use: order
+// the keys before anything observes them.
+func collectThenSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// singleSelect blocks on one channel with a default arm: only one
+// communication case, nothing for the runtime to shuffle.
+func singleSelect(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// sleeping is fine: it delays, it does not read the clock into state.
+func sleeping() {
+	time.Sleep(time.Millisecond)
+}

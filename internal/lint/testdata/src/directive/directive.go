@@ -1,0 +1,26 @@
+// Package directive exercises the //mvtl:ignore suppression path: a
+// justified directive silences a real finding, while malformed and
+// unknown-analyzer directives are themselves reported.
+//
+//mvtl:deterministic
+package directive
+
+import "time"
+
+// suppressedRead would be a determinism finding, but the directive on
+// the line above carries a justification, so it is silenced.
+func suppressedRead() int64 {
+	//mvtl:ignore determinism fixture exercises the justified-suppression path
+	return time.Now().UnixNano()
+}
+
+// trailingSuppression silences via a same-line trailing directive.
+func trailingSuppression() time.Duration {
+	return time.Since(time.Time{}) //mvtl:ignore determinism fixture: same-line suppression
+}
+
+func malformedDirectives() {
+	/*mvtl:ignore*/ // want `malformed //mvtl:ignore`
+	/*mvtl:ignore determinism*/ // want `malformed //mvtl:ignore`
+	/*mvtl:ignore nosuch has a justification but no such analyzer*/ // want `unknown analyzer "nosuch"`
+}
