@@ -10,6 +10,7 @@
 //	mvtl-bench -exp cell -mode mvtil-early -servers 4 -nclients 64
 //	mvtl-bench -exp cell -mode mvto+ -transport tcp -conns 4 -servers 4
 //	mvtl-bench -exp cell -json   # machine-readable results on stdout
+//	mvtl-bench -exp failover -replicas 2   # kill a partition head mid-run
 //
 // It also fronts the deterministic fault-injection bed (see TESTING.md):
 //
@@ -115,7 +116,7 @@ func main() {
 	log.SetPrefix("mvtl-bench: ")
 	log.SetFlags(0)
 
-	exp := flag.String("exp", "all", "experiment: fig1..fig7, all, or cell")
+	exp := flag.String("exp", "all", "experiment: fig1..fig7, all, cell, or failover")
 	measure := flag.Duration("measure", 1500*time.Millisecond, "measurement window per cell")
 	warmup := flag.Duration("warmup", 400*time.Millisecond, "warm-up per cell")
 	clients := flag.String("clients", "4,8,16,32,64", "client sweep points (comma separated)")
@@ -132,6 +133,7 @@ func main() {
 	conns := flag.Int("conns", 0, "RPC connections per server per coordinator for -exp cell (0 = default of 1)")
 	valueSize := flag.Int("valuesize", 0, "written value size in bytes for -exp cell (0 = the paper's 8-byte cells)")
 	getMulti := flag.Bool("getmulti", false, "batch each transaction's leading reads into one GetMulti per server for -exp cell")
+	replicas := flag.Int("replicas", 2, "per-partition replication factor for -exp failover")
 
 	// Fault-injection bed flags.
 	faults := flag.String("faults", "", "run a fault-injection scenario (a name from the matrix, or \"all\") instead of a benchmark")
@@ -215,6 +217,28 @@ func main() {
 			Mode: mode, Bed: bed, Servers: *servers, TCP: tcp, Conns: *conns,
 			Clients: *nclients, OpsPerTxn: *ops, WriteFrac: *writes, Keys: *keys,
 			ValueSize: *valueSize, BatchReads: *getMulti,
+			Delta: 5000, WarmUp: *warmup, Measure: *measure,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, row)
+		emit(row)
+	case "failover":
+		// Kill the partition-0 head mid-measurement on a replicated
+		// cluster and report the client-observed availability dip; the
+		// recorded history must stay serializable across the failover.
+		mode, err := parseMode(*modeFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bed := cluster.BedLocal
+		if *cloud {
+			bed = cluster.BedCloud
+		}
+		row, err := bench.RunFailoverCell(ctx, bench.Cell{
+			Mode: mode, Bed: bed, Servers: *servers, Replicas: *replicas,
+			Clients: *nclients, OpsPerTxn: *ops, WriteFrac: *writes, Keys: *keys,
 			Delta: 5000, WarmUp: *warmup, Measure: *measure,
 		})
 		if err != nil {

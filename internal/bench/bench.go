@@ -44,6 +44,9 @@ type Cell struct {
 	Bed     cluster.Bed
 	Servers int
 	Clients int
+	// Replicas is the per-partition replication factor for the failover
+	// experiment (RunFailoverCell); 0 keeps ordinary cells unreplicated.
+	Replicas int
 	// TCP runs the cell over real loopback sockets instead of the
 	// bed's in-memory latency model, so batching and pipelining wins
 	// are measured against actual per-frame syscalls.
@@ -79,6 +82,22 @@ type Row struct {
 	CommitRate float64
 	Commits    int64
 	Aborts     int64
+
+	// Failover measurements (RunFailoverCell only; see its doc for the
+	// probe that produces them).
+	//
+	// AvailabilityDipMS is the longest client-observed outage on the
+	// failed-over partition: last successful probe before the first
+	// failure to the first success after. RecoveryMS runs from the
+	// first failed probe to that same first success — always within
+	// the dip, and tighter by one probe interval plus the last good
+	// transaction's duration.
+	AvailabilityDipMS float64
+	RecoveryMS        float64
+	// ReplicaLag is the partition's standby lag in log records sampled
+	// immediately before the failover — how far behind the warm standby
+	// was running under load when it was asked to take over.
+	ReplicaLag int64
 }
 
 // String renders the row as a table line.
@@ -96,15 +115,51 @@ func (r Row) String() string {
 	if r.BatchReads {
 		net += " getmulti"
 	}
-	return fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d%s | %8.0f txs/s  commit=%.3f",
+	if r.Replicas > 1 {
+		net += fmt.Sprintf(" repl=%d", r.Replicas)
+	}
+	line := fmt.Sprintf("%-12s srv=%d cli=%-3d ops=%-2d wr=%3.0f%% keys=%-6d%s | %8.0f txs/s  commit=%.3f",
 		r.Mode, r.Servers, r.Clients, r.OpsPerTxn, r.WriteFrac*100, r.Keys, net, r.Throughput, r.CommitRate)
+	if r.Replicas > 1 {
+		line += fmt.Sprintf("  dip=%.2fms recover=%.2fms lag=%d", r.AvailabilityDipMS, r.RecoveryMS, r.ReplicaLag)
+	}
+	return line
 }
 
 // MarshalJSON renders the row flat for machine-readable output
 // (mvtl-bench -json): the protocol by name, the workload shape, and the
 // measured outcome — the same fields the BENCH_*.json trajectory files
 // track, so future runs can be diffed against them mechanically.
+// Failover rows (Replicas > 1) additionally carry the replication
+// measurements — availability_dip_ms, recovery_ms and replica_lag are
+// always present there (a zero lag is a statement, not an omission) and
+// never on ordinary rows.
 func (r Row) MarshalJSON() ([]byte, error) {
+	if r.Replicas > 1 {
+		return json.Marshal(struct {
+			Mode              string  `json:"mode"`
+			Servers           int     `json:"servers"`
+			Replicas          int     `json:"replicas"`
+			Clients           int     `json:"clients"`
+			OpsPerTxn         int     `json:"ops_per_txn"`
+			WriteFrac         float64 `json:"write_frac"`
+			Keys              int     `json:"keys"`
+			Throughput        float64 `json:"txs_per_sec"`
+			CommitRate        float64 `json:"commit_rate"`
+			Commits           int64   `json:"commits"`
+			Aborts            int64   `json:"aborts"`
+			AvailabilityDipMS float64 `json:"availability_dip_ms"`
+			RecoveryMS        float64 `json:"recovery_ms"`
+			ReplicaLag        int64   `json:"replica_lag"`
+		}{
+			Mode: r.Mode.String(), Servers: r.Servers, Replicas: r.Replicas,
+			Clients: r.Clients, OpsPerTxn: r.OpsPerTxn, WriteFrac: r.WriteFrac,
+			Keys: r.Keys, Throughput: r.Throughput, CommitRate: r.CommitRate,
+			Commits: r.Commits, Aborts: r.Aborts,
+			AvailabilityDipMS: r.AvailabilityDipMS, RecoveryMS: r.RecoveryMS,
+			ReplicaLag: r.ReplicaLag,
+		})
+	}
 	return json.Marshal(struct {
 		Mode       string  `json:"mode"`
 		Servers    int     `json:"servers"`

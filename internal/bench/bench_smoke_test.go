@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/client"
 	"github.com/lpd-epfl/mvtl/internal/cluster"
@@ -32,6 +33,31 @@ func TestRunCellSmoke(t *testing.T) {
 				t.Fatalf("row rendering: %q", row.String())
 			}
 		})
+	}
+}
+
+// TestRunFailoverCellSmoke kills a partition head halfway through a
+// small measured window and requires the cell to finish with commits, a
+// serializable history (RunFailoverCell fails the run otherwise) and a
+// recovery observation from the availability probe.
+func TestRunFailoverCellSmoke(t *testing.T) {
+	row, err := RunFailoverCell(context.Background(), Cell{
+		Mode: client.ModeTILEarly, Bed: cluster.BedLocal, Servers: 2, Replicas: 2,
+		Clients: 4, OpsPerTxn: 4, WriteFrac: 0.25, Keys: 200,
+		Delta: 5000, WarmUp: 100 * time.Millisecond, Measure: 600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Commits == 0 {
+		t.Fatalf("no commits: %+v", row)
+	}
+	if row.RecoveryMS > row.AvailabilityDipMS {
+		t.Fatalf("recovery %.3fms exceeds the dip %.3fms: the probe's last success precedes the kill",
+			row.RecoveryMS, row.AvailabilityDipMS)
+	}
+	if !strings.Contains(row.String(), "dip=") {
+		t.Fatalf("failover row rendering: %q", row.String())
 	}
 }
 

@@ -61,6 +61,19 @@ func (m Mode) String() string {
 	}
 }
 
+// Router resolves partitions to their serving heads in replicated
+// clusters. Route is consulted at most once per partition per
+// transaction — the transaction pins what it gets, so a failover never
+// moves a transaction's freeze or decide target mid-flight. Refresh is
+// called when a pinned route proved stale (the server is unreachable,
+// or it fenced the request's epoch with wire.StatusWrongEpoch) and
+// should consult the membership authority so the next Route returns
+// the new head. Implementations must be safe for concurrent use.
+type Router interface {
+	Route(partition int) (addr string, epoch uint64)
+	Refresh(partition int)
+}
+
 // Config parameterizes a Client.
 type Config struct {
 	// ID distinguishes this client process; it is folded into
@@ -72,6 +85,12 @@ type Config struct {
 	Servers []string
 	// Network provides the transport.
 	Network transport.Network
+	// Router, when non-nil, overlays replication-aware routing on the
+	// static partitioning: keys still partition by hash over Servers,
+	// but partition p's traffic goes to the router's current head for p,
+	// stamped with its epoch. Nil keeps the static Servers routing with
+	// epoch 0 (unfenced).
+	Router Router
 	// Mode selects the strategy.
 	Mode Mode
 	// Delta is the MVTIL interval width in clock ticks (the paper uses
@@ -216,9 +235,24 @@ func (c *Client) Close() error {
 // clients do not start transactions needing purged versions.
 func (c *Client) AdvanceClock(t int64) { c.clk.AdvanceTo(t) }
 
-// serverFor maps a key to its server address.
+// serverFor maps a key to its server address under static routing.
 func (c *Client) serverFor(key string) string {
 	return c.cfg.Servers[strhash.FNV1a(key)%uint32(len(c.cfg.Servers))]
+}
+
+// partitionFor maps a key to its partition index.
+func (c *Client) partitionFor(key string) int {
+	return int(strhash.FNV1a(key) % uint32(len(c.cfg.Servers)))
+}
+
+// routeFor resolves a partition to its current head and fencing epoch:
+// through the Router when configured, else the static server list with
+// epoch 0.
+func (c *Client) routeFor(p int) (string, uint64) {
+	if r := c.cfg.Router; r != nil {
+		return r.Route(p)
+	}
+	return c.cfg.Servers[p], 0
 }
 
 // conn returns the pooled RPC client for addr, creating it on first
@@ -311,6 +345,8 @@ func (c *Client) Begin(ctx context.Context) (kv.Txn, error) {
 	tx := &DTxn{
 		client:      c,
 		id:          id,
+		routes:      map[int]txnRoute{},
+		partOf:      map[string]int{},
 		readLocked:  map[string]timestamp.Set{},
 		writeLocked: map[string]timestamp.Set{},
 		readVers:    map[string]timestamp.Timestamp{},

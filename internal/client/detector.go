@@ -151,7 +151,10 @@ func (d *detector) pollOnce() {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, addr := range d.c.cfg.Servers {
+	// Poll the current head of every partition (not the static list):
+	// after a failover the waits live on the promoted replica.
+	for p := range d.c.cfg.Servers {
+		addr, _ := d.c.routeFor(p)
 		wg.Add(1)
 		go func(addr string) {
 			defer wg.Done()
@@ -177,7 +180,8 @@ func (d *detector) pollOnce() {
 func (d *detector) abortVictim(v deadlock.Victim) {
 	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
-	f, err := d.c.call(ctx, d.c.serverFor(v.Key), 0, wire.TVictimAbortReq,
+	addr, _ := d.c.routeFor(d.c.partitionFor(v.Key))
+	f, err := d.c.call(ctx, addr, 0, wire.TVictimAbortReq,
 		wire.VictimAbortReq{Txn: v.Txn, Key: v.Key})
 	if err == nil {
 		f.Release()

@@ -13,12 +13,32 @@ import (
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
 
+// txnRoute is a transaction's pinned route for one partition: every
+// message the transaction sends the partition goes to this head under
+// this epoch, even if a failover happens mid-flight (the stale pin is
+// fenced server-side; the transaction aborts and the retry re-routes).
+type txnRoute struct {
+	addr  string
+	epoch uint64
+}
+
+// errStaleRoute marks a request rejected by the epoch fence before it
+// reached any decision point: provably not acted on, so the coordinator
+// may abort cleanly instead of reporting an uncertain outcome.
+var errStaleRoute = errors.New("stale route: wrong epoch")
+
 // DTxn is one distributed transaction (Alg. 11). Not safe for concurrent
 // use by multiple goroutines.
 type DTxn struct {
 	client *Client
 	id     uint64
 	start  timestamp.Timestamp
+
+	// routes pins each partition's (head, epoch) at first use; partOf
+	// maps a pinned head back to its partition for epoch lookups and
+	// route-failure reporting.
+	routes map[int]txnRoute
+	partOf map[string]int
 
 	// interval is MVTIL's shrinking set I.
 	interval timestamp.Set
@@ -48,6 +68,42 @@ var _ kv.Txn = (*DTxn)(nil)
 
 // ID implements kv.Txn.
 func (tx *DTxn) ID() uint64 { return tx.id }
+
+// route returns the transaction's pinned route for key's partition,
+// pinning the client's current route on first use.
+func (tx *DTxn) route(key string) txnRoute {
+	p := tx.client.partitionFor(key)
+	if r, ok := tx.routes[p]; ok {
+		return r
+	}
+	addr, epoch := tx.client.routeFor(p)
+	r := txnRoute{addr: addr, epoch: epoch}
+	tx.routes[p] = r
+	tx.partOf[addr] = p
+	return r
+}
+
+// epochFor returns the epoch pinned with addr (0 when addr was never
+// pinned — the unreplicated paths).
+func (tx *DTxn) epochFor(addr string) uint64 {
+	if p, ok := tx.partOf[addr]; ok {
+		return tx.routes[p].epoch
+	}
+	return 0
+}
+
+// routeFail reports a pinned route gone stale — the server at addr is
+// unreachable or fenced this transaction's epoch — so the router
+// re-resolves the partition. The pin itself is kept: a transaction
+// never switches servers mid-flight; it aborts, and the retry pins
+// fresh routes.
+func (tx *DTxn) routeFail(addr string) {
+	if r := tx.client.cfg.Router; r != nil {
+		if p, ok := tx.partOf[addr]; ok {
+			r.Refresh(p)
+		}
+	}
+}
 
 // Committed reports whether Commit succeeded.
 func (tx *DTxn) Committed() bool { return tx.committed }
@@ -152,8 +208,8 @@ func (tx *DTxn) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 		upper, wait = timestamp.Infinity, true
 	}
 
-	batches := tx.fanOutBatches(ctx, tx.serverGroups(remote), wire.TReadLockBatchReq, wait, func(keys []string) wire.Message {
-		return wire.ReadLockBatchReq{Txn: tx.id, Upper: upper, Wait: wait, Keys: keys}
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(remote), wire.TReadLockBatchReq, wait, func(addr string, keys []string) wire.Message {
+		return wire.ReadLockBatchReq{Txn: tx.id, Epoch: tx.epochFor(addr), Upper: upper, Wait: wait, Keys: keys}
 	})
 	// Decoded read results borrow their Value views from the response
 	// frames, so the pooled buffers stay alive until the folds below
@@ -178,7 +234,11 @@ func (tx *DTxn) GetMulti(ctx context.Context, keys []string) (map[string][]byte,
 		}
 		switch {
 		case r.err != nil:
-			// fall through with the transport/codec error
+			// transport/codec error: the head may be gone
+			tx.routeFail(r.addr)
+		case resp.Status == wire.StatusWrongEpoch:
+			tx.routeFail(r.addr)
+			r.err = fmt.Errorf("read batch via %s: %s: %w", r.addr, resp.Err, errStaleRoute)
 		case resp.Status != wire.StatusOK:
 			r.err = fmt.Errorf("read batch via %s: %s", r.addr, resp.Err)
 		case len(resp.Results) != len(r.keys):
@@ -285,12 +345,14 @@ func (tx *DTxn) Write(ctx context.Context, key string, value []byte) error {
 // writeLock sends one write-lock request, establishing the decision
 // server on first use (§H.1: the first server reached by a write).
 func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wait bool, value []byte) (wire.WriteLockResp, error) {
-	addr := tx.client.serverFor(key)
+	rt := tx.route(key)
+	addr := rt.addr
 	if tx.decisionSrv == "" {
 		tx.decisionSrv = addr
 	}
 	f, err := tx.client.callWaitable(ctx, addr, tx.id, wire.TWriteLockReq, wire.WriteLockReq{
 		Txn:         tx.id,
+		Epoch:       rt.epoch,
 		Key:         key,
 		DecisionSrv: tx.decisionSrv,
 		Set:         req,
@@ -298,6 +360,7 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 		Value:       value,
 	}, wait)
 	if err != nil {
+		tx.routeFail(addr)
 		return wire.WriteLockResp{}, err
 	}
 	resp, err := wire.DecodeWriteLockResp(f.Body())
@@ -308,6 +371,10 @@ func (tx *DTxn) writeLock(ctx context.Context, key string, req timestamp.Set, wa
 	if resp.Status != wire.StatusOK {
 		if resp.Status == wire.StatusDeadlock {
 			return resp, fmt.Errorf("write-lock %q: %w: %s", key, kv.ErrDeadlock, resp.Err)
+		}
+		if resp.Status == wire.StatusWrongEpoch {
+			tx.routeFail(addr)
+			return resp, fmt.Errorf("write-lock %q: %s: %w", key, resp.Err, errStaleRoute)
 		}
 		return resp, fmt.Errorf("write-lock %q: %s", key, resp.Err)
 	}
@@ -328,7 +395,7 @@ func (tx *DTxn) bufferWrite(key string, value []byte) {
 func (tx *DTxn) serverGroups(keys []string) map[string][]string {
 	groups := make(map[string][]string)
 	for _, k := range keys {
-		addr := tx.client.serverFor(k)
+		addr := tx.route(k).addr
 		groups[addr] = append(groups[addr], k)
 	}
 	return groups
@@ -350,11 +417,11 @@ type serverBatch struct {
 // every batch has settled. It is the shared scaffold of the batched
 // read and write paths; decoding, per-key folding and releasing the
 // response frames stay with the caller.
-func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, build func(keys []string) wire.Message) []serverBatch {
+func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, build func(addr string, keys []string) wire.Message) []serverBatch {
 	results := make(chan serverBatch, len(groups))
 	for addr, keys := range groups {
 		go func(addr string, keys []string) {
-			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, build(keys), wait)
+			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, build(addr, keys), wait)
 			results <- serverBatch{addr: addr, keys: keys, fb: f, err: err}
 		}(addr, keys)
 	}
@@ -371,12 +438,12 @@ func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t
 // O(W). Acquired sets are folded into writeLocked; the first per-key
 // denial or transport failure is returned after all batches settle.
 func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) error {
-	batches := tx.fanOutBatches(ctx, tx.serverGroups(tx.writeOrder), wire.TWriteLockBatchReq, false, func(keys []string) wire.Message {
+	batches := tx.fanOutBatches(ctx, tx.serverGroups(tx.writeOrder), wire.TWriteLockBatchReq, false, func(addr string, keys []string) wire.Message {
 		items := make([]wire.WriteLockItem, len(keys))
 		for i, k := range keys {
 			items[i] = wire.WriteLockItem{Key: k, Set: setOf(timestamp.Point(ts)), Value: tx.writes[k]}
 		}
-		return wire.WriteLockBatchReq{Txn: tx.id, DecisionSrv: tx.decisionSrv, Items: items}
+		return wire.WriteLockBatchReq{Txn: tx.id, Epoch: tx.epochFor(addr), DecisionSrv: tx.decisionSrv, Items: items}
 	})
 	var firstErr error
 	for _, r := range batches {
@@ -390,7 +457,11 @@ func (tx *DTxn) writeLockBatches(ctx context.Context, ts timestamp.Timestamp) er
 		}
 		switch {
 		case r.err != nil:
-			// fall through with the transport/codec error
+			// transport/codec error: the head may be gone
+			tx.routeFail(r.addr)
+		case resp.Status == wire.StatusWrongEpoch:
+			tx.routeFail(r.addr)
+			r.err = fmt.Errorf("write-lock batch via %s: %s: %w", r.addr, resp.Err, errStaleRoute)
 		case resp.Status != wire.StatusOK:
 			r.err = fmt.Errorf("write-lock batch: %s", resp.Err)
 		case len(resp.Results) != len(r.keys):
@@ -428,7 +499,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	// batched per server.
 	if mode == ModeTO && len(tx.writeOrder) > 0 {
 		if tx.decisionSrv == "" {
-			tx.decisionSrv = tx.client.serverFor(tx.writeOrder[0])
+			tx.decisionSrv = tx.route(tx.writeOrder[0]).addr
 		}
 		if err := tx.writeLockBatches(ctx, tx.ts); err != nil {
 			return tx.abortErr(ctx, err)
@@ -479,11 +550,13 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 		d, err := tx.decide(ctx, wire.DecideCommit, commitTS)
 		if err != nil {
 			// A dial that never connected provably never delivered the
-			// proposal, and only the coordinator proposes commit, so the
-			// outcome can still only be abort. Any other failure —
-			// timeout, reset, partition — leaves the proposal possibly
-			// delivered and possibly decided: the outcome is unknown.
-			if errors.Is(err, transport.ErrUnavailable) {
+			// proposal, and an epoch fence provably rejected it before
+			// the commitment object; only the coordinator proposes
+			// commit, so in both cases the outcome can still only be
+			// abort. Any other failure — timeout, reset, partition —
+			// leaves the proposal possibly delivered and possibly
+			// decided: the outcome is unknown.
+			if errors.Is(err, transport.ErrUnavailable) || errors.Is(err, errStaleRoute) {
 				return tx.abortErr(ctx, err)
 			}
 			return tx.uncertainErr(commitTS, err)
@@ -520,10 +593,10 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	// remaining unfrozen locks (garbage collection).
 	freeze := make(map[string]*wire.FreezeBatchReq)
 	batchFor := func(key string) *wire.FreezeBatchReq {
-		addr := tx.client.serverFor(key)
+		addr := tx.route(key).addr
 		fb, ok := freeze[addr]
 		if !ok {
-			fb = &wire.FreezeBatchReq{Txn: tx.id, TS: commitTS}
+			fb = &wire.FreezeBatchReq{Txn: tx.id, Epoch: tx.epochFor(addr), TS: commitTS}
 			freeze[addr] = fb
 		}
 		return fb
@@ -544,6 +617,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 	}
 	for addr, fb := range freeze {
 		if err := tx.client.cast(addr, tx.id, wire.TFreezeBatchReq, fb); err != nil {
+			tx.routeFail(addr)
 			return fmt.Errorf("client: freeze batch via %s: %w", addr, err)
 		}
 	}
@@ -585,8 +659,10 @@ func (tx *DTxn) releaseAll(writesOnly bool) {
 		touched = append(touched, key)
 	}
 	for addr, keys := range tx.serverGroups(touched) {
-		_ = tx.client.cast(addr, tx.id, wire.TReleaseBatchReq,
-			wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly, Keys: keys})
+		if err := tx.client.cast(addr, tx.id, wire.TReleaseBatchReq,
+			wire.ReleaseBatchReq{Txn: tx.id, Epoch: tx.epochFor(addr), WritesOnly: writesOnly, Keys: keys}); err != nil {
+			tx.routeFail(addr)
+		}
 	}
 }
 
@@ -598,14 +674,21 @@ func (tx *DTxn) decide(ctx context.Context, kind wire.DecisionKind, ts timestamp
 		return wire.DecideResp{Status: wire.StatusOK, Kind: kind, TS: ts}, nil
 	}
 	f, err := tx.client.call(ctx, tx.decisionSrv, tx.id, wire.TDecideReq,
-		wire.DecideReq{Txn: tx.id, Proposal: kind, TS: ts})
+		wire.DecideReq{Txn: tx.id, Epoch: tx.epochFor(tx.decisionSrv), Proposal: kind, TS: ts})
 	if err != nil {
+		tx.routeFail(tx.decisionSrv)
 		return wire.DecideResp{}, err
 	}
 	resp, err := wire.DecodeDecideResp(f.Body())
 	f.Release()
 	if err != nil {
 		return wire.DecideResp{}, err
+	}
+	if resp.Status == wire.StatusWrongEpoch {
+		// The fence turned the proposal away before the commitment
+		// object saw it: provably undecided.
+		tx.routeFail(tx.decisionSrv)
+		return wire.DecideResp{}, fmt.Errorf("decide %q: %s: %w", tx.decisionSrv, resp.Err, errStaleRoute)
 	}
 	if resp.Status != wire.StatusOK {
 		// A request-level failure is not a decision; treating it as one

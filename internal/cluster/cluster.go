@@ -13,12 +13,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/client"
 	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/history"
+	"github.com/lpd-epfl/mvtl/internal/repl"
 	"github.com/lpd-epfl/mvtl/internal/server"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 	"github.com/lpd-epfl/mvtl/internal/transport"
@@ -51,8 +53,15 @@ func LatencyFor(b Bed) transport.LatencyModel {
 
 // Config describes a cluster.
 type Config struct {
-	// Servers is the number of storage servers.
+	// Servers is the number of storage servers (= key partitions).
 	Servers int
+	// Replicas is the replication factor per partition: each partition
+	// becomes a chain of this many servers — one head plus Replicas-1
+	// warm standbys pulling the head's log — directed by an embedded
+	// repl.Director that coordinators consult through an epoch-stamped
+	// router. Values <= 1 keep the cluster unreplicated: no director,
+	// no epochs, byte-identical legacy behavior.
+	Replicas int
 	// Bed picks the network model when Network is nil.
 	Bed Bed
 	// Network overrides the transport (for TCP deployments).
@@ -95,13 +104,37 @@ type Cluster struct {
 	// crashed server back with the same identity.
 	serverCfgs []server.Config
 
+	// director is the replication membership authority (nil when
+	// Replicas <= 1). It lives in the harness on purpose: the paper's
+	// algorithm needs only a tiny, rarely-consulted authority, and
+	// replicating it is out of scope (see package repl).
+	director *repl.Director
+
 	mu           sync.Mutex
 	servers      []*server.Server // nil slots are stopped servers
+	// procs maps every server address — heads and standbys — to its
+	// running instance (nil when stopped). servers above stays the
+	// index-addressed view of the original heads for the legacy
+	// stop/restart API.
+	procs        map[string]*server.Server
 	clients      []*client.Client
 	nextClientID int32
 
 	ts *tsservice.Service
 }
+
+// directorRouter adapts the embedded repl.Director to client.Router.
+// Route reads the live view; Refresh is a no-op because the local
+// director is always current (the hook exists for remote directories
+// that cache).
+type directorRouter struct{ d *repl.Director }
+
+func (r directorRouter) Route(p int) (string, uint64) {
+	v := r.d.View(p)
+	return v.Head, v.Epoch
+}
+
+func (r directorRouter) Refresh(int) {}
 
 // netFor returns the network view for the named endpoint (pass-through
 // unless the transport partitions by endpoint).
@@ -124,7 +157,9 @@ func Start(cfg Config) (*Cluster, error) {
 	if network == nil {
 		network = transport.NewMem(LatencyFor(cfg.Bed))
 	}
-	c := &Cluster{cfg: cfg, network: network, nextClientID: 1}
+	c := &Cluster{cfg: cfg, network: network, nextClientID: 1, procs: make(map[string]*server.Server)}
+	replicated := cfg.Replicas > 1
+	var chains [][]string
 	for i := 0; i < cfg.Servers; i++ {
 		scfg := cfg.ServerConfig
 		scfg.Addr = fmt.Sprintf("server-%d", i)
@@ -138,6 +173,9 @@ func Start(cfg Config) (*Cluster, error) {
 		if scfg.Network == nil {
 			scfg.Network = network
 		}
+		if replicated {
+			scfg.Repl = c.replConfigFrom(cfg.ServerConfig.Repl)
+		}
 		srv, err := server.New(scfg)
 		if err != nil {
 			c.Close()
@@ -145,12 +183,55 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		c.servers = append(c.servers, srv)
 		c.addrs = append(c.addrs, srv.Addr())
+		c.procs[srv.Addr()] = srv
 		// Remember the resolved identity so a restart rebinds the same
 		// address (for TCP, the ephemeral port that was allocated).
 		scfg.Addr = srv.Addr()
 		c.serverCfgs = append(c.serverCfgs, scfg)
+		if !replicated {
+			continue
+		}
+		chain := []string{srv.Addr()}
+		for r := 1; r < cfg.Replicas; r++ {
+			sscfg := cfg.ServerConfig
+			sscfg.Addr = fmt.Sprintf("server-%d.%d", i, r)
+			if _, isTCP := network.(transport.TCP); isTCP {
+				sscfg.Addr = "127.0.0.1:0"
+			} else {
+				sscfg.Network = c.netFor(sscfg.Addr)
+			}
+			if sscfg.Network == nil {
+				sscfg.Network = network
+			}
+			sscfg.Repl = c.replConfigFrom(cfg.ServerConfig.Repl)
+			sscfg.Repl.Standby = true
+			sscfg.Repl.Upstream = srv.Addr()
+			ssrv, err := server.New(sscfg)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: start replica %d.%d: %w", i, r, err)
+			}
+			chain = append(chain, ssrv.Addr())
+			c.procs[ssrv.Addr()] = ssrv
+		}
+		chains = append(chains, chain)
+	}
+	if replicated {
+		c.director = repl.NewDirector(chains)
 	}
 	return c, nil
+}
+
+// replConfigFrom builds one replica's server.ReplConfig at epoch 1,
+// inheriting tuning knobs (PullInterval, LogCap) from the base template
+// when the caller set one.
+func (c *Cluster) replConfigFrom(base *server.ReplConfig) *server.ReplConfig {
+	r := &server.ReplConfig{Epoch: 1}
+	if base != nil {
+		r.PullInterval = base.PullInterval
+		r.LogCap = base.LogCap
+	}
+	return r
 }
 
 // StopServer crash-stops server i: its listener and connections close
@@ -165,6 +246,7 @@ func (c *Cluster) StopServer(i int) error {
 	}
 	srv := c.servers[i]
 	c.servers[i] = nil
+	c.procs[c.addrs[i]] = nil
 	c.mu.Unlock()
 	if srv == nil {
 		return fmt.Errorf("cluster: server %d already stopped", i)
@@ -194,8 +276,249 @@ func (c *Cluster) RestartServer(i int) error {
 	}
 	c.mu.Lock()
 	c.servers[i] = srv
+	c.procs[scfg.Addr] = srv
 	c.mu.Unlock()
 	return nil
+}
+
+// RestartServerAsReplica brings stopped server i back on its original
+// address as a catching-up standby of partition i's current head: it
+// snapshots and then tails the head's log, and the director appends it
+// to the chain so a later failover can promote it. This is the
+// replicated counterpart of RestartServer (which restarts empty and is
+// left untouched for unreplicated scenarios); it requires a replicated
+// cluster.
+func (c *Cluster) RestartServerAsReplica(i int) error {
+	if c.director == nil {
+		return fmt.Errorf("cluster: RestartServerAsReplica needs a replicated cluster (Replicas > 1)")
+	}
+	c.mu.Lock()
+	if i < 0 || i >= len(c.serverCfgs) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no server %d", i)
+	}
+	if c.servers[i] != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: server %d is already running", i)
+	}
+	scfg := c.serverCfgs[i]
+	c.mu.Unlock()
+	v := c.director.View(i)
+	r := c.replConfigFrom(c.cfg.ServerConfig.Repl)
+	r.Epoch = v.Epoch
+	r.Standby = true
+	r.Upstream = v.Head
+	scfg.Repl = r
+	srv, err := server.New(scfg)
+	if err != nil {
+		return fmt.Errorf("cluster: restart server %d as replica: %w", i, err)
+	}
+	c.mu.Lock()
+	c.servers[i] = srv
+	c.procs[scfg.Addr] = srv
+	c.mu.Unlock()
+	c.director.AddStandby(i, scfg.Addr)
+	return nil
+}
+
+// Director returns the replication membership authority (nil when the
+// cluster is unreplicated).
+func (c *Cluster) Director() *repl.Director { return c.director }
+
+// ServerByAddr returns the running server at addr, or nil.
+func (c *Cluster) ServerByAddr(addr string) *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.procs[addr]
+}
+
+// KillHead crash-stops partition p's current head (per the director's
+// view) and returns its address. The partition is unavailable until
+// PromoteReplica installs the next epoch.
+func (c *Cluster) KillHead(p int) (string, error) {
+	if c.director == nil {
+		return "", fmt.Errorf("cluster: KillHead needs a replicated cluster (Replicas > 1)")
+	}
+	v := c.director.View(p)
+	c.mu.Lock()
+	srv := c.procs[v.Head]
+	c.procs[v.Head] = nil
+	// Keep the index-addressed view consistent when the head was an
+	// original slot server.
+	for i, a := range c.addrs {
+		if a == v.Head {
+			c.servers[i] = nil
+		}
+	}
+	c.mu.Unlock()
+	if srv == nil {
+		return v.Head, fmt.Errorf("cluster: head %s of partition %d already stopped", v.Head, p)
+	}
+	return v.Head, srv.Close()
+}
+
+// PromoteReplica fails partition p over to its first standby: the
+// director bumps the epoch, the standby stops pulling and becomes the
+// head, and — for planned handovers where the old head is still alive —
+// the old head is demoted so it fences everything that still routes to
+// it. Returns the new view.
+func (c *Cluster) PromoteReplica(p int) (repl.View, error) {
+	if c.director == nil {
+		return repl.View{}, fmt.Errorf("cluster: PromoteReplica needs a replicated cluster (Replicas > 1)")
+	}
+	old := c.director.View(p)
+	v, err := c.director.Promote(p)
+	if err != nil {
+		return repl.View{}, err
+	}
+	c.mu.Lock()
+	oldSrv := c.procs[old.Head]
+	newSrv := c.procs[v.Head]
+	c.mu.Unlock()
+	if oldSrv != nil {
+		oldSrv.Demote(v.Epoch)
+	}
+	if newSrv == nil {
+		return v, fmt.Errorf("cluster: standby %s of partition %d is not running", v.Head, p)
+	}
+	newSrv.Promote(v.Epoch)
+	return v, nil
+}
+
+// FailoverKill fails partition p over to its first standby under live
+// load and then crash-stops the old head. Unlike KillHead +
+// PromoteReplica (crash first, promote with whatever the standby had —
+// which the fault bed only uses behind a settle+drain barrier), the
+// sequence here is lossless under traffic: flip the routes, fence the
+// old head (it finishes in-flight freezes, logging them, and bounces
+// everything new with StatusWrongEpoch), drain its log tail into the
+// standby, and only then let the standby serve and kill the old head.
+// The unavailability window a client observes runs from the route flip
+// to the standby's promotion.
+func (c *Cluster) FailoverKill(p int) (repl.View, error) {
+	if c.director == nil {
+		return repl.View{}, fmt.Errorf("cluster: FailoverKill needs a replicated cluster (Replicas > 1)")
+	}
+	old := c.director.View(p)
+	v, err := c.director.Promote(p)
+	if err != nil {
+		return repl.View{}, err
+	}
+	c.mu.Lock()
+	oldSrv := c.procs[old.Head]
+	newSrv := c.procs[v.Head]
+	c.mu.Unlock()
+	if newSrv == nil {
+		return v, fmt.Errorf("cluster: standby %s of partition %d is not running", v.Head, p)
+	}
+	if oldSrv != nil {
+		oldSrv.Demote(v.Epoch)
+		// In-flight commits first: a coordinator that decided commit
+		// before the demotion still casts its freeze batches at the old
+		// head (the fence deliberately admits freeze/release — see
+		// handleFreezeBatch), and those installs must reach the log
+		// before the standby is drained against it. Wait for the old
+		// head's transaction records to empty out; new write locks are
+		// fenced (including a post-acquisition re-check), so once live
+		// transactions hit zero no further install can occur and the
+		// log watermark is fixed.
+		stable := 0
+		for i := 0; i < 5000 && stable < 2; i++ {
+			if oldSrv.LiveTxns() == 0 {
+				stable++
+			} else {
+				stable = 0
+			}
+			if stable < 2 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if stable < 2 {
+			return v, fmt.Errorf("cluster: old head %s of partition %d never resolved its in-flight transactions", old.Head, p)
+		}
+		// Drain: the standby keeps pulling from the fenced old head until
+		// it has applied that fixed watermark. Two consecutive caught-up
+		// observations guard against a watermark read racing the last
+		// in-flight freeze handler above.
+		stable = 0
+		for i := 0; i < 5000 && stable < 2; i++ {
+			if newSrv.AppliedLSN() >= oldSrv.LogWatermark() {
+				stable++
+			} else {
+				stable = 0
+			}
+			if stable < 2 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if stable < 2 {
+			return v, fmt.Errorf("cluster: standby %s never drained old head %s", v.Head, old.Head)
+		}
+	}
+	newSrv.Promote(v.Epoch)
+	if oldSrv != nil {
+		c.mu.Lock()
+		c.procs[old.Head] = nil
+		for i, a := range c.addrs {
+			if a == old.Head {
+				c.servers[i] = nil
+			}
+		}
+		c.mu.Unlock()
+		_ = oldSrv.Close()
+	}
+	return v, nil
+}
+
+// ReplicaLag returns the maximum catch-up lag among partition p's
+// standbys, in log records: 0 means every standby has applied every
+// install the head has logged *as of this call*; -1 means the head is
+// down. The comparison is head-side (the head's current log watermark
+// against each standby's applied LSN), not the standby's self-reported
+// lag — that one is only as fresh as the standby's last pull and reads
+// 0 in the window between a commit and the pull that fetches it, which
+// is exactly when a lag barrier runs.
+func (c *Cluster) ReplicaLag(p int) int64 {
+	if c.director == nil {
+		return 0
+	}
+	v := c.director.View(p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.procs[v.Head]
+	if head == nil {
+		return -1
+	}
+	w := head.LogWatermark()
+	var max int64
+	for _, addr := range v.Standbys {
+		srv := c.procs[addr]
+		if srv == nil {
+			continue
+		}
+		applied := srv.AppliedLSN()
+		if lag := int64(w) - int64(applied); lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+// LiveAddrs returns the sorted addresses of every currently running
+// server — heads and standbys alike. Unlike Addrs (the fixed original
+// slots), this tracks replicated-membership changes: a promoted standby
+// is included, a killed head is not.
+func (c *Cluster) LiveAddrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.procs))
+	for a, srv := range c.procs {
+		if srv != nil {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Strings(addrs)
+	return addrs
 }
 
 // ServerRunning reports whether server i is currently up.
@@ -218,9 +541,14 @@ func (c *Cluster) NewClient(mode client.Mode, delta int64, src clock.Source) (*c
 	id := c.nextClientID
 	c.nextClientID++
 	c.mu.Unlock()
+	var router client.Router
+	if c.director != nil {
+		router = directorRouter{c.director}
+	}
 	cl, err := client.New(client.Config{
 		ID:             id,
 		Servers:        c.addrs,
+		Router:         router,
 		Network:        c.netFor(fmt.Sprintf("client-%d", id)),
 		Mode:           mode,
 		Delta:          delta,
@@ -274,8 +602,22 @@ func (c *Cluster) Stats(ctx context.Context) (wire.StatsResp, error) {
 	defer func() {
 		_ = cl.Close()
 	}()
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	if c.director != nil {
+		// Replicated: every live replica reports (the original heads may
+		// be dead after a failover; standbys carry the repl counters).
+		addrs = addrs[:0]
+		for a, srv := range c.procs {
+			if srv != nil {
+				addrs = append(addrs, a)
+			}
+		}
+		sort.Strings(addrs)
+	}
+	c.mu.Unlock()
 	var total wire.StatsResp
-	for _, addr := range c.addrs {
+	for _, addr := range addrs {
 		st, err := cl.ServerStats(ctx, addr)
 		if err != nil {
 			return total, err
@@ -284,6 +626,15 @@ func (c *Cluster) Stats(ctx context.Context) (wire.StatsResp, error) {
 		total.LockEntries += st.LockEntries
 		total.FrozenLocks += st.FrozenLocks
 		total.Versions += st.Versions
+		total.ReplPromotions += st.ReplPromotions
+		total.ReplWrongEpoch += st.ReplWrongEpoch
+		total.ReplCatchupBytes += st.ReplCatchupBytes
+		if st.ReplLag > total.ReplLag {
+			total.ReplLag = st.ReplLag
+		}
+		if st.ReplEpoch > total.ReplEpoch {
+			total.ReplEpoch = st.ReplEpoch
+		}
 	}
 	return total, nil
 }
@@ -297,13 +648,14 @@ func (c *Cluster) Close() {
 	c.mu.Lock()
 	clients := c.clients
 	c.clients = nil
-	servers := c.servers
 	c.servers = nil
+	procs := c.procs
+	c.procs = map[string]*server.Server{}
 	c.mu.Unlock()
 	for _, cl := range clients {
 		_ = cl.Close()
 	}
-	for _, s := range servers {
+	for _, s := range procs {
 		if s != nil {
 			_ = s.Close()
 		}

@@ -113,6 +113,7 @@ func Run(s Scenario) (Result, error) {
 	rec := &history.Recorder{}
 	clus, err := cluster.Start(cluster.Config{
 		Servers:  s.Servers,
+		Replicas: s.Replicas,
 		Network:  net,
 		Recorder: rec,
 		// The deadlock detector's timer-driven polls would consume
@@ -226,6 +227,33 @@ func (r *runner) apply(ev Event) error {
 			return err
 		}
 		r.eventf(ev, "restart server-%d + recover %d keys", ev.Server, n)
+	case ActKillHead:
+		// Settle, then drain: with zero live transactions the head's log
+		// watermark is fixed, so a drained standby holds exactly the
+		// committed state and the handover loses nothing.
+		if err := r.settle(); err != nil {
+			return err
+		}
+		if err := r.drain(); err != nil {
+			return err
+		}
+		dead, err := r.clus.KillHead(ev.Server)
+		if err != nil {
+			return err
+		}
+		v, err := r.clus.PromoteReplica(ev.Server)
+		if err != nil {
+			return err
+		}
+		r.eventf(ev, "kill head %s of partition %d; promote %s at epoch %d", dead, ev.Server, v.Head, v.Epoch)
+	case ActRestartReplica:
+		if err := r.clus.RestartServerAsReplica(ev.Server); err != nil {
+			return err
+		}
+		if err := r.drain(); err != nil {
+			return err
+		}
+		r.eventf(ev, "restart server-%d as a replica of partition %d + drain", ev.Server, ev.Server)
 	default:
 		return fmt.Errorf("faultbed: unknown action %d", ev.Act)
 	}
@@ -248,7 +276,6 @@ func (r *runner) settle() error {
 	// itself cannot become a hidden source of timing dependence (the
 	// determinism analyzer forbids time.Now in this package).
 	attempts := int(settleTimeout / settlePoll)
-	addrs := r.clus.Addrs()
 	var live int64
 	for try := 0; try <= attempts; try++ {
 		if try > 0 {
@@ -256,10 +283,10 @@ func (r *runner) settle() error {
 		}
 		reachable := true
 		live = 0
-		for i, addr := range addrs {
-			if !r.clus.ServerRunning(i) {
-				continue
-			}
+		// LiveAddrs rather than the fixed slot list: in replicated
+		// scenarios the serving head may be a promoted standby that never
+		// had a slot.
+		for _, addr := range r.clus.LiveAddrs() {
 			st, err := r.ctrl.ServerStats(context.Background(), addr)
 			if err != nil {
 				reachable = false
@@ -272,6 +299,31 @@ func (r *runner) settle() error {
 		}
 	}
 	return fmt.Errorf("faultbed: cluster did not settle within %v (%d live txn records)", settleTimeout, live)
+}
+
+// drain blocks until every partition's standbys have applied everything
+// their head has logged (cluster.ReplicaLag 0 partition-wide). Like
+// settle it is iteration-bounded, and like settle its duration is
+// wall-clock-dependent and never recorded — only the fact that the
+// schedule passed the barrier is.
+func (r *runner) drain() error {
+	attempts := int(settleTimeout / settlePoll)
+	for try := 0; try <= attempts; try++ {
+		if try > 0 {
+			time.Sleep(settlePoll)
+		}
+		drained := true
+		for p := 0; p < r.s.Servers; p++ {
+			if r.clus.ReplicaLag(p) != 0 {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			return nil
+		}
+	}
+	return fmt.Errorf("faultbed: standbys did not drain within %v", settleTimeout)
 }
 
 // recoverServer re-writes, through the control client, the

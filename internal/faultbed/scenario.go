@@ -36,6 +36,21 @@ const (
 	// or initial versions of keys whose newer versions died with it,
 	// and the checker would report the resulting fractured reads.
 	ActRestart
+	// ActKillHead (replicated scenarios only) settles, waits for
+	// partition Server's standbys to drain the head's log, then
+	// crash-stops the head and promotes the first standby at the next
+	// epoch. The settle+drain barrier makes the handover lossless and
+	// schedule-deterministic: with no live transactions the head's log
+	// watermark is fixed, so drained standbys hold exactly the committed
+	// state and no recovery transaction is needed — replication, not
+	// restore-from-backup, carries the data across the crash.
+	ActKillHead
+	// ActRestartReplica (replicated scenarios only) restarts crashed
+	// server Server on its old address as a catching-up standby of
+	// partition Server's current head — it snapshots, tails the log,
+	// and joins the chain — then waits for it to drain so a later
+	// ActKillHead can promote it.
+	ActRestartReplica
 )
 
 // Event schedules one action before the transaction with index
@@ -60,6 +75,10 @@ type Scenario struct {
 	Seed int64
 	// Servers is the cluster size. Default 3.
 	Servers int
+	// Replicas is the per-partition replication factor (see
+	// cluster.Config.Replicas). Values <= 1 run unreplicated; scenarios
+	// using ActKillHead/ActRestartReplica need at least 2.
+	Replicas int
 	// Txns is the number of workload transactions driven. Default 40.
 	Txns int
 	// Mode is the coordinator's concurrency control strategy. Default
@@ -180,6 +199,18 @@ func Matrix() []Scenario {
 				{BeforeTxn: 22, Act: ActHeal},
 				{BeforeTxn: 30, Act: ActCrash, Server: 1},
 				{BeforeTxn: 40, Act: ActRestart, Server: 1},
+			},
+			AssertTranscript: true,
+		},
+		{
+			Name:     "failover",
+			Note:     "kill the partition-0 head, promote its standby, restart the dead server as a replica, fail over again onto it",
+			Txns:     48,
+			Replicas: 2,
+			Events: []Event{
+				{BeforeTxn: 12, Act: ActKillHead, Server: 0},
+				{BeforeTxn: 24, Act: ActRestartReplica, Server: 0},
+				{BeforeTxn: 36, Act: ActKillHead, Server: 0},
 			},
 			AssertTranscript: true,
 		},

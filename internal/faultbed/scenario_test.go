@@ -3,6 +3,7 @@ package faultbed
 import (
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -25,8 +26,15 @@ func TestScenarioMatrix(t *testing.T) {
 			if res.Commits == 0 {
 				t.Fatalf("nothing committed:\n%s", res.Transcript)
 			}
-			if len(s.Events) > 0 && res.Aborts == 0 {
+			// Unreplicated fault schedules must visibly bite. Replicated
+			// ones assert the opposite claim: the settle+drain handover
+			// hides scheduled head crashes behind a promotion, so the
+			// proof the faults ran is the event log, not aborts.
+			if len(s.Events) > 0 && res.Aborts == 0 && s.Replicas <= 1 {
 				t.Fatalf("fault schedule caused no aborts — the faults did not bite:\n%s", res.Transcript)
+			}
+			if s.Replicas > 1 && !strings.Contains(res.Events, "promote") {
+				t.Fatalf("replicated scenario logged no promotion:\n%s", res.Events)
 			}
 		})
 	}
@@ -36,10 +44,12 @@ func TestScenarioMatrix(t *testing.T) {
 // transcript-asserted scenario twice with the same seed must reproduce
 // the commit/abort transcript, the fault log and the event log byte for
 // byte. It exercises both flavors of nondeterminism source — stochastic
-// frame chaos ("chaos") and scheduled partition plus crash-restart
-// ("partition-crash", the acceptance scenario).
+// frame chaos ("chaos"), scheduled partition plus crash-restart
+// ("partition-crash", the unreplicated acceptance scenario), and
+// replicated failover with promotions and a catch-up rejoin
+// ("failover").
 func TestH13SameSeedSameTranscript(t *testing.T) {
-	for _, name := range []string{"chaos", "partition-crash"} {
+	for _, name := range []string{"chaos", "partition-crash", "failover"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			s, err := Find(name)

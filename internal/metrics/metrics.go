@@ -101,6 +101,44 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	}
 }
 
+// ReplCounters accumulates replication-layer events on one server:
+// epoch fences tripped, promotions served, and catch-up bytes streamed
+// to joining replicas. Unlike Counters these are not warm-up gated —
+// replication events are rare and always worth counting. The zero value
+// is ready to use; servers expose the totals through wire.StatsResp
+// alongside LiveTxns.
+type ReplCounters struct {
+	promotions   atomic.Int64
+	wrongEpoch   atomic.Int64
+	catchupBytes atomic.Int64
+}
+
+// Promotion records this server being promoted to partition head.
+func (c *ReplCounters) Promotion() { c.promotions.Add(1) }
+
+// WrongEpoch records one frame rejected by the epoch fence.
+func (c *ReplCounters) WrongEpoch() { c.wrongEpoch.Add(1) }
+
+// CatchupBytes records n bytes of snapshot or log-tail payload streamed
+// to a catching-up replica.
+func (c *ReplCounters) CatchupBytes(n int) { c.catchupBytes.Add(int64(n)) }
+
+// ReplSnapshot is a point-in-time copy of the replication counters.
+type ReplSnapshot struct {
+	Promotions   int64
+	WrongEpoch   int64
+	CatchupBytes int64
+}
+
+// Snapshot returns the current replication counter values.
+func (c *ReplCounters) Snapshot() ReplSnapshot {
+	return ReplSnapshot{
+		Promotions:   c.promotions.Load(),
+		WrongEpoch:   c.wrongEpoch.Load(),
+		CatchupBytes: c.catchupBytes.Load(),
+	}
+}
+
 // Point is one sample of a time series.
 type Point struct {
 	// Elapsed is the time since sampling started.

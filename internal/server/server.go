@@ -26,12 +26,15 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/commitment"
 	"github.com/lpd-epfl/mvtl/internal/lock"
+	"github.com/lpd-epfl/mvtl/internal/metrics"
+	"github.com/lpd-epfl/mvtl/internal/repl"
 	"github.com/lpd-epfl/mvtl/internal/rpc"
 	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
@@ -59,8 +62,35 @@ type Config struct {
 	// proposals and victim aborts), so a partitioned peer costs the
 	// scanner a timeout instead of wedging it. Default 2s.
 	PeerCallTimeout time.Duration
+	// Repl configures the server's replication role; nil keeps the
+	// server unreplicated (no epoch fencing, no partition log).
+	Repl *ReplConfig
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
+}
+
+// ReplConfig makes the server one replica of a partition chain: heads
+// append every committed version install to a partition log and serve
+// it to standbys through the bulk-transfer messages; standbys pull
+// snapshot+tail from Upstream and reject coordinator traffic with
+// StatusWrongEpoch until promoted.
+type ReplConfig struct {
+	// Epoch is the initial membership epoch (≥ 1 in replicated
+	// clusters).
+	Epoch uint64
+	// Standby starts the server as a catching-up replica of Upstream
+	// instead of a serving head.
+	Standby bool
+	// Upstream is the address a standby pulls from.
+	Upstream string
+	// PullInterval is the standby's poll period once the upstream log
+	// is drained (pulls repeat immediately while records flow).
+	// Default 2ms.
+	PullInterval time.Duration
+	// LogCap bounds the partition log's retained records
+	// (repl.DefaultLogCap if 0); pulls from before the trim point are
+	// redirected to a fresh snapshot.
+	LogCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +164,29 @@ type Server struct {
 	// since startup (finished and fully released).
 	purgedTxns atomic.Int64
 
+	// Replication state (see ReplConfig). epoch 0 means unreplicated:
+	// the fence passes everything and replLog stays nil. On replicated
+	// servers every committed version install appends to replLog, and
+	// only a head at the request's exact epoch serves mutating traffic.
+	epoch   atomic.Uint64
+	head    atomic.Bool
+	replLog *repl.Log
+	replCtr metrics.ReplCounters
+	// replLag is the standby's distance behind its upstream in log
+	// records, as of the last pull (0 on heads).
+	replLag atomic.Int64
+	// appliedLSN is the highest upstream LSN this standby has applied —
+	// the snapshot watermark after a sync, then the last tail record. A
+	// lag barrier compares it against the head's *current* watermark:
+	// the standby's self-reported replLag is only as fresh as its last
+	// pull and reads 0 in the window between an upstream commit and the
+	// pull that fetches it.
+	appliedLSN atomic.Uint64
+	// pullStop ends the standby pull loop on promotion; pullOnce guards
+	// the close when Close races a Promote.
+	pullStop chan struct{}
+	pullOnce sync.Once
+
 	keyStripes [stripeCount]keyStripe
 	txnStripes [stripeCount]txnStripe
 
@@ -183,6 +236,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := range s.txnStripes {
 		s.txnStripes[i].txns = make(map[uint64]*txnState)
+	}
+	if r := cfg.Repl; r != nil {
+		s.replLog = repl.NewLog(r.LogCap)
+		s.epoch.Store(r.Epoch)
+		s.head.Store(!r.Standby)
+		s.pullStop = make(chan struct{})
+		if r.Standby {
+			// -1 = no completed pull yet: distinguishable from a drained
+			// log, so lag barriers cannot pass before the first sync.
+			s.replLag.Store(-1)
+			s.wg.Add(1)
+			go s.pullLoop()
+		}
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -293,6 +359,24 @@ func (s *Server) gcTxnLocked(st *txnStripe, id uint64, t *txnState) {
 	s.waits.ClearAbort(lock.Owner(id))
 }
 
+// fence reports whether a mutating request stamped with reqEpoch may be
+// served: unreplicated servers (epoch 0) accept everything; replicated
+// servers require the head role and an exact epoch match, so a
+// coordinator still routing to a demoted or stale replica is turned
+// away (and can refresh its route) instead of mutating state the chain
+// no longer agrees on. A false return has already been counted.
+func (s *Server) fence(reqEpoch uint64) bool {
+	e := s.epoch.Load()
+	if e == 0 {
+		return true
+	}
+	if s.head.Load() && reqEpoch == e {
+		return true
+	}
+	s.replCtr.WrongEpoch()
+	return false
+}
+
 // --- connection handling ----------------------------------------------------
 
 func (s *Server) acceptLoop() {
@@ -385,6 +469,8 @@ func (s *Server) dispatch(f *wire.FrameBuf, reply rpc.Reply) {
 			reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
+		// Not fenced, like the freeze/release batch handlers: it only
+		// freezes read locks their owner was granted, a no-op elsewhere.
 		s.key(req.Key).locks.FreezeReadIn(lock.Owner(req.Txn), timestamp.Span(req.Lo, req.Hi))
 		reply(wire.TFreezeReadResp, wire.Ack{Status: wire.StatusOK})
 	case wire.TFreezeBatchReq:
@@ -417,6 +503,14 @@ func (s *Server) dispatch(f *wire.FrameBuf, reply rpc.Reply) {
 			reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusError, Err: err.Error()})
 			return
 		}
+		// Epoch 0 bypasses the fence: server-to-server abort proposals
+		// (the suspicion scanner, victim aborts) do not track
+		// coordinator epochs, and accepting them anywhere is safe —
+		// abort is the default outcome.
+		if req.Epoch != 0 && !s.fence(req.Epoch) {
+			reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusWrongEpoch, Err: "wrong epoch"})
+			return
+		}
 		d := s.handleDecide(req)
 		reply(wire.TDecideResp, wire.DecideResp{Status: wire.StatusOK, Kind: d.Kind, TS: d.TS})
 	case wire.TPurgeReq:
@@ -440,6 +534,20 @@ func (s *Server) dispatch(f *wire.FrameBuf, reply rpc.Reply) {
 			return
 		}
 		reply(wire.TVictimAbortResp, s.handleVictimAbort(req))
+	case wire.TSnapshotChunkReq:
+		req, err := wire.DecodeSnapshotChunkReq(f.Body())
+		if err != nil {
+			reply(wire.TSnapshotChunkResp, wire.SnapshotChunkResp{Status: wire.StatusError, Err: err.Error()})
+			return
+		}
+		reply(wire.TSnapshotChunkResp, s.handleSnapshotChunk(req))
+	case wire.TLogTailReq:
+		req, err := wire.DecodeLogTailReq(f.Body())
+		if err != nil {
+			reply(wire.TLogTailResp, wire.LogTailResp{Status: wire.StatusError, Err: err.Error()})
+			return
+		}
+		reply(wire.TLogTailResp, s.handleLogTail(req))
 	default:
 		s.logf("server %s: unknown message type %d", s.cfg.Addr, f.Type())
 	}
@@ -450,8 +558,10 @@ func (s *Server) dispatch(f *wire.FrameBuf, reply rpc.Reply) {
 // handleReadLock runs the server-side read step for one key: a batch of
 // one (Alg. 13, receive-read-lock-message).
 func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
+	// Single-key messages predate epochs; they are stamped with the
+	// server's own, so the batch fence passes them exactly on heads.
 	batch := s.handleReadLockBatch(wire.ReadLockBatchReq{
-		Txn: req.Txn, Upper: req.Upper, Wait: req.Wait, Keys: []string{req.Key},
+		Txn: req.Txn, Epoch: s.epoch.Load(), Upper: req.Upper, Wait: req.Wait, Keys: []string{req.Key},
 	})
 	if batch.Status != wire.StatusOK {
 		return wire.ReadLockResp{Status: batch.Status, Err: batch.Err}
@@ -470,6 +580,9 @@ func (s *Server) handleReadLock(req wire.ReadLockReq) wire.ReadLockResp {
 // the per-key lock tables, since releases and freezes name their keys
 // explicitly.
 func (s *Server) handleReadLockBatch(req wire.ReadLockBatchReq) wire.ReadLockBatchResp {
+	if !s.fence(req.Epoch) {
+		return wire.ReadLockBatchResp{Status: wire.StatusWrongEpoch, Err: "wrong epoch or not the partition head"}
+	}
 	owner := lock.Owner(req.Txn)
 	results := make([]wire.ReadLockResult, len(req.Keys))
 	anyDenied := false
@@ -554,6 +667,7 @@ func (s *Server) readLockKey(ctx context.Context, key string, owner lock.Owner, 
 func (s *Server) handleWriteLock(req wire.WriteLockReq) wire.WriteLockResp {
 	batch := s.handleWriteLockBatch(wire.WriteLockBatchReq{
 		Txn:         req.Txn,
+		Epoch:       s.epoch.Load(),
 		DecisionSrv: req.DecisionSrv,
 		Wait:        req.Wait,
 		Items:       []wire.WriteLockItem{{Key: req.Key, Set: req.Set, Value: req.Value}},
@@ -570,6 +684,9 @@ func (s *Server) handleWriteLock(req wire.WriteLockReq) wire.WriteLockResp {
 // acquisition, then a single pass over the transaction state to record
 // everything acquired (Alg. 13, receive-write-lock-message, batched).
 func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLockBatchResp {
+	if !s.fence(req.Epoch) {
+		return wire.WriteLockBatchResp{Status: wire.StatusWrongEpoch, Err: "wrong epoch or not the partition head"}
+	}
 	// withTxn (creating) is deliberate: this is the one message that
 	// legitimately brings a transaction into existence here. The cost is
 	// a narrow resurrection race — a write-lock delayed past the
@@ -630,6 +747,13 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 	}
 	if any {
 		finishedLate := false
+		// Re-check the fence after acquisition: a batch that entered as
+		// head can park in AcquireWrite across a demotion, and recording
+		// pending writes on an ex-head would dodge the failover drain's
+		// live-transaction accounting (it assumes no new pending state
+		// after the flip). The coordinator sees WrongEpoch — retryable,
+		// nothing was exposed.
+		fencedLate := !s.fence(req.Epoch)
 		s.withTxn(req.Txn, func(t *txnState) {
 			// Re-check: the suspicion scanner may have decided the
 			// transaction while this batch was acquiring locks;
@@ -637,6 +761,15 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 			// leak unfrozen write locks the scanner never revisits.
 			if t.finished {
 				finishedLate = true
+				return
+			}
+			if fencedLate {
+				// Don't record; and if this batch just created the
+				// record, finish it so it garbage-collects right here
+				// instead of waiting out the suspicion scanner.
+				if len(t.pending) == 0 && len(t.writeKeys) == 0 {
+					t.finished = true
+				}
 				return
 			}
 			for i, it := range req.Items {
@@ -650,11 +783,14 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 				t.writeKeys[it.Key] = true
 			}
 		})
-		if finishedLate {
+		if finishedLate || fencedLate {
 			for i, it := range req.Items {
 				if acquired[i] {
 					s.key(it.Key).locks.ReleaseWrites(owner)
 				}
+			}
+			if fencedLate && !finishedLate {
+				return wire.WriteLockBatchResp{Status: wire.StatusWrongEpoch, Err: "demoted during acquisition"}
 			}
 			return wire.WriteLockBatchResp{Status: wire.StatusAborted, Err: "transaction already decided"}
 		}
@@ -676,7 +812,7 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 // pending value, then freeze the write lock (install-before-freeze keeps
 // the frozen-implies-present invariant readers rely on).
 func (s *Server) handleFreezeWrite(req wire.FreezeWriteReq) wire.Ack {
-	resp := s.handleFreezeBatch(wire.FreezeBatchReq{Txn: req.Txn, TS: req.TS, WriteKeys: []string{req.Key}})
+	resp := s.handleFreezeBatch(wire.FreezeBatchReq{Txn: req.Txn, Epoch: s.epoch.Load(), TS: req.TS, WriteKeys: []string{req.Key}})
 	if resp.Status != wire.StatusOK {
 		return wire.Ack{Status: resp.Status, Err: resp.Err}
 	}
@@ -689,6 +825,14 @@ func (s *Server) handleFreezeWrite(req wire.FreezeWriteReq) wire.Ack {
 // readers rely on), then freeze the requested read-lock ranges (garbage
 // collection, Alg. 11 line 33).
 func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp {
+	// Deliberately NOT fenced. A freeze only acts on pending state that a
+	// write-lock grant created, and grants are fenced — so on any server
+	// that never granted, this is a no-op (withTxnIfPresent finds
+	// nothing). A just-demoted head, though, MUST accept it: the
+	// coordinator decided commit before the epoch flipped and freezes are
+	// casts, so rejecting here would silently discard a durably decided
+	// write — the failover drain waits for exactly these installs to
+	// reach the replication log before the old head is crash-stopped.
 	owner := lock.Owner(req.Txn)
 	resp := wire.FreezeBatchResp{Status: wire.StatusOK}
 	if len(req.WriteKeys) > 0 {
@@ -718,7 +862,7 @@ func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp
 				continue
 			}
 			ks := s.key(k)
-			if err := ks.versions.Install(req.TS, vals[i]); err != nil && !errors.Is(err, version.ErrExists) {
+			if err := s.install(ks, k, req.TS, vals[i]); err != nil {
 				resp.WriteAcks[i] = wire.Ack{Status: wire.StatusError, Err: err.Error()}
 				continue
 			}
@@ -762,12 +906,17 @@ func (s *Server) handleFreezeBatch(req wire.FreezeBatchReq) wire.FreezeBatchResp
 
 // handleRelease drops the transaction's unfrozen locks on a key.
 func (s *Server) handleRelease(req wire.ReleaseReq) wire.Ack {
-	return s.handleReleaseBatch(wire.ReleaseBatchReq{Txn: req.Txn, WritesOnly: req.WritesOnly, Keys: []string{req.Key}})
+	return s.handleReleaseBatch(wire.ReleaseBatchReq{Txn: req.Txn, Epoch: s.epoch.Load(), WritesOnly: req.WritesOnly, Keys: []string{req.Key}})
 }
 
 // handleReleaseBatch drops the transaction's unfrozen locks on every
 // listed key, then updates the transaction state in one pass.
 func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
+	// Not fenced, for the same reason as handleFreezeBatch: releases only
+	// drop locks their owner was granted (a no-op anywhere else), and a
+	// demoted head must accept them so aborted in-flight transactions
+	// drain their records — the failover harness waits for live
+	// transactions to reach zero before freezing the old head's log.
 	owner := lock.Owner(req.Txn)
 	for _, k := range req.Keys {
 		ks := s.key(k)
@@ -903,7 +1052,7 @@ func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
 	} else {
 		for k, val := range pending {
 			ks := s.key(k)
-			if err := ks.versions.Install(d.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
+			if err := s.install(ks, k, d.TS, val); err != nil {
 				s.logf("server %s: install %q at %v: %v", s.cfg.Addr, k, d.TS, err)
 				continue
 			}
@@ -1065,5 +1214,366 @@ func (s *Server) stats() wire.StatsResp {
 		tst.mu.Unlock()
 	}
 	st.PurgedTxns = s.purgedTxns.Load()
+	if s.replLog != nil {
+		st.ReplEpoch = int64(s.epoch.Load())
+		st.ReplLag = s.replLag.Load()
+		rs := s.replCtr.Snapshot()
+		st.ReplPromotions = rs.Promotions
+		st.ReplWrongEpoch = rs.WrongEpoch
+		st.ReplCatchupBytes = rs.CatchupBytes
+	}
 	return st
+}
+
+// --- replication ---------------------------------------------------------------
+
+// install exposes a committed value at ts and, on a replicated head,
+// appends the install to the partition log. The freeze path and the
+// decide path can race to install the same version; whoever loses sees
+// ErrExists, which means the winner already logged it — so every install
+// is logged exactly once, and install-then-append ordering holds: any
+// record with an LSN at or below the log's watermark is already visible
+// to version reads (the snapshot/tail inclusion property).
+func (s *Server) install(ks *keyState, key string, ts timestamp.Timestamp, value []byte) error {
+	if err := ks.versions.Install(ts, value); err != nil {
+		if errors.Is(err, version.ErrExists) {
+			return nil
+		}
+		return err
+	}
+	// Log every fresh install, head or not: installs only happen on the
+	// commit path (freeze/decide), so each one is durably acked state. A
+	// just-demoted head still logs its in-flight freezes here — a fenced
+	// handover drains those records to the successor before it starts
+	// serving, so no acked commit is lost to the epoch change. (Standby
+	// catch-up does not come through here; it replays pulled records via
+	// applyReplRecord at the upstream's LSNs.)
+	if s.replLog != nil {
+		s.replLog.Append(key, ts, value)
+	}
+	return nil
+}
+
+// sortedKeys snapshots the names of every key this server holds, sorted.
+// Keys are created on demand and never deleted, so a cursor into the
+// sorted list can only be outrun by insertions — a chunked snapshot scan
+// may resend a key that slid past the cursor, never skip one.
+func (s *Server) sortedKeys() []string {
+	var keys []string
+	for i := range s.keyStripes {
+		st := &s.keyStripes[i]
+		st.mu.RLock()
+		for k := range st.keys {
+			keys = append(keys, k)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// handleSnapshotChunk serves one chunk of a full-state transfer to a
+// joining replica: every committed version of up to MaxKeys keys from
+// the cursor onward. The first chunk's LSN is the log watermark, taken
+// *before* any version is read: installs append to the log only after
+// they are visible, so everything logged at or below the watermark is in
+// some chunk, and the puller resumes the tail at watermark+1 (overlap
+// re-applies idempotently).
+func (s *Server) handleSnapshotChunk(req wire.SnapshotChunkReq) wire.SnapshotChunkResp {
+	if s.replLog == nil {
+		return wire.SnapshotChunkResp{Status: wire.StatusError, Err: "server is not replicated"}
+	}
+	e := s.epoch.Load()
+	if req.Epoch != 0 && req.Epoch != e {
+		s.replCtr.WrongEpoch()
+		return wire.SnapshotChunkResp{Status: wire.StatusWrongEpoch, Err: "wrong epoch"}
+	}
+	maxKeys := int(req.MaxKeys)
+	if maxKeys <= 0 {
+		maxKeys = 256
+	}
+	watermark := s.replLog.NextLSN() - 1
+	keys := s.sortedKeys()
+	start := int(req.Cursor)
+	if start > len(keys) {
+		start = len(keys)
+	}
+	end := start + maxKeys
+	if end > len(keys) {
+		end = len(keys)
+	}
+	resp := wire.SnapshotChunkResp{Status: wire.StatusOK, Epoch: e, LSN: watermark}
+	payload := 0
+	for _, k := range keys[start:end] {
+		for _, v := range s.key(k).versions.Snapshot() {
+			if v.TS == timestamp.Zero {
+				continue // the initial ⊥ every fresh version list already holds
+			}
+			resp.Records = append(resp.Records, wire.ReplRecord{Key: []byte(k), TS: v.TS, Value: v.Value})
+			payload += len(k) + len(v.Value)
+		}
+	}
+	if end < len(keys) {
+		resp.NextCursor = uint64(end)
+	}
+	s.replCtr.CatchupBytes(payload)
+	return resp
+}
+
+// handleLogTail serves the partition log from LSN From onward, capped at
+// MaxRecords. A From before the retained window answers SnapshotNeeded
+// instead of records; the puller re-syncs via snapshot.
+func (s *Server) handleLogTail(req wire.LogTailReq) wire.LogTailResp {
+	if s.replLog == nil {
+		return wire.LogTailResp{Status: wire.StatusError, Err: "server is not replicated"}
+	}
+	e := s.epoch.Load()
+	if req.Epoch != 0 && req.Epoch != e {
+		s.replCtr.WrongEpoch()
+		return wire.LogTailResp{Status: wire.StatusWrongEpoch, Err: "wrong epoch"}
+	}
+	maxRecords := int(req.MaxRecords)
+	if maxRecords <= 0 {
+		maxRecords = 512
+	}
+	recs, next, trimmed := s.replLog.From(nil, req.From, maxRecords)
+	resp := wire.LogTailResp{Status: wire.StatusOK, Epoch: e, NextLSN: next, SnapshotNeeded: trimmed}
+	payload := 0
+	for _, r := range recs {
+		resp.Records = append(resp.Records, wire.ReplRecord{LSN: r.LSN, Key: []byte(r.Key), TS: r.TS, Value: r.Value})
+		payload += len(r.Key) + len(r.Value)
+	}
+	s.replCtr.CatchupBytes(payload)
+	return resp
+}
+
+// applyReplRecord installs one pulled record locally. Key and Value are
+// borrowed views of the pull frame, so both are copied out. Installs are
+// idempotent (ErrExists tolerated) — the snapshot/tail overlap and chunk
+// resends replay records freely. Tail records (LSN ≠ 0) also land in the
+// standby's own log at the head's LSN, so a promoted standby can serve
+// catch-up itself; a reported gap makes the pull loop re-sync.
+func (s *Server) applyReplRecord(r *wire.ReplRecord) error {
+	key := string(r.Key)
+	val := bytes.Clone(r.Value)
+	ks := s.key(key)
+	if err := ks.versions.Install(r.TS, val); err != nil && !errors.Is(err, version.ErrExists) {
+		s.logf("server %s: repl install %q at %v: %v", s.cfg.Addr, key, r.TS, err)
+	}
+	if r.LSN != 0 {
+		return s.replLog.AppendAt(r.LSN, key, r.TS, val)
+	}
+	return nil
+}
+
+// pullCall performs one catch-up RPC to the standby's upstream. A dead
+// client is replaced in place so the next attempt redials — the upstream
+// may have crash-restarted on the same address.
+func (s *Server) pullCall(rc **rpc.Client, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
+	defer cancel()
+	f, err := (*rc).Call(ctx, 0, t, m)
+	if err != nil && (errors.Is(err, rpc.ErrClosed) || errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout)) {
+		_ = (*rc).Close()
+		*rc = rpc.NewClient(s.cfg.Network, s.cfg.Repl.Upstream, 1)
+	}
+	return f, err
+}
+
+// pullSnapshot streams the upstream's full state chunk by chunk and
+// returns the first chunk's log watermark; the tail pull resumes at
+// watermark+1. The standby's own log is reset first: the records between
+// its old tail and the new watermark were never pulled, and the log must
+// stay contiguous to serve From after a promotion.
+func (s *Server) pullSnapshot(rc **rpc.Client) (watermark uint64, ok bool) {
+	s.replLog.Reset()
+	var cursor uint64
+	first := true
+	for {
+		f, err := s.pullCall(rc, wire.TSnapshotChunkReq, wire.SnapshotChunkReq{Cursor: cursor})
+		if err != nil {
+			return 0, false
+		}
+		chunk, err := wire.DecodeSnapshotChunkResp(f.Body())
+		if err != nil || chunk.Status != wire.StatusOK {
+			f.Release()
+			return 0, false
+		}
+		if first {
+			watermark = chunk.LSN
+			first = false
+		}
+		s.adoptEpoch(chunk.Epoch)
+		for i := range chunk.Records {
+			_ = s.applyReplRecord(&chunk.Records[i]) // LSN 0: never errors
+		}
+		f.Release()
+		if chunk.NextCursor == 0 {
+			s.appliedLSN.Store(watermark)
+			return watermark, true
+		}
+		cursor = chunk.NextCursor
+	}
+}
+
+// pullLoop is the standby's catch-up driver: snapshot once, then tail
+// the upstream's log — immediately again while records flow, backing off
+// to PullInterval when drained. It exits on Close or promotion.
+func (s *Server) pullLoop() {
+	defer s.wg.Done()
+	r := s.cfg.Repl
+	interval := r.PullInterval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	rc := rpc.NewClient(s.cfg.Network, r.Upstream, 1)
+	defer func() { _ = rc.Close() }()
+	var from uint64
+	needSnapshot := true
+	var tail wire.LogTailResp
+	for {
+		select {
+		case <-s.pullStop:
+			return
+		case <-s.stop:
+			return
+		default:
+		}
+		if needSnapshot {
+			w, ok := s.pullSnapshot(&rc)
+			if !ok {
+				s.sleepPull(interval)
+				continue
+			}
+			from = w + 1
+			needSnapshot = false
+		}
+		f, err := s.pullCall(&rc, wire.TLogTailReq, wire.LogTailReq{From: from, MaxRecords: 512})
+		if err != nil {
+			s.sleepPull(interval)
+			continue
+		}
+		if derr := tail.DecodeInto(f.Body()); derr != nil || tail.Status != wire.StatusOK {
+			f.Release()
+			s.sleepPull(interval)
+			continue
+		}
+		s.adoptEpoch(tail.Epoch)
+		if tail.SnapshotNeeded {
+			f.Release()
+			needSnapshot = true
+			continue
+		}
+		// Records borrow the frame; apply before releasing it.
+		for i := range tail.Records {
+			if aerr := s.applyReplRecord(&tail.Records[i]); aerr != nil {
+				s.logf("server %s: %v", s.cfg.Addr, aerr)
+				needSnapshot = true
+				break
+			}
+			s.appliedLSN.Store(tail.Records[i].LSN)
+			from = tail.Records[i].LSN + 1
+		}
+		f.Release()
+		if needSnapshot {
+			continue
+		}
+		s.replLag.Store(int64(tail.NextLSN - from))
+		if len(tail.Records) == 0 {
+			s.sleepPull(interval)
+		}
+	}
+}
+
+// sleepPull waits one pull interval, returning early on stop/promotion.
+func (s *Server) sleepPull(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.pullStop:
+	case <-s.stop:
+	}
+}
+
+// adoptEpoch moves a standby's epoch forward to the upstream's serving
+// epoch (never backward), so stats report current membership. Harmless
+// for fencing: a standby rejects mutating traffic at any epoch.
+func (s *Server) adoptEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Promote makes this server the partition head at epoch e: the standby
+// pull loop stops and the fence starts admitting traffic stamped e. The
+// caller (the cluster's director) must have stopped or demoted the old
+// head first — two servers heading the same partition would diverge.
+func (s *Server) Promote(e uint64) {
+	s.stopPull()
+	s.epoch.Store(e)
+	s.head.Store(true)
+	s.replLag.Store(0)
+	s.replCtr.Promotion()
+	s.logf("server %s: promoted to head at epoch %d", s.cfg.Addr, e)
+}
+
+// Demote strips the head role at epoch e (a planned handover): the
+// server keeps serving catch-up from its log but turns mutating traffic
+// away with StatusWrongEpoch. Demotions are not counted as promotions.
+func (s *Server) Demote(e uint64) {
+	s.epoch.Store(e)
+	s.head.Store(false)
+	s.logf("server %s: demoted at epoch %d", s.cfg.Addr, e)
+}
+
+// ReplLag returns the standby's last observed distance behind its
+// upstream in log records: 0 on heads, unreplicated servers and drained
+// standbys, -1 on a standby that has not completed a pull yet.
+func (s *Server) ReplLag() int64 { return s.replLag.Load() }
+
+// AppliedLSN returns the highest upstream log record this standby has
+// applied (0 before the first completed snapshot). Meaningless on heads.
+func (s *Server) AppliedLSN() uint64 { return s.appliedLSN.Load() }
+
+// LogWatermark returns the last LSN this server has assigned to a
+// committed install — the point a fully caught-up standby has applied
+// up to. Zero on unreplicated servers and empty logs.
+func (s *Server) LogWatermark() uint64 {
+	if s.replLog == nil {
+		return 0
+	}
+	return s.replLog.NextLSN() - 1
+}
+
+// IsHead reports whether this server currently serves its partition.
+func (s *Server) IsHead() bool { return s.head.Load() }
+
+// LiveTxns counts the transaction-state records currently held (pending
+// writes or unreleased write-lock bookkeeping). The failover harness
+// polls it on a just-demoted head: stably zero means every in-flight
+// commit has frozen (and logged its installs) or released, and since
+// new write locks are fenced, the replication log's watermark is fixed
+// from that point on.
+func (s *Server) LiveTxns() int64 {
+	var n int64
+	for i := range s.txnStripes {
+		st := &s.txnStripes[i]
+		st.mu.Lock()
+		n += int64(len(st.txns))
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// stopPull ends the standby pull loop; safe to call repeatedly and on
+// servers that never pulled.
+func (s *Server) stopPull() {
+	if s.pullStop == nil {
+		return
+	}
+	s.pullOnce.Do(func() { close(s.pullStop) })
 }

@@ -24,9 +24,11 @@ type WriteLockItem struct {
 // WriteLockBatchReq asks the server to write-lock every listed key for
 // the transaction in one pass (the batched form of WriteLockReq).
 // DecisionSrv names the server hosting the transaction's commitment
-// object, as in WriteLockReq.
+// object, as in WriteLockReq; Epoch is the coordinator's cached
+// membership epoch (0 on unreplicated clusters).
 type WriteLockBatchReq struct {
 	Txn         uint64
+	Epoch       uint64
 	DecisionSrv string
 	Wait        bool
 	Items       []WriteLockItem
@@ -36,6 +38,7 @@ type WriteLockBatchReq struct {
 func (m WriteLockBatchReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.Str(m.DecisionSrv)
 	e.Bool(m.Wait)
 	e.I32(int32(len(m.Items)))
@@ -50,7 +53,7 @@ func (m WriteLockBatchReq) AppendTo(buf []byte) []byte {
 // DecodeWriteLockBatchReq deserializes a WriteLockBatchReq.
 func DecodeWriteLockBatchReq(b []byte) (WriteLockBatchReq, error) {
 	d := NewDecoder(b)
-	m := WriteLockBatchReq{Txn: d.U64(), DecisionSrv: d.Str(), Wait: d.Bool()}
+	m := WriteLockBatchReq{Txn: d.U64(), Epoch: d.U64(), DecisionSrv: d.Str(), Wait: d.Bool()}
 	n := d.count()
 	for i := 0; i < n && d.err == nil; i++ {
 		m.Items = append(m.Items, WriteLockItem{Key: d.Str(), Set: d.Set(), Value: d.Blob()})
@@ -122,6 +125,7 @@ type FreezeReadItem struct {
 // of Reads (the batched form of FreezeWriteReq plus FreezeReadReq).
 type FreezeBatchReq struct {
 	Txn       uint64
+	Epoch     uint64
 	TS        timestamp.Timestamp
 	WriteKeys []string
 	Reads     []FreezeReadItem
@@ -131,6 +135,7 @@ type FreezeBatchReq struct {
 func (m FreezeBatchReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.TS(m.TS)
 	e.StrSlice(m.WriteKeys)
 	e.I32(int32(len(m.Reads)))
@@ -145,7 +150,7 @@ func (m FreezeBatchReq) AppendTo(buf []byte) []byte {
 // DecodeFreezeBatchReq deserializes a FreezeBatchReq.
 func DecodeFreezeBatchReq(b []byte) (FreezeBatchReq, error) {
 	d := NewDecoder(b)
-	m := FreezeBatchReq{Txn: d.U64(), TS: d.TS(), WriteKeys: d.StrSlice()}
+	m := FreezeBatchReq{Txn: d.U64(), Epoch: d.U64(), TS: d.TS(), WriteKeys: d.StrSlice()}
 	n := d.count()
 	for i := 0; i < n && d.err == nil; i++ {
 		m.Reads = append(m.Reads, FreezeReadItem{Key: d.Str(), Lo: d.TS(), Hi: d.TS()})
@@ -191,6 +196,7 @@ func DecodeFreezeBatchResp(b []byte) (FreezeBatchResp, error) {
 // listed key in one pass (the batched form of ReleaseReq).
 type ReleaseBatchReq struct {
 	Txn        uint64
+	Epoch      uint64
 	WritesOnly bool
 	Keys       []string
 }
@@ -199,6 +205,7 @@ type ReleaseBatchReq struct {
 func (m ReleaseBatchReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.Bool(m.WritesOnly)
 	e.StrSlice(m.Keys)
 	return e.buf
@@ -207,7 +214,7 @@ func (m ReleaseBatchReq) AppendTo(buf []byte) []byte {
 // DecodeReleaseBatchReq deserializes a ReleaseBatchReq.
 func DecodeReleaseBatchReq(b []byte) (ReleaseBatchReq, error) {
 	d := NewDecoder(b)
-	m := ReleaseBatchReq{Txn: d.U64(), WritesOnly: d.Bool(), Keys: d.StrSlice()}
+	m := ReleaseBatchReq{Txn: d.U64(), Epoch: d.U64(), WritesOnly: d.Bool(), Keys: d.StrSlice()}
 	return m, d.Err()
 }
 
@@ -220,6 +227,7 @@ func DecodeReleaseBatchReq(b []byte) (ReleaseBatchReq, error) {
 // static read set, all under the transaction's current interval bound.
 type ReadLockBatchReq struct {
 	Txn   uint64
+	Epoch uint64
 	Upper timestamp.Timestamp
 	Wait  bool
 	Keys  []string
@@ -229,6 +237,7 @@ type ReadLockBatchReq struct {
 func (m ReadLockBatchReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.TS(m.Upper)
 	e.Bool(m.Wait)
 	e.StrSlice(m.Keys)
@@ -238,7 +247,7 @@ func (m ReadLockBatchReq) AppendTo(buf []byte) []byte {
 // DecodeReadLockBatchReq deserializes a ReadLockBatchReq.
 func DecodeReadLockBatchReq(b []byte) (ReadLockBatchReq, error) {
 	d := NewDecoder(b)
-	m := ReadLockBatchReq{Txn: d.U64(), Upper: d.TS(), Wait: d.Bool(), Keys: d.StrSlice()}
+	m := ReadLockBatchReq{Txn: d.U64(), Epoch: d.U64(), Upper: d.TS(), Wait: d.Bool(), Keys: d.StrSlice()}
 	return m, d.Err()
 }
 

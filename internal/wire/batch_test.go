@@ -45,7 +45,7 @@ func randBlob(r *rand.Rand) []byte {
 	return b
 }
 
-func randStatus(r *rand.Rand) Status { return Status(1 + r.Intn(7)) }
+func randStatus(r *rand.Rand) Status { return Status(1 + r.Intn(8)) }
 
 func randAck(r *rand.Rand) Ack { return Ack{Status: randStatus(r), Err: randWord(r)} }
 
@@ -85,10 +85,10 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"WriteLockReq": func(r *rand.Rand) codecCase {
-		in := WriteLockReq{Txn: r.Uint64(), Key: randWord(r), DecisionSrv: randWord(r), Set: randTSSet(r), Wait: r.Intn(2) == 0, Value: randBlob(r)}
+		in := WriteLockReq{Txn: r.Uint64(), Epoch: r.Uint64(), Key: randWord(r), DecisionSrv: randWord(r), Set: randTSSet(r), Wait: r.Intn(2) == 0, Value: randBlob(r)}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockReq(b)
-			ok := out.Txn == in.Txn && out.Key == in.Key && out.DecisionSrv == in.DecisionSrv &&
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.Key == in.Key && out.DecisionSrv == in.DecisionSrv &&
 				out.Set.Equal(in.Set) && out.Wait == in.Wait && bytes.Equal(out.Value, in.Value)
 			return ok, err
 		}}
@@ -130,7 +130,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"DecideReq": func(r *rand.Rand) codecCase {
-		in := DecideReq{Txn: r.Uint64(), Proposal: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
+		in := DecideReq{Txn: r.Uint64(), Epoch: r.Uint64(), Proposal: DecisionKind(1 + r.Intn(2)), TS: randTS(r)}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeDecideReq(b)
 			return out == in, err
@@ -161,6 +161,8 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		in := StatsResp{
 			Keys: r.Int63(), LockEntries: r.Int63(), FrozenLocks: r.Int63(), Versions: r.Int63(),
 			LiveTxns: r.Int63(), PurgedTxns: r.Int63(),
+			ReplEpoch: r.Int63(), ReplLag: r.Int63(), ReplPromotions: r.Int63(),
+			ReplWrongEpoch: r.Int63(), ReplCatchupBytes: r.Int63(),
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeStatsResp(b)
@@ -182,13 +184,13 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"WriteLockBatchReq": func(r *rand.Rand) codecCase {
-		in := WriteLockBatchReq{Txn: r.Uint64(), DecisionSrv: randWord(r), Wait: r.Intn(2) == 0}
+		in := WriteLockBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), DecisionSrv: randWord(r), Wait: r.Intn(2) == 0}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Items = append(in.Items, WriteLockItem{Key: randWord(r), Set: randTSSet(r), Value: randBlob(r)})
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeWriteLockBatchReq(b)
-			ok := out.Txn == in.Txn && out.DecisionSrv == in.DecisionSrv && out.Wait == in.Wait &&
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.DecisionSrv == in.DecisionSrv && out.Wait == in.Wait &&
 				len(out.Items) == len(in.Items)
 			if ok {
 				for i := range in.Items {
@@ -221,7 +223,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"FreezeBatchReq": func(r *rand.Rand) codecCase {
-		in := FreezeBatchReq{Txn: r.Uint64(), TS: randTS(r)}
+		in := FreezeBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), TS: randTS(r)}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.WriteKeys = append(in.WriteKeys, randWord(r))
 		}
@@ -230,7 +232,7 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeFreezeBatchReq(b)
-			ok := out.Txn == in.Txn && out.TS == in.TS &&
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.TS == in.TS &&
 				slices.Equal(out.WriteKeys, in.WriteKeys) && slices.Equal(out.Reads, in.Reads)
 			return ok, err
 		}}
@@ -247,13 +249,13 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"ReadLockBatchReq": func(r *rand.Rand) codecCase {
-		in := ReadLockBatchReq{Txn: r.Uint64(), Upper: randTS(r), Wait: r.Intn(2) == 0}
+		in := ReadLockBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), Upper: randTS(r), Wait: r.Intn(2) == 0}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Keys = append(in.Keys, randWord(r))
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReadLockBatchReq(b)
-			ok := out.Txn == in.Txn && out.Upper == in.Upper && out.Wait == in.Wait &&
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.Upper == in.Upper && out.Wait == in.Wait &&
 				slices.Equal(out.Keys, in.Keys)
 			return ok, err
 		}}
@@ -283,16 +285,77 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"ReleaseBatchReq": func(r *rand.Rand) codecCase {
-		in := ReleaseBatchReq{Txn: r.Uint64(), WritesOnly: r.Intn(2) == 0}
+		in := ReleaseBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), WritesOnly: r.Intn(2) == 0}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Keys = append(in.Keys, randWord(r))
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReleaseBatchReq(b)
-			ok := out.Txn == in.Txn && out.WritesOnly == in.WritesOnly && slices.Equal(out.Keys, in.Keys)
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.WritesOnly == in.WritesOnly && slices.Equal(out.Keys, in.Keys)
 			return ok, err
 		}}
 	},
+	"SnapshotChunkReq": func(r *rand.Rand) codecCase {
+		in := SnapshotChunkReq{Epoch: r.Uint64(), Cursor: r.Uint64(), MaxKeys: uint32(r.Intn(1 << 16))}
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
+			out, err := DecodeSnapshotChunkReq(b)
+			return out == in, err
+		}}
+	},
+	"SnapshotChunkResp": func(r *rand.Rand) codecCase {
+		in := SnapshotChunkResp{
+			Status: randStatus(r), Err: randWord(r), Epoch: r.Uint64(),
+			NextCursor: r.Uint64(), LSN: r.Uint64(), Records: randReplRecords(r),
+		}
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
+			out, err := DecodeSnapshotChunkResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && out.Epoch == in.Epoch &&
+				out.NextCursor == in.NextCursor && out.LSN == in.LSN &&
+				replRecordsEqual(out.Records, in.Records)
+			return ok, err
+		}}
+	},
+	"LogTailReq": func(r *rand.Rand) codecCase {
+		in := LogTailReq{Epoch: r.Uint64(), From: r.Uint64(), MaxRecords: uint32(r.Intn(1 << 16))}
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
+			out, err := DecodeLogTailReq(b)
+			return out == in, err
+		}}
+	},
+	"LogTailResp": func(r *rand.Rand) codecCase {
+		in := LogTailResp{
+			Status: randStatus(r), Err: randWord(r), Epoch: r.Uint64(),
+			NextLSN: r.Uint64(), SnapshotNeeded: r.Intn(2) == 0, Records: randReplRecords(r),
+		}
+		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
+			out, err := DecodeLogTailResp(b)
+			ok := out.Status == in.Status && out.Err == in.Err && out.Epoch == in.Epoch &&
+				out.NextLSN == in.NextLSN && out.SnapshotNeeded == in.SnapshotNeeded &&
+				replRecordsEqual(out.Records, in.Records)
+			return ok, err
+		}}
+	},
+}
+
+func randReplRecords(r *rand.Rand) []ReplRecord {
+	var out []ReplRecord
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		out = append(out, ReplRecord{LSN: r.Uint64(), Key: []byte(randWord(r)), TS: randTS(r), Value: randBlob(r)})
+	}
+	return out
+}
+
+func replRecordsEqual(a, b []ReplRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].LSN != b[i].LSN || !bytes.Equal(a[i].Key, b[i].Key) || a[i].TS != b[i].TS ||
+			!bytes.Equal(a[i].Value, b[i].Value) || (a[i].Value == nil) != (b[i].Value == nil) {
+			return false
+		}
+	}
+	return true
 }
 
 // TestAllMessagesRoundTripRandom drives every message codec with random
@@ -338,6 +401,7 @@ func TestAllMessagesRejectTruncation(t *testing.T) {
 func TestBatchDecodersRejectHugeCounts(t *testing.T) {
 	var e Encoder
 	e.U64(1)       // txn
+	e.U64(0)       // epoch
 	e.Str("")      // decision server
 	e.Bool(false)  // wait
 	e.I32(1 << 30) // absurd item count
@@ -346,9 +410,20 @@ func TestBatchDecodersRejectHugeCounts(t *testing.T) {
 	}
 	var e2 Encoder
 	e2.U64(1)
+	e2.U64(0)
 	e2.Bool(false)
 	e2.I32(-1)
 	if _, err := DecodeReleaseBatchReq(e2.Bytes()); err == nil {
 		t.Fatal("negative key count not rejected")
+	}
+	var e3 Encoder
+	e3.status(StatusOK)
+	e3.Str("")     // err
+	e3.U64(1)      // epoch
+	e3.U64(1)      // next lsn
+	e3.Bool(false) // snapshot needed
+	e3.I32(1 << 30)
+	if _, err := DecodeLogTailResp(e3.Bytes()); err == nil {
+		t.Fatal("huge record count not rejected")
 	}
 }

@@ -45,6 +45,10 @@ var decoderCases = []decoderCase{
 	{"ReleaseBatchReq", asMsg(DecodeReleaseBatchReq)},
 	{"ReadLockBatchReq", asMsg(DecodeReadLockBatchReq)},
 	{"ReadLockBatchResp", asMsg(DecodeReadLockBatchResp)},
+	{"SnapshotChunkReq", asMsg(DecodeSnapshotChunkReq)},
+	{"SnapshotChunkResp", asMsg(DecodeSnapshotChunkResp)},
+	{"LogTailReq", asMsg(DecodeLogTailReq)},
+	{"LogTailResp", asMsg(DecodeLogTailResp)},
 }
 
 // exactCopy returns the input in a freshly sized allocation, so any

@@ -29,6 +29,12 @@ const (
 	// for an immediate retry with a fresh transaction — the conflicting
 	// work was aborted on purpose, not still running.
 	StatusDeadlock
+	// StatusWrongEpoch reports that the request's membership epoch does
+	// not match the server's, or that the server is not the partition
+	// head: the coordinator's route is stale (the partition failed over).
+	// Retryable — the coordinator refreshes its route from the membership
+	// authority and restarts the transaction against the new head.
+	StatusWrongEpoch
 )
 
 // ReadLockReq asks the server to perform the read step for a key: pick
@@ -105,9 +111,12 @@ func DecodeReadLockResp(b []byte) (ReadLockResp, error) {
 // transaction and buffer Value as the pending write (Alg. 13,
 // receive-write-lock-message). DecisionSrv names the server hosting the
 // transaction's commitment object, so that a timeout on this server can
-// reach consensus on aborting (§H.1).
+// reach consensus on aborting (§H.1). Epoch is the coordinator's cached
+// membership epoch for the partition (0 on unreplicated clusters); a
+// mismatch is answered with StatusWrongEpoch.
 type WriteLockReq struct {
 	Txn         uint64
+	Epoch       uint64
 	Key         string
 	DecisionSrv string
 	Set         timestamp.Set
@@ -119,6 +128,7 @@ type WriteLockReq struct {
 func (m WriteLockReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.Str(m.Key)
 	e.Str(m.DecisionSrv)
 	e.Set(m.Set)
@@ -132,6 +142,7 @@ func DecodeWriteLockReq(b []byte) (WriteLockReq, error) {
 	d := NewDecoder(b)
 	m := WriteLockReq{
 		Txn:         d.U64(),
+		Epoch:       d.U64(),
 		Key:         d.Str(),
 		DecisionSrv: d.Str(),
 		Set:         d.Set(),
@@ -298,9 +309,15 @@ func (k DecisionKind) String() string {
 
 // DecideReq proposes an outcome for a transaction to its commitment
 // object (hosted at the decision server). The reply carries the agreed
-// decision, which may differ from the proposal.
+// decision, which may differ from the proposal. Epoch is the
+// coordinator's cached membership epoch for the decision server's
+// partition; 0 bypasses the epoch fence — server-to-server abort
+// proposals (the suspicion scanner) do not track coordinator epochs,
+// and accepting them anywhere is safe because abort is the default
+// outcome.
 type DecideReq struct {
 	Txn      uint64
+	Epoch    uint64
 	Proposal DecisionKind
 	TS       timestamp.Timestamp
 }
@@ -309,6 +326,7 @@ type DecideReq struct {
 func (m DecideReq) AppendTo(buf []byte) []byte {
 	e := Encoder{buf: buf}
 	e.U64(m.Txn)
+	e.U64(m.Epoch)
 	e.buf = append(e.buf, byte(m.Proposal))
 	e.TS(m.TS)
 	return e.buf
@@ -317,7 +335,7 @@ func (m DecideReq) AppendTo(buf []byte) []byte {
 // DecodeDecideReq deserializes a DecideReq.
 func DecodeDecideReq(b []byte) (DecideReq, error) {
 	d := NewDecoder(b)
-	m := DecideReq{Txn: d.U64()}
+	m := DecideReq{Txn: d.U64(), Epoch: d.U64()}
 	k := d.take(1)
 	if k != nil {
 		m.Proposal = DecisionKind(k[0])
@@ -422,6 +440,15 @@ type StatsResp struct {
 	// keeps memory bounded under sustained load.
 	LiveTxns   int64
 	PurgedTxns int64
+	// Replication state (zero on unreplicated servers): the server's
+	// membership epoch, its lag behind the upstream head in log records
+	// (0 on heads), and the metrics.ReplCounters totals — promotions
+	// served, wrong-epoch frames rejected, catch-up bytes streamed.
+	ReplEpoch        int64
+	ReplLag          int64
+	ReplPromotions   int64
+	ReplWrongEpoch   int64
+	ReplCatchupBytes int64
 }
 
 // AppendTo implements Message.
@@ -433,6 +460,11 @@ func (m StatsResp) AppendTo(buf []byte) []byte {
 	e.I64(m.Versions)
 	e.I64(m.LiveTxns)
 	e.I64(m.PurgedTxns)
+	e.I64(m.ReplEpoch)
+	e.I64(m.ReplLag)
+	e.I64(m.ReplPromotions)
+	e.I64(m.ReplWrongEpoch)
+	e.I64(m.ReplCatchupBytes)
 	return e.buf
 }
 
@@ -442,6 +474,8 @@ func DecodeStatsResp(b []byte) (StatsResp, error) {
 	m := StatsResp{
 		Keys: d.I64(), LockEntries: d.I64(), FrozenLocks: d.I64(), Versions: d.I64(),
 		LiveTxns: d.I64(), PurgedTxns: d.I64(),
+		ReplEpoch: d.I64(), ReplLag: d.I64(), ReplPromotions: d.I64(),
+		ReplWrongEpoch: d.I64(), ReplCatchupBytes: d.I64(),
 	}
 	return m, d.Err()
 }

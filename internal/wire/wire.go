@@ -95,6 +95,13 @@ const (
 	// multi-key read costs O(servers) round trips instead of O(keys).
 	TReadLockBatchReq
 	TReadLockBatchResp
+	// Bulk-transfer family (see repl.go): chunked snapshot and
+	// replication-log tail streaming, used by catching-up replicas and
+	// warm standbys to mirror a partition head's committed versions.
+	TSnapshotChunkReq
+	TSnapshotChunkResp
+	TLogTailReq
+	TLogTailResp
 )
 
 // MaxFrameSize bounds a frame to keep a malformed peer from forcing a

@@ -136,6 +136,49 @@ func BenchmarkFramePathReadDecodeSingle(b *testing.B) {
 	}
 }
 
+// benchLogTailResp is a representative catch-up frame: 32 replicated
+// version installs with 1KB values, the shape a standby drains from its
+// head in steady state.
+func benchLogTailResp(valueSize int) LogTailResp {
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	resp := LogTailResp{Status: StatusOK, Epoch: 3, NextLSN: 1000}
+	for i := 0; i < 32; i++ {
+		resp.Records = append(resp.Records, ReplRecord{
+			LSN:   uint64(900 + i),
+			Key:   []byte("user:0000042"),
+			TS:    timestamp.New(int64(100+i), 1),
+			Value: val,
+		})
+	}
+	return resp
+}
+
+// BenchmarkFramePathReplLogTail measures the replica catch-up stream:
+// read one log-tail frame (32 records, 1KB values) into a pooled buffer
+// and decode it in place (keys and values stay borrowed views; the
+// records slice is reused via DecodeInto). Steady state must be 0
+// allocs/op — CI gates it with the other FramePath benchmarks.
+func BenchmarkFramePathReplLogTail(b *testing.B) {
+	resp := benchLogTailResp(1024)
+	r := &loopReader{data: encodeBenchFrame(b, TLogTailResp, resp)}
+	fb := GetFrameBuf()
+	defer fb.Release()
+	var out LogTailResp
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ReadFrame(r, fb); err != nil {
+			b.Fatal(err)
+		}
+		if err := out.DecodeInto(fb.Body()); err != nil || len(out.Records) != 32 {
+			b.Fatalf("%v %d", err, len(out.Records))
+		}
+	}
+}
+
 type sliceWriter struct{ b []byte }
 
 func (w *sliceWriter) Write(p []byte) (int, error) {

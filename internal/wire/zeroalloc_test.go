@@ -62,6 +62,33 @@ func TestFramePathZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("read+decode (single): %v allocs/op, want 0", n)
 	}
+
+	// The replica catch-up stream rides the same path: encode a log-tail
+	// frame from a pooled buffer and decode it in place with record
+	// reuse. Both directions must stay allocation-free.
+	tail := benchLogTailResp(1024)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := fb.SetFrame(11, TLogTailResp, &tail); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(w, fb); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("encode+write (log tail): %v allocs/op, want 0", n)
+	}
+	r3 := &loopReader{data: encodeRawFrame(t, TLogTailResp, &tail)}
+	var tailOut LogTailResp
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ReadFrame(r3, fb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tailOut.DecodeInto(fb.Body()); err != nil || len(tailOut.Records) != 32 {
+			t.Fatalf("%v %d", err, len(tailOut.Records))
+		}
+	}); n != 0 {
+		t.Errorf("read+decode (log tail): %v allocs/op, want 0", n)
+	}
 }
 
 // encodeRawFrame renders one frame to raw bytes.
