@@ -16,6 +16,8 @@
 //
 //	mvtl-bench -faults partition-crash -fault-verify
 //	mvtl-bench -faults all -fault-seed 7
+//	mvtl-bench -faults all -fault-verify -vtime   # same matrix, virtual time
+//	mvtl-bench -exp vtime -json > BENCH_vtime.json
 package main
 
 import (
@@ -39,8 +41,10 @@ import (
 // runFaults executes fault-injection scenarios and reports violations:
 // every scenario is serializability-checked, and with verify the
 // transcript-asserted ones run twice so a determinism regression (H13)
-// fails the command, not just a test.
-func runFaults(name string, seed int64, verify bool) error {
+// fails the command, not just a test. With vtime every scenario runs on
+// a virtual timeline: modeled delays cost no wall clock, and transcripts
+// are byte-identical to wall-clock runs of the same seed.
+func runFaults(name string, seed int64, verify, vtime bool) error {
 	var scenarios []faultbed.Scenario
 	if name == "all" {
 		scenarios = faultbed.Matrix()
@@ -51,21 +55,27 @@ func runFaults(name string, seed int64, verify bool) error {
 		}
 		scenarios = []faultbed.Scenario{s}
 	}
+	run := faultbed.Run
+	if vtime {
+		run = faultbed.RunVirtual
+	}
 	failed := false
 	for _, s := range scenarios {
 		if seed != 0 {
 			s.Seed = seed
 		}
-		res, err := faultbed.Run(s)
+		start := time.Now()
+		res, err := run(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.Name, err)
 		}
+		fmt.Printf("[%8.3fs] ", time.Since(start).Seconds())
 		fmt.Println(res.Summary())
 		if res.CheckErr != nil {
 			failed = true
 		}
 		if verify && s.AssertTranscript {
-			again, err := faultbed.Run(s)
+			again, err := run(s)
 			if err != nil {
 				return fmt.Errorf("%s (verify run): %w", s.Name, err)
 			}
@@ -82,6 +92,82 @@ func runFaults(name string, seed int64, verify bool) error {
 		return fmt.Errorf("fault matrix failed")
 	}
 	return nil
+}
+
+// vtimeReport is the BENCH_vtime.json row: the fault matrix timed in
+// both modes (the speedup virtual time buys), and the big-topology
+// scenario — a cluster size only a zero-wall-clock timeline can afford.
+type vtimeReport struct {
+	MatrixWallSeconds    float64 `json:"matrix_wall_seconds"`
+	MatrixVirtualSeconds float64 `json:"matrix_virtual_seconds"`
+	MatrixSpeedup        float64 `json:"matrix_speedup"`
+	BigTopologyServers   int     `json:"big_topology_servers"`
+	BigTopologyTxns      int     `json:"big_topology_txns"`
+	BigTopologySeconds   float64 `json:"big_topology_seconds"`
+}
+
+// runVtimeReport times the whole scenario matrix wall-clock and
+// virtual, requires byte-identical transcripts between the two modes of
+// every scenario, then runs big-topology (virtual only). Serializability
+// violations and cross-mode divergence both fail the experiment.
+func runVtimeReport(w io.Writer, quiet bool) (vtimeReport, error) {
+	var rep vtimeReport
+	out := w
+	if quiet {
+		out = io.Discard
+	}
+	wallRes := make(map[string]faultbed.Result)
+	start := time.Now()
+	for _, s := range faultbed.Matrix() {
+		res, err := faultbed.Run(s)
+		if err != nil {
+			return rep, fmt.Errorf("%s (wall): %w", s.Name, err)
+		}
+		if res.CheckErr != nil {
+			return rep, fmt.Errorf("%s (wall): %w", s.Name, res.CheckErr)
+		}
+		wallRes[s.Name] = res
+	}
+	rep.MatrixWallSeconds = time.Since(start).Seconds()
+	fmt.Fprintf(out, "matrix wall-clock mode: %.3fs\n", rep.MatrixWallSeconds)
+
+	start = time.Now()
+	for _, s := range faultbed.Matrix() {
+		res, err := faultbed.RunVirtual(s)
+		if err != nil {
+			return rep, fmt.Errorf("%s (virtual): %w", s.Name, err)
+		}
+		if res.CheckErr != nil {
+			return rep, fmt.Errorf("%s (virtual): %w", s.Name, res.CheckErr)
+		}
+		wall := wallRes[s.Name]
+		if res.Transcript != wall.Transcript || res.FaultLog != wall.FaultLog || res.Events != wall.Events {
+			return rep, fmt.Errorf("%s: virtual transcript diverges from wall-clock mode", s.Name)
+		}
+	}
+	rep.MatrixVirtualSeconds = time.Since(start).Seconds()
+	rep.MatrixSpeedup = rep.MatrixWallSeconds / rep.MatrixVirtualSeconds
+	fmt.Fprintf(out, "matrix virtual mode:    %.3fs (%.1fx speedup, transcripts byte-identical)\n",
+		rep.MatrixVirtualSeconds, rep.MatrixSpeedup)
+
+	big, err := faultbed.Find("big-topology")
+	if err != nil {
+		return rep, err
+	}
+	start = time.Now()
+	res, err := faultbed.RunVirtual(big)
+	if err != nil {
+		return rep, fmt.Errorf("big-topology: %w", err)
+	}
+	if res.CheckErr != nil {
+		return rep, fmt.Errorf("big-topology: %w", res.CheckErr)
+	}
+	rep.BigTopologySeconds = time.Since(start).Seconds()
+	rep.BigTopologyServers = res.Scenario.Servers
+	rep.BigTopologyTxns = res.Scenario.Txns
+	fmt.Fprintf(out, "big-topology: %d servers, %d txns in %.3fs — %s\n",
+		rep.BigTopologyServers, rep.BigTopologyTxns, rep.BigTopologySeconds, res.Summary())
+	return rep, nil
 }
 
 func parseClients(s string) ([]int, error) {
@@ -139,12 +225,13 @@ func main() {
 	faults := flag.String("faults", "", "run a fault-injection scenario (a name from the matrix, or \"all\") instead of a benchmark")
 	faultSeed := flag.Int64("fault-seed", 0, "override the scenario seed (0 keeps the scenario's own)")
 	faultVerify := flag.Bool("fault-verify", false, "run each transcript-asserted scenario twice and require byte-identical transcripts")
+	vtime := flag.Bool("vtime", false, "run fault scenarios on a virtual timeline: modeled delays cost no wall clock")
 
 	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout instead of tables (benchmarks only)")
 	flag.Parse()
 
 	if *faults != "" {
-		if err := runFaults(*faults, *faultSeed, *faultVerify); err != nil {
+		if err := runFaults(*faults, *faultSeed, *faultVerify, *vtime); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -185,6 +272,12 @@ func main() {
 	}
 
 	switch *exp {
+	case "vtime":
+		rep, err := runVtimeReport(os.Stdout, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(rep)
 	case "all":
 		results := make(map[string]any)
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"} {

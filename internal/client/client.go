@@ -127,6 +127,11 @@ type Config struct {
 	// are cut off spuriously. Zero disables per-call deadlines (the
 	// caller's context still applies).
 	CallTimeout time.Duration
+	// Timers supplies every timed wait the coordinator performs (call
+	// timeouts, detector polls, fan-out joins). Nil means SystemTimers;
+	// the fault bed passes a clock.Virtual so those waits resolve by
+	// timeline jump.
+	Timers clock.Timers
 }
 
 // RetryPolicy bounds retries of retryable failures (rpc.IsRetryable)
@@ -165,8 +170,9 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 
 // Client coordinates transactions from one client process.
 type Client struct {
-	cfg Config
-	clk *clock.Process
+	cfg    Config
+	clk    *clock.Process
+	timers clock.Timers
 	// det is the cross-server deadlock detector; nil when disabled.
 	det *detector
 
@@ -200,9 +206,10 @@ func New(cfg Config) (*Client, error) {
 		src = clock.System{}
 	}
 	c := &Client{
-		cfg:   cfg,
-		clk:   clock.NewProcess(src, cfg.ID),
-		conns: make(map[string]*rpc.Client),
+		cfg:    cfg,
+		clk:    clock.NewProcess(src, cfg.ID),
+		timers: clock.OrSystem(cfg.Timers),
+		conns:  make(map[string]*rpc.Client),
 	}
 	if cfg.DeadlockPoll >= 0 {
 		poll := cfg.DeadlockPoll
@@ -262,7 +269,7 @@ func (c *Client) conn(addr string) *rpc.Client {
 	defer c.mu.Unlock()
 	rc, ok := c.conns[addr]
 	if !ok {
-		rc = rpc.NewClient(c.cfg.Network, addr, c.cfg.ConnsPerServer)
+		rc = rpc.NewClientTimers(c.cfg.Network, addr, c.cfg.ConnsPerServer, c.timers)
 		c.conns[addr] = rc
 	}
 	return rc
@@ -297,7 +304,7 @@ func (c *Client) call(ctx context.Context, addr string, flow uint64, t wire.MsgT
 	rc := c.conn(addr)
 	if d := c.cfg.CallTimeout; d > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
+		ctx, cancel = c.timers.WithTimeout(ctx, d)
 		defer cancel()
 	}
 	f, err := rc.Call(ctx, flow, t, m)

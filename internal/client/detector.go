@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/deadlock"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
@@ -46,7 +47,7 @@ func newDetector(c *Client, poll time.Duration) *detector {
 		done:  make(chan struct{}),
 		fired: make(map[uint64]time.Time),
 	}
-	go d.run()
+	c.timers.Go(d.run)
 	return d
 }
 
@@ -90,13 +91,9 @@ func (d *detector) observe(addr string, edges []wire.WaitEdge) {
 
 func (d *detector) run() {
 	defer close(d.done)
-	ticker := time.NewTicker(d.poll)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-d.stop:
+		if d.c.timers.SleepStop(d.poll, d.stop) {
 			return
-		case <-ticker.C:
 		}
 		d.mu.Lock()
 		blocked := d.blocked
@@ -118,7 +115,7 @@ func (d *detector) run() {
 		for _, v := range d.graph.Victims() {
 			confirmed[v.Txn] = v
 		}
-		now := time.Now()
+		now := d.c.timers.Now()
 		for _, v := range victims {
 			cv, ok := confirmed[v.Txn]
 			if !ok || cv.Key == "" {
@@ -148,16 +145,16 @@ func (d *detector) run() {
 // folds them into the merged graph. Unreachable servers keep their
 // previous snapshot; cycle confirmation bounds the staleness risk.
 func (d *detector) pollOnce() {
-	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
+	ctx, cancel := d.c.timers.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
-	var wg sync.WaitGroup
+	join := clock.NewJoin(d.c.timers, 0)
 	// Poll the current head of every partition (not the static list):
 	// after a failover the waits live on the promoted replica.
 	for p := range d.c.cfg.Servers {
 		addr, _ := d.c.routeFor(p)
-		wg.Add(1)
-		go func(addr string) {
-			defer wg.Done()
+		join.Add(1)
+		d.c.timers.Go(func() {
+			defer join.Done()
 			f, err := d.c.call(ctx, addr, 0, wire.TWaitGraphReq, nil)
 			if err != nil {
 				return
@@ -168,9 +165,9 @@ func (d *detector) pollOnce() {
 				return
 			}
 			d.graph.Observe(addr, resp.Edges)
-		}(addr)
+		})
 	}
-	wg.Wait()
+	join.Wait()
 }
 
 // abortVictim routes the abort to the server owning the key the victim
@@ -178,7 +175,7 @@ func (d *detector) pollOnce() {
 // victim is really waiting there); failures are resolved by the next
 // poll or, ultimately, the lock-wait timeout.
 func (d *detector) abortVictim(v deadlock.Victim) {
-	ctx, cancel := context.WithTimeout(context.Background(), 4*d.poll)
+	ctx, cancel := d.c.timers.WithTimeout(context.Background(), 4*d.poll)
 	defer cancel()
 	addr, _ := d.c.routeFor(d.c.partitionFor(v.Key))
 	f, err := d.c.call(ctx, addr, 0, wire.TVictimAbortReq,

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
@@ -419,12 +420,19 @@ type serverBatch struct {
 // response frames stay with the caller.
 func (tx *DTxn) fanOutBatches(ctx context.Context, groups map[string][]string, t wire.MsgType, wait bool, build func(addr string, keys []string) wire.Message) []serverBatch {
 	results := make(chan serverBatch, len(groups))
+	join := clock.NewJoin(tx.client.timers, len(groups))
 	for addr, keys := range groups {
-		go func(addr string, keys []string) {
+		addr, keys := addr, keys
+		tx.client.timers.Go(func() {
 			f, err := tx.client.callWaitable(ctx, addr, tx.id, t, build(addr, keys), wait)
 			results <- serverBatch{addr: addr, keys: keys, fb: f, err: err}
-		}(addr, keys)
+			join.Done() // while this child is still a registered actor
+		})
 	}
+	// Credited join, not an Idle-bracketed channel drain: the last
+	// child's Done wakes this goroutine with a runnability credit, so
+	// the virtual timeline cannot slip timer fires into the handoff.
+	join.Wait()
 	out := make([]serverBatch, 0, len(groups))
 	for range groups {
 		out = append(out, <-results)
@@ -622,7 +630,7 @@ func (tx *DTxn) Commit(ctx context.Context) error {
 		}
 	}
 	if mode != ModeTO {
-		tx.releaseAll(false)
+		tx.releaseCommitted(commitTS)
 	}
 	return nil
 }
@@ -653,14 +661,30 @@ func (tx *DTxn) abort(ctx context.Context) {
 
 // releaseAll drops the transaction's unfrozen locks on every touched
 // key, one release batch per server, fire-and-forget (Alg. 11 line 34).
+// Safe on the abort path even when the decide call failed: only the
+// coordinator proposes commit, so an aborting coordinator's outcome can
+// only be abort and dropping pending writes is correct.
 func (tx *DTxn) releaseAll(writesOnly bool) {
+	tx.release(wire.ReleaseBatchReq{Txn: tx.id, WritesOnly: writesOnly})
+}
+
+// releaseCommitted is releaseAll for a decided-commit transaction: the
+// batch carries the commit timestamp so a server whose freeze cast was
+// lost installs the pending write instead of discarding it (the release
+// subsumes the freeze — see wire.ReleaseBatchReq.Committed).
+func (tx *DTxn) releaseCommitted(commitTS timestamp.Timestamp) {
+	tx.release(wire.ReleaseBatchReq{Txn: tx.id, Committed: true, TS: commitTS})
+}
+
+func (tx *DTxn) release(req wire.ReleaseBatchReq) {
 	touched := make([]string, 0, len(tx.touched))
 	for key := range tx.touched {
 		touched = append(touched, key)
 	}
 	for addr, keys := range tx.serverGroups(touched) {
-		if err := tx.client.cast(addr, tx.id, wire.TReleaseBatchReq,
-			wire.ReleaseBatchReq{Txn: tx.id, Epoch: tx.epochFor(addr), WritesOnly: writesOnly, Keys: keys}); err != nil {
+		req.Epoch = tx.epochFor(addr)
+		req.Keys = keys
+		if err := tx.client.cast(addr, tx.id, wire.TReleaseBatchReq, req); err != nil {
 			tx.routeFail(addr)
 		}
 	}

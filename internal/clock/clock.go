@@ -129,7 +129,22 @@ func NewSkewed(base Source, offset int64) *Skewed {
 // Now implements Source.
 func (s *Skewed) Now() int64 { return s.base.Now() + s.offset }
 
-var _ Source = (*Skewed)(nil)
+// AdvanceTo implements Advancer by forwarding to the base when it is
+// advanceable, compensating for the offset so that Now() reads at
+// least t afterwards. Without the passthrough a Skewed over a Manual
+// or Logical source silently dropped the §8.1 timestamp-service
+// advance (Process.AdvanceTo type-asserts its source). A
+// non-advanceable base makes this a no-op, matching Process.
+func (s *Skewed) AdvanceTo(t int64) {
+	if adv, ok := s.base.(Advancer); ok {
+		adv.AdvanceTo(t - s.offset)
+	}
+}
+
+var (
+	_ Source   = (*Skewed)(nil)
+	_ Advancer = (*Skewed)(nil)
+)
 
 // Process binds a Source to a process id and produces full Timestamps.
 // It additionally guarantees per-process monotonicity: successive calls to

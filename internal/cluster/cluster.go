@@ -82,6 +82,10 @@ type Config struct {
 	// DeadlockPoll is every coordinator's deadlock-detector poll
 	// interval (see client.Config.DeadlockPoll).
 	DeadlockPoll time.Duration
+	// Timers supplies timed waits for every server and coordinator the
+	// cluster creates, plus the cluster's own failover barriers. Nil
+	// means SystemTimers; the fault bed passes a clock.Virtual.
+	Timers clock.Timers
 }
 
 // endpointNetwork is implemented by transports that hand out
@@ -98,6 +102,7 @@ type endpointNetwork interface {
 type Cluster struct {
 	cfg     Config
 	network transport.Network
+	timers  clock.Timers
 	addrs   []string
 	// serverCfgs are the resolved per-server configurations (address
 	// and network view filled in), kept so RestartServer can bring a
@@ -157,7 +162,10 @@ func Start(cfg Config) (*Cluster, error) {
 	if network == nil {
 		network = transport.NewMem(LatencyFor(cfg.Bed))
 	}
-	c := &Cluster{cfg: cfg, network: network, nextClientID: 1, procs: make(map[string]*server.Server)}
+	if cfg.ServerConfig.Timers == nil {
+		cfg.ServerConfig.Timers = cfg.Timers
+	}
+	c := &Cluster{cfg: cfg, network: network, timers: clock.OrSystem(cfg.Timers), nextClientID: 1, procs: make(map[string]*server.Server)}
 	replicated := cfg.Replicas > 1
 	var chains [][]string
 	for i := 0; i < cfg.Servers; i++ {
@@ -430,7 +438,7 @@ func (c *Cluster) FailoverKill(p int) (repl.View, error) {
 				stable = 0
 			}
 			if stable < 2 {
-				time.Sleep(time.Millisecond)
+				c.timers.Sleep(time.Millisecond)
 			}
 		}
 		if stable < 2 {
@@ -448,7 +456,7 @@ func (c *Cluster) FailoverKill(p int) (repl.View, error) {
 				stable = 0
 			}
 			if stable < 2 {
-				time.Sleep(time.Millisecond)
+				c.timers.Sleep(time.Millisecond)
 			}
 		}
 		if stable < 2 {
@@ -557,6 +565,7 @@ func (c *Cluster) NewClient(mode client.Mode, delta int64, src clock.Source) (*c
 		ConnsPerServer: c.cfg.ConnsPerServer,
 		CallTimeout:    c.cfg.CallTimeout,
 		DeadlockPoll:   c.cfg.DeadlockPoll,
+		Timers:         c.cfg.Timers,
 	})
 	if err != nil {
 		return nil, err

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/strhash"
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
@@ -115,6 +116,11 @@ type Config struct {
 	Seed int64
 	// Chaos configures the stochastic per-frame faults.
 	Chaos Chaos
+	// Timers supplies the timeline for modeled delays (chaos delay
+	// spikes, reorder holds) and the inner Mem network's pacing. Nil
+	// means SystemTimers; virtual runs pass a clock.Virtual so fault
+	// windows cost no wall clock.
+	Timers clock.Timers
 }
 
 // edge is one directed link rule endpoint pair ("*" wildcards allowed).
@@ -126,9 +132,10 @@ type edge struct{ from, to string }
 // implements transport.Network as the anonymous endpoint "env"
 // (pass-through, never subject to chaos).
 type Net struct {
-	inner *transport.Mem
-	seed  uint64
-	chaos Chaos
+	inner  *transport.Mem
+	seed   uint64
+	chaos  Chaos
+	timers clock.Timers
 
 	mu    sync.Mutex
 	cut   map[edge]bool
@@ -155,12 +162,13 @@ func New(cfg Config) *Net {
 		ch.ReorderDelay = 2 * time.Millisecond
 	}
 	return &Net{
-		inner: transport.NewMemSeeded(cfg.Model, cfg.Seed),
-		seed:  uint64(cfg.Seed),
-		chaos: ch,
-		cut:   make(map[edge]bool),
-		dials: make(map[string]uint64),
-		log:   make(map[string][]string),
+		inner:  transport.NewMemSeededTimers(cfg.Model, cfg.Seed, cfg.Timers),
+		seed:   uint64(cfg.Seed),
+		chaos:  ch,
+		timers: clock.OrSystem(cfg.Timers),
+		cut:    make(map[edge]bool),
+		dials:  make(map[string]uint64),
+		log:    make(map[string][]string),
 	}
 }
 
@@ -375,14 +383,14 @@ func (c *chaosConn) Send(fb *wire.FrameBuf) error {
 			d += time.Duration(c.roll(0, idx, kindDelayLen) * float64(span))
 		}
 		c.net.record(stream, fmt.Sprintf("%04d delay %v", idx, d.Round(time.Microsecond)))
-		time.Sleep(d)
+		c.net.timers.Sleep(d)
 	}
 	if ch.Reorder > 0 && c.roll(0, idx, kindReorder) < ch.Reorder {
 		c.net.record(stream, fmt.Sprintf("%04d reorder", idx))
 		// Hold the frame while later sends pass it; the inner Send
 		// consumes the buffer whenever it fires (a connection closed in
 		// the meantime releases it).
-		time.AfterFunc(ch.ReorderDelay, func() {
+		c.net.timers.AfterFunc(ch.ReorderDelay, func() {
 			_ = c.in.Send(fb)
 			if dup != nil {
 				_ = c.in.Send(dup)
@@ -470,13 +478,13 @@ func (c *chaosConn) SendBatch(fbs []*wire.FrameBuf) error {
 			}
 			c.net.record(stream, fmt.Sprintf("%04d delay %v", idx, d.Round(time.Microsecond)))
 			flush()
-			time.Sleep(d)
+			c.net.timers.Sleep(d)
 		}
 		if ch.Reorder > 0 && c.roll(0, idx, kindReorder) < ch.Reorder {
 			c.net.record(stream, fmt.Sprintf("%04d reorder", idx))
 			fb := fb
 			dup := dup
-			time.AfterFunc(ch.ReorderDelay, func() {
+			c.net.timers.AfterFunc(ch.ReorderDelay, func() {
 				_ = c.in.Send(fb)
 				if dup != nil {
 					_ = c.in.Send(dup)

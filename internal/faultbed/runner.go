@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/lpd-epfl/mvtl/internal/client"
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/cluster"
 	"github.com/lpd-epfl/mvtl/internal/history"
 	"github.com/lpd-epfl/mvtl/internal/kv"
@@ -58,6 +59,10 @@ type Result struct {
 	// CheckErr is the serializability verdict: nil, or the first
 	// violation found in the MVSG of the recorded history.
 	CheckErr error
+
+	// commits is the raw recorded history, kept for in-package
+	// diagnostics (the soak and probe tests dump it on violation).
+	commits []history.Commit
 }
 
 // Summary renders the headline counts.
@@ -72,8 +77,9 @@ func (r Result) Summary() string {
 
 // runner holds one scenario run's moving parts.
 type runner struct {
-	s    Scenario
-	net  *Net
+	s      Scenario
+	timers clock.Timers
+	net    *Net
 	clus *cluster.Cluster
 	rec  *history.Recorder
 	// work is the chaos-facing workload coordinator (client-1); ctrl is
@@ -92,11 +98,30 @@ type runner struct {
 	events     strings.Builder
 }
 
-// Run executes one scenario and returns its result. The returned error
-// reports harness failures (a server that would not start, a settle
-// barrier that timed out); serializability violations are reported in
-// Result.CheckErr so callers can render the transcript alongside.
+// Run executes one scenario in wall-clock time and returns its result.
+// The returned error reports harness failures (a server that would not
+// start, a settle barrier that timed out); serializability violations
+// are reported in Result.CheckErr so callers can render the transcript
+// alongside.
 func Run(s Scenario) (Result, error) {
+	return run(s, clock.SystemTimers{})
+}
+
+// RunVirtual executes one scenario on a fresh virtual timeline: every
+// modeled delay — link latency, chaos delay spikes, lock-wait budgets,
+// scanner periods, settle polls, retry backoffs — resolves by timeline
+// jump, so a scenario full of timeout windows completes in milliseconds
+// of wall clock. Transcripts are byte-identical to Run's for the same
+// scenario (H13 extended: the virtual/wall mode switch is not allowed
+// to change any observable output).
+func RunVirtual(s Scenario) (Result, error) {
+	v := clock.NewVirtual()
+	v.Register() // the driver goroutine is the timeline's root actor
+	defer v.Unregister()
+	return run(s, v)
+}
+
+func run(s Scenario, timers clock.Timers) (Result, error) {
 	s = s.withDefaults()
 	chaos := s.Chaos
 	if len(chaos.Endpoints) == 0 {
@@ -106,9 +131,10 @@ func Run(s Scenario) (Result, error) {
 		chaos.Endpoints = []string{"client-1"}
 	}
 	net := New(Config{
-		Model: transport.LatencyModel{Base: 100 * time.Microsecond, Jitter: 50 * time.Microsecond},
-		Seed:  s.Seed,
-		Chaos: chaos,
+		Model:  transport.LatencyModel{Base: 100 * time.Microsecond, Jitter: 50 * time.Microsecond},
+		Seed:   s.Seed,
+		Chaos:  chaos,
+		Timers: timers,
 	})
 	rec := &history.Recorder{}
 	clus, err := cluster.Start(cluster.Config{
@@ -121,6 +147,7 @@ func Run(s Scenario) (Result, error) {
 		// never park, so the lock-wait timeout alone is enough here.
 		DeadlockPoll: -1,
 		CallTimeout:  callTimeout,
+		Timers:       timers,
 		ServerConfig: server.Config{
 			LockWaitTimeout:  lockWaitTimeout,
 			WriteLockTimeout: writeLockTimeout,
@@ -133,15 +160,20 @@ func Run(s Scenario) (Result, error) {
 	}
 	defer clus.Close()
 
-	r := &runner{s: s, net: net, clus: clus, rec: rec, shadow: make(map[string][]byte)}
+	r := &runner{s: s, timers: timers, net: net, clus: clus, rec: rec, shadow: make(map[string][]byte)}
 	// Client ids are allocated in order: the workload coordinator gets
 	// "client-1" (the chaos target), the control client "client-2".
-	work, err := clus.NewClient(s.Mode, s.Delta, nil)
+	// Both stamp transactions from the run's timeline (not the raw
+	// system clock): under virtual time, timestamp spacing must follow
+	// the virtual clock or successive TIL intervals would overlap locks
+	// frozen microseconds of wall clock earlier.
+	src := clock.TimersSource{T: timers}
+	work, err := clus.NewClient(s.Mode, s.Delta, src)
 	if err != nil {
 		return Result{}, err
 	}
 	r.work = work
-	ctrl, err := clus.NewClient(client.ModeTILEarly, 0, nil)
+	ctrl, err := clus.NewClient(client.ModeTILEarly, 0, src)
 	if err != nil {
 		return Result{}, err
 	}
@@ -152,6 +184,17 @@ func Run(s Scenario) (Result, error) {
 
 	gen := newOpGen(s)
 	res := Result{Scenario: s}
+	// pace separates successive transactions by more than the TIL
+	// interval width Δ, so no transaction's interval can overlap locks
+	// frozen by its predecessor. Wall runs get this spacing for free
+	// from real execution overhead; sleeping it out explicitly makes
+	// the spacing part of the schedule — identical in both modes —
+	// instead of an accident of wall-clock speed.
+	delta := s.Delta
+	if delta == 0 {
+		delta = 5000 // the client's default Δ, in microsecond ticks
+	}
+	pace := time.Duration(delta)*time.Microsecond + time.Millisecond
 	next := 0
 	for i := 0; i < s.Txns; i++ {
 		for next < len(events) && events[next].BeforeTxn <= i {
@@ -160,6 +203,7 @@ func Run(s Scenario) (Result, error) {
 			}
 			next++
 		}
+		r.timers.Sleep(pace)
 		ops := gen.txn(i)
 		outcome, attempts := r.runTxn(ops, gen.value)
 		fmt.Fprintf(&r.transcript, "t%03d %-17s a%d\n", i, outcome, attempts)
@@ -182,6 +226,7 @@ func Run(s Scenario) (Result, error) {
 	res.Events = r.events.String()
 	res.FaultLog = net.FaultLog()
 	commits := r.rec.Commits()
+	res.commits = commits
 	included, dropped := history.ResolveMaybes(commits)
 	res.CheckedCommits = len(included)
 	res.DroppedMaybes = len(dropped)
@@ -279,7 +324,7 @@ func (r *runner) settle() error {
 	var live int64
 	for try := 0; try <= attempts; try++ {
 		if try > 0 {
-			time.Sleep(settlePoll)
+			r.timers.Sleep(settlePoll)
 		}
 		reachable := true
 		live = 0
@@ -310,7 +355,7 @@ func (r *runner) drain() error {
 	attempts := int(settleTimeout / settlePoll)
 	for try := 0; try <= attempts; try++ {
 		if try > 0 {
-			time.Sleep(settlePoll)
+			r.timers.Sleep(settlePoll)
 		}
 		drained := true
 		for p := 0; p < r.s.Servers; p++ {
@@ -368,7 +413,7 @@ func (r *runner) recoverServer(i int) (int, error) {
 			// means the harness itself is broken.
 			return 0, fmt.Errorf("faultbed: recovery commit uncertain: %w", err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		r.timers.Sleep(20 * time.Millisecond)
 	}
 	return 0, fmt.Errorf("faultbed: recovery for %s kept aborting", addr)
 }
@@ -388,7 +433,7 @@ func (r *runner) runTxn(ops []workload.Op, value []byte) (outcome string, attemp
 		if !retryable || attempt >= r.s.Retry.Attempts {
 			return outcome, attempt
 		}
-		time.Sleep(r.s.Retry.Backoff(attempt))
+		r.timers.Sleep(r.s.Retry.Backoff(attempt))
 	}
 }
 

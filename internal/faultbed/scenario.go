@@ -225,9 +225,28 @@ func Matrix() []Scenario {
 	}
 }
 
-// Find returns the named matrix scenario.
+// Extras returns named scenarios that are findable (CLI, targeted
+// tests) but deliberately not part of the CI matrix: they are sized for
+// virtual time, where a thousand timeout windows cost no wall clock,
+// and would be prohibitively slow as wall-clock CI rows.
+func Extras() []Scenario {
+	return []Scenario{
+		{
+			Name:     "big-topology",
+			Note:     "256 servers under chaotic client links — a topology only virtual time can afford",
+			Servers:  256,
+			Txns:     64,
+			Disjoint: true,
+			Workload: workload.Config{OpsPerTxn: 8, Keys: 2048},
+			Chaos:    Chaos{Drop: 0.02, Dup: 0.04, Delay: 0.05},
+			AssertTranscript: true,
+		},
+	}
+}
+
+// Find returns the named scenario, searching the matrix and the extras.
 func Find(name string) (Scenario, error) {
-	for _, s := range Matrix() {
+	for _, s := range append(Matrix(), Extras()...) {
 		if s.Name == name {
 			return s, nil
 		}

@@ -5,16 +5,22 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestScenarioMatrix runs every matrix scenario once and requires a
 // serializable history from each — including the acceptance scenario,
-// which partitions a server mid-run and then crash-restarts it.
+// which partitions a server mid-run and then crash-restarts it. The
+// matrix runs on the virtual timeline: modeled delays cost no wall
+// clock, and TestH13SameSeedSameTranscript separately proves virtual
+// runs are byte-identical to wall-clock ones, so no coverage is lost
+// by the speedup.
 func TestScenarioMatrix(t *testing.T) {
 	for _, s := range Matrix() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
-			res, err := Run(s)
+			t.Parallel()
+			res, err := RunVirtual(s)
 			if err != nil {
 				t.Fatalf("harness: %v\nevents:\n%s\ntranscript:\n%s", err, res.Events, res.Transcript)
 			}
@@ -40,18 +46,49 @@ func TestScenarioMatrix(t *testing.T) {
 	}
 }
 
+// TestBigTopologyVirtual runs the extras-only big-topology scenario:
+// 256 servers under chaotic client links, a cluster size the wall-clock
+// runner could not afford in CI. The wall budget assertion is the
+// tentpole claim — a thousand-component topology's fault window costs
+// seconds, not minutes, because every modeled delay is a timeline jump.
+func TestBigTopologyVirtual(t *testing.T) {
+	s, err := Find("big-topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := RunVirtual(s)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("harness: %v\nevents:\n%s", err, res.Events)
+	}
+	t.Logf("%d servers, %d txns in %v wall: %s", s.Servers, s.Txns, wall, res.Summary())
+	if res.CheckErr != nil {
+		t.Fatalf("serializability violation: %v\ntranscript:\n%s", res.CheckErr, res.Transcript)
+	}
+	if res.Commits == 0 {
+		t.Fatalf("nothing committed:\n%s", res.Transcript)
+	}
+	if budget := 30 * time.Second; wall > budget {
+		t.Fatalf("big-topology took %v wall, over the %v budget", wall, budget)
+	}
+}
+
 // TestH13SameSeedSameTranscript is the determinism invariant: running a
 // transcript-asserted scenario twice with the same seed must reproduce
 // the commit/abort transcript, the fault log and the event log byte for
-// byte. It exercises both flavors of nondeterminism source — stochastic
-// frame chaos ("chaos"), scheduled partition plus crash-restart
-// ("partition-crash", the unreplicated acceptance scenario), and
-// replicated failover with promotions and a catch-up rejoin
-// ("failover").
+// byte — and a virtual-timeline run must reproduce all three against
+// the wall-clock runs, which is what licenses the rest of the suite to
+// run virtual. It exercises both flavors of nondeterminism source —
+// stochastic frame chaos ("chaos"), scheduled partition plus
+// crash-restart ("partition-crash", the unreplicated acceptance
+// scenario), and replicated failover with promotions and a catch-up
+// rejoin ("failover").
 func TestH13SameSeedSameTranscript(t *testing.T) {
 	for _, name := range []string{"chaos", "partition-crash", "failover"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			t.Parallel()
 			s, err := Find(name)
 			if err != nil {
 				t.Fatal(err)
@@ -67,10 +104,17 @@ func TestH13SameSeedSameTranscript(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			virtual, err := RunVirtual(s)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, cmp := range []struct{ what, a, b string }{
 				{"transcript", first.Transcript, second.Transcript},
 				{"fault log", first.FaultLog, second.FaultLog},
 				{"event log", first.Events, second.Events},
+				{"transcript (virtual vs wall)", first.Transcript, virtual.Transcript},
+				{"fault log (virtual vs wall)", first.FaultLog, virtual.FaultLog},
+				{"event log (virtual vs wall)", first.Events, virtual.Events},
 			} {
 				if cmp.a != cmp.b {
 					t.Errorf("same seed, different %s:\n--- run 1\n%s--- run 2\n%s", cmp.what, cmp.a, cmp.b)
@@ -83,9 +127,60 @@ func TestH13SameSeedSameTranscript(t *testing.T) {
 	}
 }
 
-// TestSoakMatrix is the opt-in long matrix: every transcript-asserted
-// scenario across several seeds, each run twice and compared. Enable
-// with MVTL_SOAK=1.
+// TestSeedSweepVirtual is the promoted multi-seed soak: every matrix
+// scenario across many seeds on the virtual timeline, asserting a
+// serializable history per seed, and — for the transcript-asserted
+// scenarios — running each seed twice and requiring byte-identical
+// transcripts and fault logs. (The monkey scenario is exempt from the
+// determinism compare by design: its connection resets make frame
+// order schedule-dependent, which is the very property it exists to
+// exercise.) Before virtual time this breadth was an opt-in 45-minute
+// workflow_dispatch job; at zero wall cost per modeled second it is
+// tier-1. -short trims the sweep for quick local iteration.
+func TestSeedSweepVirtual(t *testing.T) {
+	seeds := int64(32)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, base := range Matrix() {
+				s := base
+				s.Seed = seed
+				first, err := RunVirtual(s)
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name, err)
+				}
+				if first.CheckErr != nil {
+					t.Fatalf("%s: serializability violation: %v\n%s", s.Name, first.CheckErr, first.Transcript)
+				}
+				if !s.AssertTranscript {
+					continue
+				}
+				second, err := RunVirtual(s)
+				if err != nil {
+					t.Fatalf("%s (rerun): %v", s.Name, err)
+				}
+				if first.FaultLog != second.FaultLog {
+					t.Errorf("%s: same seed, different fault logs:\n--- run 1\n%s--- run 2\n%s",
+						s.Name, first.FaultLog, second.FaultLog)
+				}
+				if first.Transcript != second.Transcript {
+					t.Errorf("%s: same seed, different transcripts:\n--- run 1\n%s--- run 2\n%s",
+						s.Name, first.Transcript, second.Transcript)
+				}
+			}
+		})
+	}
+}
+
+// TestSoakMatrix is the opt-in wall-clock soak: every scenario across
+// several seeds on the real clock, each transcript-asserted one run
+// twice and compared. TestSeedSweepVirtual gives far more breadth in
+// tier-1; this job remains the proof that the wall-clock path itself
+// stays deterministic across seeds. Enable with MVTL_SOAK=1.
 func TestSoakMatrix(t *testing.T) {
 	if os.Getenv("MVTL_SOAK") == "" {
 		t.Skip("set MVTL_SOAK=1 to run the long fault matrix")

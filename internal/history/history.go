@@ -262,14 +262,16 @@ func findCycle(edges map[uint64]map[uint64]bool) []uint64 {
 					return cyc
 				}
 			case gray:
-				// reconstruct cycle v -> ... -> u -> v
-				cyc := []uint64{v}
+				// Reconstruct the cycle as v -> ... -> u -> v: walk the
+				// parent chain u back to v, reverse it into edge
+				// direction, and close the loop with a second v.
+				var back []uint64
 				for x := u; x != v; x = parent[x] {
-					cyc = append(cyc, x)
+					back = append(back, x)
 				}
-				// reverse to report in edge direction
-				for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
-					cyc[i], cyc[j] = cyc[j], cyc[i]
+				cyc := []uint64{v}
+				for i := len(back) - 1; i >= 0; i-- {
+					cyc = append(cyc, back[i])
 				}
 				return append(cyc, v)
 			}

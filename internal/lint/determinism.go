@@ -17,6 +17,12 @@ import (
 //
 //   - wall-clock reads (time.Now, time.Since) — transcripts are
 //     timestamp-free by construction;
+//   - raw timers (time.Sleep, time.After, time.NewTimer, time.Tick,
+//     time.AfterFunc) and deadline contexts (context.WithTimeout,
+//     context.WithDeadline) — waits must route through clock.Timers so
+//     a virtual timeline can advance them; a wall-clock wait stalls
+//     the virtual run and decouples timeout order from the modeled
+//     schedule;
 //   - the global math/rand generators (seeded per-process, shared
 //     across goroutines) — all randomness must derive from the
 //     scenario seed via explicit streams or stateless hash coins;
@@ -32,8 +38,9 @@ import (
 // orders is allowed.
 var DeterminismAnalyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "in //mvtl:deterministic packages forbid wall-clock reads, global math/rand, " +
-		"multi-case selects, and output-feeding iteration over unsorted maps",
+	Doc: "in //mvtl:deterministic packages forbid wall-clock reads, raw timers and " +
+		"deadline contexts (use clock.Timers), global math/rand, multi-case selects, " +
+		"and output-feeding iteration over unsorted maps",
 	Run: runDeterminism,
 }
 
@@ -55,6 +62,10 @@ func runDeterminism(pass *analysis.Pass) error {
 					switch {
 					case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
 						pass.Reportf(x.Pos(), "wall-clock read %s.%s in a deterministic package: transcripts must not depend on real time", fn.Pkg().Name(), fn.Name())
+					case fn.Pkg().Path() == "time" && isRawTimer(fn.Name()):
+						pass.Reportf(x.Pos(), "raw timer time.%s in a deterministic package: route the wait through clock.Timers so virtual time can advance it", fn.Name())
+					case fn.Pkg().Path() == "context" && (fn.Name() == "WithTimeout" || fn.Name() == "WithDeadline"):
+						pass.Reportf(x.Pos(), "wall-clock deadline context.%s in a deterministic package: derive the context from clock.Timers.WithTimeout instead", fn.Name())
 					case isGlobalRand(fn):
 						pass.Reportf(x.Pos(), "global math/rand call %s in a deterministic package: derive randomness from the scenario seed instead", fn.Name())
 					}
@@ -91,6 +102,17 @@ func deterministicPackage(pass *analysis.Pass) bool {
 				}
 			}
 		}
+	}
+	return false
+}
+
+// isRawTimer matches the time-package functions that start a wait or a
+// timer on the wall clock. time.Timer/Ticker values obtained elsewhere
+// are not chased — the constructors are the chokepoint.
+func isRawTimer(name string) bool {
+	switch name {
+	case "Sleep", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker":
+		return true
 	}
 	return false
 }

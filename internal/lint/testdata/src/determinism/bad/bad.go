@@ -6,6 +6,7 @@
 package bad
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,6 +22,29 @@ func wallClock() int64 {
 // elapsed is the same bug through time.Since.
 func elapsed(start time.Time) time.Duration {
 	return time.Since(start) // want `wall-clock read time.Since in a deterministic package`
+}
+
+// rawSleep stalls a virtual run on the wall clock: the timeline cannot
+// advance a wait it does not own.
+func rawSleep() {
+	time.Sleep(time.Millisecond) // want `raw timer time.Sleep in a deterministic package`
+}
+
+// rawAfter is the same bug as a channel; Tick and the constructors are
+// caught at the same chokepoint.
+func rawAfter() <-chan time.Time {
+	return time.After(time.Second) // want `raw timer time.After in a deterministic package`
+}
+
+// rawTicker builds a wall-clock ticker.
+func rawTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `raw timer time.NewTicker in a deterministic package`
+}
+
+// wallDeadline derives a context expiry from the wall clock instead of
+// the injected timeline.
+func wallDeadline(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, time.Second) // want `wall-clock deadline context.WithTimeout in a deterministic package`
 }
 
 // globalRand uses the shared process-wide generator instead of a

@@ -44,7 +44,18 @@ func singleSelect(ch chan int) (int, bool) {
 	}
 }
 
-// sleeping is fine: it delays, it does not read the clock into state.
-func sleeping() {
-	time.Sleep(time.Millisecond)
+// timers mirrors the clock.Timers surface the repo routes every wait
+// through; method calls on it are not time.* calls, so the analyzer is
+// naturally silent — this is the shape the raw-timer rule pushes
+// toward.
+type timers interface {
+	Sleep(d time.Duration)
+	AfterFunc(d time.Duration, fn func())
+}
+
+// sleeping waits on the injected timeline instead of the wall clock, so
+// a virtual run can advance the delay instantly.
+func sleeping(t timers) {
+	t.Sleep(time.Millisecond)
+	t.AfterFunc(time.Millisecond, func() {})
 }

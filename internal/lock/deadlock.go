@@ -1,6 +1,10 @@
 package lock
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/lpd-epfl/mvtl/internal/clock"
+)
 
 // ErrDeadlock reports that blocking on a lock would close a cycle in the
 // wait-for graph, or that an external deadlock detector chose this
@@ -35,9 +39,9 @@ type waitStripe struct {
 	mu sync.Mutex
 	// edges[w][h] is the key label of the table where w waits for h.
 	edges map[Owner]map[Owner]string
-	// parked[w] is the signal channel of w's currently parked
-	// acquisition, registered by Table.blockLocked so Abort can wake it.
-	parked map[Owner]chan struct{}
+	// parked[w] is the wake slot of w's currently parked acquisition,
+	// registered by Table.blockLocked so Abort can wake it.
+	parked map[Owner]clock.Waiter
 	// aborted marks waiters chosen as deadlock victims from outside;
 	// the mark is consumed by the victim's own pre-park or post-wake
 	// check in blockLocked.
@@ -81,7 +85,7 @@ func NewWaitGraph() *WaitGraph {
 	g := &WaitGraph{}
 	for i := range g.stripes {
 		g.stripes[i].edges = make(map[Owner]map[Owner]string)
-		g.stripes[i].parked = make(map[Owner]chan struct{})
+		g.stripes[i].parked = make(map[Owner]clock.Waiter)
 		g.stripes[i].aborted = make(map[Owner]struct{})
 	}
 	return g
@@ -230,11 +234,8 @@ func (g *WaitGraph) Abort(o Owner) {
 	st := g.stripeOf(o)
 	st.mu.Lock()
 	st.aborted[o] = struct{}{}
-	if ch, ok := st.parked[o]; ok {
-		select {
-		case ch <- struct{}{}:
-		default:
-		}
+	if w, ok := st.parked[o]; ok {
+		w.Wake()
 	}
 	st.mu.Unlock()
 }
@@ -265,15 +266,12 @@ func (g *WaitGraph) consumeAbort(o Owner) bool {
 // victim mark arrived between the caller's pre-park check and the
 // registration, park self-signals so the waiter wakes immediately and
 // consumes the mark instead of sleeping out the timeout.
-func (g *WaitGraph) park(o Owner, ch chan struct{}) {
+func (g *WaitGraph) park(o Owner, w clock.Waiter) {
 	st := g.stripeOf(o)
 	st.mu.Lock()
-	st.parked[o] = ch
+	st.parked[o] = w
 	if _, ok := st.aborted[o]; ok {
-		select {
-		case ch <- struct{}{}:
-		default:
-		}
+		w.Wake()
 	}
 	st.mu.Unlock()
 }

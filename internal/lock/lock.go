@@ -51,6 +51,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/timestamp"
 )
 
@@ -138,14 +139,16 @@ type entry struct {
 // lock state is released or frozen. owner and mode identify the parked
 // request so that later-inserted conflicting locks can extend the
 // waiter's wait-for edges. Waiters are pooled per table: done is a
-// buffered channel that is drained, never closed, so the whole struct
-// (including its spans storage) is reused and the blocking path does
-// not allocate once the pool is warm.
+// level-triggered wake slot that is drained, never torn down, so the
+// whole struct (including its spans storage) is reused and the blocking
+// path does not allocate once the pool is warm. On a virtual timeline
+// the park marks the waiter quiescent, so lock-wait timeouts resolve by
+// timeline jump instead of wall clock.
 type waiter struct {
 	owner Owner
 	mode  Mode
 	spans []timestamp.Interval
-	done  chan struct{}
+	done  clock.Waiter
 	// linked is true while the waiter sits in Table.waiters (guarded by
 	// the table mutex). A waiter woken by WaitGraph.Abort is signalled
 	// without being unlinked, so the wake path checks this instead of
@@ -194,6 +197,9 @@ type Table struct {
 	// exported edge names the key its waiter blocks on (cross-server
 	// detectors route victim aborts by it).
 	key string
+	// timers supplies the timeline waiters park on; nil means
+	// SystemTimers (set lazily by getWaiterLocked).
+	timers clock.Timers
 }
 
 // maxFreeWaiters caps the per-table waiter freelist; more parked
@@ -218,6 +224,13 @@ func NewTableDetected(g *WaitGraph) *Table {
 // each waiter blocks on.
 func NewTableKeyed(g *WaitGraph, key string) *Table {
 	return &Table{graph: g, key: key}
+}
+
+// NewTableKeyedTimers is NewTableKeyed on an explicit timeline: parked
+// waiters use the timeline's wake slots, so the fault bed can expire
+// lock waits by virtual-time jump. A nil t means SystemTimers.
+func NewTableKeyedTimers(g *WaitGraph, key string, t clock.Timers) *Table {
+	return &Table{graph: g, key: key, timers: t}
 }
 
 // AcquireRead acquires read locks on a contiguous interval starting at
@@ -591,10 +604,7 @@ func (t *Table) wakeOverlappingLocked(iv timestamp.Interval) {
 			i++
 			continue
 		}
-		select {
-		case w.done <- struct{}{}:
-		default:
-		}
+		w.done.Wake()
 		t.unlinkWaiterAtLocked(i)
 	}
 }
@@ -609,9 +619,12 @@ func (t *Table) getWaiterLocked(owner Owner, mode Mode) *waiter {
 		w.owner, w.mode = owner, mode
 		return w
 	}
-	// done is buffered so the waker can signal-and-unlink under the
-	// table mutex without a rendezvous.
-	return &waiter{owner: owner, mode: mode, done: make(chan struct{}, 1)}
+	// done buffers one wake so the waker can signal-and-unlink under
+	// the table mutex without a rendezvous.
+	if t.timers == nil {
+		t.timers = clock.SystemTimers{}
+	}
+	return &waiter{owner: owner, mode: mode, done: t.timers.NewWaiter()}
 }
 
 // putWaiterLocked returns an unlinked waiter to the freelist, draining
@@ -619,10 +632,7 @@ func (t *Table) getWaiterLocked(owner Owner, mode Mode) *waiter {
 // that timed out can be signalled between the context firing and the
 // table mutex being reacquired). Callers hold t.mu.
 func (t *Table) putWaiterLocked(w *waiter) {
-	select {
-	case <-w.done:
-	default:
-	}
+	w.done.Drain()
 	w.spans = w.spans[:0]
 	if len(t.free) < maxFreeWaiters {
 		t.free = append(t.free, w)
@@ -680,35 +690,26 @@ func (t *Table) blockLocked(ctx context.Context, owner Owner, mode Mode, holders
 		t.graph.park(owner, w.done)
 	}
 	t.mu.Unlock()
-	select {
-	case <-w.done:
-		t.mu.Lock()
-		if t.graph != nil {
-			t.graph.unpark(owner)
-		}
-		// A wake from WaitGraph.Abort does not unlink (the graph cannot
-		// reach the table's waiter list); remove ourselves then. The
-		// common table-waker wake already unlinked, so the O(waiters)
-		// scan is skipped on the hot handoff path.
-		if w.linked {
-			t.removeWaiterLocked(w)
-		}
-		t.putWaiterLocked(w)
-		if t.graph != nil && t.graph.consumeAbort(owner) {
-			return ErrDeadlock
-		}
-		return nil
-	case <-ctx.Done():
-		t.mu.Lock()
-		if t.graph != nil {
-			t.graph.unpark(owner)
-		}
-		if w.linked {
-			t.removeWaiterLocked(w)
-		}
-		t.putWaiterLocked(w)
-		return ctx.Err()
+	err := w.done.ParkCtx(ctx)
+	t.mu.Lock()
+	if t.graph != nil {
+		t.graph.unpark(owner)
 	}
+	// A wake from WaitGraph.Abort does not unlink (the graph cannot
+	// reach the table's waiter list); remove ourselves then. The
+	// common table-waker wake already unlinked, so the O(waiters)
+	// scan is skipped on the hot handoff path.
+	if w.linked {
+		t.removeWaiterLocked(w)
+	}
+	t.putWaiterLocked(w)
+	if err != nil {
+		return err
+	}
+	if t.graph != nil && t.graph.consumeAbort(owner) {
+		return ErrDeadlock
+	}
+	return nil
 }
 
 // blockersForReadLocked appends the owners of unfrozen write locks
@@ -898,10 +899,7 @@ func (t *Table) extendWaiterEdgesLocked(e entry) {
 			i++
 			continue
 		}
-		select {
-		case w.done <- struct{}{}:
-		default:
-		}
+		w.done.Wake()
 		t.unlinkWaiterAtLocked(i)
 	}
 }

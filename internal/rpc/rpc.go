@@ -90,6 +90,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/transport"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
@@ -103,6 +104,7 @@ var ErrClosed = errors.New("rpc: connection closed")
 type Client struct {
 	network transport.Network
 	addr    string
+	timers  clock.Timers
 
 	mu     sync.Mutex
 	conns  []*conn // lazily dialed, one slot per pool index
@@ -113,10 +115,18 @@ type Client struct {
 // `conns` connections (values below one are treated as one). Dialing is
 // lazy: errors surface on first use of each pool slot.
 func NewClient(network transport.Network, addr string, conns int) *Client {
+	return NewClientTimers(network, addr, conns, nil)
+}
+
+// NewClientTimers is NewClient on an explicit timeline: response waits
+// park on the timeline's waiters and the demux goroutines register as
+// actors, so the fault bed can run the whole RPC layer in virtual
+// time. A nil t means SystemTimers.
+func NewClientTimers(network transport.Network, addr string, conns int, t clock.Timers) *Client {
 	if conns < 1 {
 		conns = 1
 	}
-	return &Client{network: network, addr: addr, conns: make([]*conn, conns)}
+	return &Client{network: network, addr: addr, timers: clock.OrSystem(t), conns: make([]*conn, conns)}
 }
 
 // Addr returns the server address this client talks to.
@@ -161,7 +171,7 @@ func (c *Client) conn(flow uint64) (*conn, error) {
 		_ = tc.Close()
 		return existing, nil
 	}
-	cn = newConn(c.addr, tc)
+	cn = newConn(c.addr, tc, c.timers)
 	c.conns[slot] = cn
 	return cn, nil
 }
@@ -243,6 +253,11 @@ type waiterSlot struct {
 	// delivered; the demux claims a delivery by clearing it, so a
 	// duplicated response (chaos Dup) cannot deliver twice.
 	active bool
+	// w parks the calling goroutine while the response is in flight;
+	// the demux wakes it after delivering into ch. On a virtual
+	// timeline the park marks the caller quiescent, which is what lets
+	// modeled latencies and timeouts advance without wall clock.
+	w clock.Waiter
 }
 
 // conn is one pipelined connection: a waiter-slot freelist, a demux
@@ -251,6 +266,7 @@ type waiterSlot struct {
 type conn struct {
 	addr   string
 	tc     transport.Conn
+	timers clock.Timers
 	castID atomic.Uint64
 	out    batcher
 
@@ -264,14 +280,19 @@ type conn struct {
 	// are expected traffic and not counted).
 	lateDrops atomic.Uint64
 
-	done chan struct{}
+	// done joins the demux goroutine's exit. A credited clock.Join, not
+	// a bare channel: close() may run on a registered virtual-timeline
+	// actor while the demux is mid-Sleep on a modeled delivery delay,
+	// and a raw channel receive would keep the closer counted runnable,
+	// so the timer that would let the demux finish could never fire.
+	done *clock.Join
 }
 
-func newConn(addr string, tc transport.Conn) *conn {
-	cn := &conn{addr: addr, tc: tc}
+func newConn(addr string, tc transport.Conn, t clock.Timers) *conn {
+	cn := &conn{addr: addr, tc: tc, timers: clock.OrSystem(t)}
 	cn.out.tc = tc
-	cn.done = make(chan struct{})
-	go cn.recvLoop()
+	cn.done = clock.NewJoin(cn.timers, 1)
+	cn.timers.Go(cn.recvLoop)
 	return cn
 }
 
@@ -286,7 +307,7 @@ func (cn *conn) acquire() (uint32, *waiterSlot, uint64, error) {
 	}
 	if len(cn.free) == 0 {
 		cn.free = append(cn.free, uint32(len(cn.slots)))
-		cn.slots = append(cn.slots, &waiterSlot{ch: make(chan *wire.FrameBuf, 1)})
+		cn.slots = append(cn.slots, &waiterSlot{ch: make(chan *wire.FrameBuf, 1), w: cn.timers.NewWaiter()})
 	}
 	idx := cn.free[len(cn.free)-1]
 	cn.free = cn.free[:len(cn.free)-1]
@@ -305,6 +326,9 @@ func (cn *conn) freeSlot(idx uint32, s *waiterSlot) {
 	s.gen++
 	cn.free = append(cn.free, idx)
 	cn.mu.Unlock()
+	// Discard any wake the demux signaled after this tenant stopped
+	// listening, so it cannot leak into the slot's next tenancy.
+	s.w.Drain()
 }
 
 // unregister abandons a slot mid-call (context cancelled, send failed).
@@ -331,11 +355,19 @@ func (cn *conn) unregister(idx uint32, s *waiterSlot) {
 	cn.freeSlot(idx, s)
 }
 
+// deliver hands a claimed response (or the nil closed sentinel) to the
+// slot's tenant: the value first, then the wake, so a woken caller
+// always finds the channel populated.
+func deliver(s *waiterSlot, f *wire.FrameBuf) {
+	s.ch <- f // capacity 1 and claimed exactly once: never blocks
+	s.w.Wake()
+}
+
 // recvLoop routes response frames to their slots until the transport
 // fails, then fails every active slot fast by delivering a nil closed
 // sentinel on its persistent channel.
 func (cn *conn) recvLoop() {
-	defer close(cn.done)
+	defer cn.done.Done()
 	for {
 		f, err := cn.tc.Recv()
 		if err != nil {
@@ -350,7 +382,7 @@ func (cn *conn) recvLoop() {
 			}
 			cn.mu.Unlock()
 			for _, s := range fail {
-				s.ch <- nil // claimed above: the channel is empty
+				deliver(s, nil) // claimed above: the channel is empty
 			}
 			return
 		}
@@ -383,7 +415,7 @@ func (cn *conn) route(f *wire.FrameBuf) {
 		f.Release()
 		return
 	}
-	s.ch <- f // capacity 1 and claimed exactly once: never blocks
+	deliver(s, f)
 }
 
 // send encodes m into a pooled frame buffer and enqueues it on the
@@ -410,16 +442,21 @@ func (cn *conn) call(ctx context.Context, t wire.MsgType, m wire.Message) (*wire
 		}
 		return nil, fmt.Errorf("rpc: send to %s: %w", cn.addr, err)
 	}
-	select {
-	case f := <-s.ch:
-		cn.freeSlot(idx, s)
-		if f == nil {
-			return nil, closedErr(cn.addr)
+	for {
+		if err := s.w.ParkCtx(ctx); err != nil {
+			cn.unregister(idx, s)
+			return nil, err
 		}
-		return f, nil
-	case <-ctx.Done():
-		cn.unregister(idx, s)
-		return nil, ctx.Err()
+		select {
+		case f := <-s.ch:
+			cn.freeSlot(idx, s)
+			if f == nil {
+				return nil, closedErr(cn.addr)
+			}
+			return f, nil
+		default:
+			// A stale buffered wake from a past tenancy; park again.
+		}
 	}
 }
 
@@ -442,7 +479,7 @@ func (cn *conn) cast(t wire.MsgType, m wire.Message) error {
 
 func (cn *conn) close() {
 	_ = cn.tc.Close()
-	<-cn.done
+	cn.done.Wait()
 }
 
 // batcher coalesces concurrent frame sends on one transport connection.
@@ -533,13 +570,16 @@ type replyFlusher struct {
 	err     error            // first flush error; the connection is dead beyond it
 	stopped bool
 
-	wake chan struct{} // capacity 1: at most one buffered wakeup
-	done chan struct{}
+	wake clock.Waiter // at most one buffered wakeup
+	// done joins the flusher goroutine's exit; a credited clock.Join
+	// for the same reason as conn.done (the loop may be sleeping in the
+	// transport's modeled backpressure when stop is called).
+	done *clock.Join
 }
 
-func newReplyFlusher(tc transport.Conn, onErr func(error)) *replyFlusher {
-	q := &replyFlusher{tc: tc, onErr: onErr, wake: make(chan struct{}, 1), done: make(chan struct{})}
-	go q.loop()
+func newReplyFlusher(tc transport.Conn, onErr func(error), t clock.Timers) *replyFlusher {
+	q := &replyFlusher{tc: tc, onErr: onErr, wake: t.NewWaiter(), done: clock.NewJoin(t, 1)}
+	t.Go(q.loop)
 	return q
 }
 
@@ -559,15 +599,12 @@ func (q *replyFlusher) send(fb *wire.FrameBuf) error {
 	}
 	q.pending = append(q.pending, fb)
 	q.mu.Unlock()
-	select {
-	case q.wake <- struct{}{}:
-	default:
-	}
+	q.wake.Wake()
 	return nil
 }
 
 func (q *replyFlusher) loop() {
-	defer close(q.done)
+	defer q.done.Done()
 	for {
 		q.mu.Lock()
 		for len(q.pending) == 0 {
@@ -576,7 +613,7 @@ func (q *replyFlusher) loop() {
 				return
 			}
 			q.mu.Unlock()
-			<-q.wake
+			q.wake.Park()
 			q.mu.Lock()
 		}
 		batch := q.pending
@@ -618,11 +655,8 @@ func (q *replyFlusher) stop() {
 	q.mu.Lock()
 	q.stopped = true
 	q.mu.Unlock()
-	select {
-	case q.wake <- struct{}{}:
-	default:
-	}
-	<-q.done
+	q.wake.Wake()
+	q.done.Wait()
 }
 
 // Reply sends one response frame, correlated with the request that the
@@ -684,10 +718,21 @@ func sendReply(out *replyFlusher, onSendErr func(error), id uint64, t wire.MsgTy
 // client waiting on a correlation id whose response was never written
 // is otherwise invisible on the server side.
 func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f *wire.FrameBuf, reply Reply), onSendErr func(error)) {
-	out := newReplyFlusher(conn, onSendErr)
+	ServeConnTimers(conn, spawn, handle, onSendErr, nil)
+}
+
+// ServeConnTimers is ServeConn on an explicit timeline: spawned
+// handlers register as actors and the teardown wait is a credited
+// clock.Join, so parked handlers can still be expired by virtual
+// lock-wait deadlines while the connection drains without opening a
+// free-running-advance window at the final handoff. A nil t means
+// SystemTimers.
+func ServeConnTimers(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f *wire.FrameBuf, reply Reply), onSendErr func(error), t clock.Timers) {
+	timers := clock.OrSystem(t)
+	out := newReplyFlusher(conn, onSendErr, timers)
 	inline := &replyState{out: out, onSendErr: onSendErr}
 	inlineReply := Reply(inline.reply) // one closure for the whole connection
-	var handlers sync.WaitGroup
+	handlers := clock.NewJoin(timers, 0)
 	defer func() {
 		handlers.Wait() // no reply can be enqueued past this point
 		out.stop()
@@ -700,13 +745,13 @@ func ServeConn(conn transport.Conn, spawn func(wire.MsgType) bool, handle func(f
 		if spawn != nil && spawn(f.Type()) {
 			handlers.Add(1)
 			id := f.ID()
-			go func(f *wire.FrameBuf) {
+			timers.Go(func() {
 				defer handlers.Done()
 				defer f.Release()
 				handle(f, func(t wire.MsgType, m wire.Message) {
 					sendReply(out, onSendErr, id, t, m)
 				})
-			}(f)
+			})
 		} else {
 			inline.id = f.ID()
 			handle(f, inlineReply)

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/commitment"
 	"github.com/lpd-epfl/mvtl/internal/lock"
 	"github.com/lpd-epfl/mvtl/internal/metrics"
@@ -65,6 +66,11 @@ type Config struct {
 	// Repl configures the server's replication role; nil keeps the
 	// server unreplicated (no epoch fencing, no partition log).
 	Repl *ReplConfig
+	// Timers supplies every timed wait the server performs (lock-wait
+	// budgets, scanner period, peer-call timeouts, standby pull
+	// backoff). Nil means SystemTimers; the fault bed passes a
+	// clock.Virtual so those waits resolve by timeline jump.
+	Timers clock.Timers
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -205,7 +211,14 @@ type Server struct {
 	accepted   map[transport.Conn]struct{}
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// closing is set before Close sweeps peers and accepted, so the
+	// accept and peer-dial paths can refuse to register new entries the
+	// sweep would miss: a conn accepted (or a peer client dialed) after
+	// the sweep would otherwise never be closed, and on a virtual
+	// timeline its parked goroutine would pin wg.Wait forever.
+	closing atomic.Bool
+	wg      sync.WaitGroup
+	timers  clock.Timers
 }
 
 // New starts a server listening at cfg.Addr.
@@ -225,6 +238,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		listener: l,
+		timers:   clock.OrSystem(cfg.Timers),
 		registry: commitment.NewRegistry(),
 		waits:    lock.NewWaitGraph(),
 		peers:    make(map[string]*rpc.Client),
@@ -247,12 +261,12 @@ func New(cfg Config) (*Server, error) {
 			// log, so lag barriers cannot pass before the first sync.
 			s.replLag.Store(-1)
 			s.wg.Add(1)
-			go s.pullLoop()
+			s.timers.Go(s.pullLoop)
 		}
 	}
 	s.wg.Add(2)
-	go s.acceptLoop()
-	go s.suspectLoop()
+	s.timers.Go(s.acceptLoop)
+	s.timers.Go(s.suspectLoop)
 	return s, nil
 }
 
@@ -261,6 +275,7 @@ func (s *Server) Addr() string { return s.listener.Addr() }
 
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() error {
+	s.closing.Store(true)
 	close(s.stop)
 	err := s.listener.Close()
 	s.peersMu.Lock()
@@ -274,7 +289,8 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.acceptedMu.Unlock()
-	s.wg.Wait()
+	s.stopPull()
+	s.timers.Idle(s.wg.Wait)
 	return err
 }
 
@@ -300,7 +316,7 @@ func (s *Server) key(k string) *keyState {
 	if ks, ok = st.keys[k]; ok {
 		return ks
 	}
-	ks = &keyState{locks: lock.NewTableKeyed(s.waits, k), versions: version.NewList()}
+	ks = &keyState{locks: lock.NewTableKeyedTimers(s.waits, k, s.timers), versions: version.NewList()}
 	st.keys[k] = ks
 	return ks
 }
@@ -387,10 +403,19 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.acceptedMu.Lock()
+		if s.closing.Load() {
+			// Close's sweep may already have passed; registering now
+			// would leak a conn nobody closes. (If closing is still
+			// false here, the sweep has not taken acceptedMu yet and
+			// will see this entry.)
+			s.acceptedMu.Unlock()
+			_ = conn.Close()
+			continue
+		}
 		s.accepted[conn] = struct{}{}
 		s.acceptedMu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		s.timers.Go(func() { s.serveConn(conn) })
 	}
 }
 
@@ -406,9 +431,9 @@ func (s *Server) serveConn(conn transport.Conn) {
 		delete(s.accepted, conn)
 		s.acceptedMu.Unlock()
 	}()
-	rpc.ServeConn(conn, blocking, s.dispatch, func(err error) {
+	rpc.ServeConnTimers(conn, blocking, s.dispatch, func(err error) {
 		s.logf("server %s: send: %v", s.cfg.Addr, err)
-	})
+	}, s.timers)
 }
 
 // blocking reports the message types whose handlers may park — lock
@@ -592,7 +617,7 @@ func (s *Server) handleReadLockBatch(req wire.ReadLockBatchReq) wire.ReadLockBat
 		// sequential single-key reads would: one blocked key must not
 		// starve its siblings' waits or poison their results.
 		results[i] = func() wire.ReadLockResult {
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
+			ctx, cancel := s.timers.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
 			defer cancel()
 			return s.readLockKey(ctx, k, owner, req.Upper, wait)
 		}()
@@ -708,7 +733,7 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 		// a timestamp the suspicion scanner would never reap it if the
 		// coordinator dies before deciding.
 		if len(req.Items) > 0 && t.firstWriteLock.IsZero() {
-			t.firstWriteLock = time.Now()
+			t.firstWriteLock = s.timers.Now()
 		}
 	})
 	if finished {
@@ -716,7 +741,7 @@ func (s *Server) handleWriteLockBatch(req wire.WriteLockBatchReq) wire.WriteLock
 	}
 
 	owner := lock.Owner(req.Txn)
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
+	ctx, cancel := s.timers.WithTimeout(context.Background(), s.cfg.LockWaitTimeout)
 	defer cancel()
 	results := make([]wire.WriteLockResult, len(req.Items))
 	acquired := make([]bool, len(req.Items))
@@ -918,6 +943,25 @@ func (s *Server) handleReleaseBatch(req wire.ReleaseBatchReq) wire.Ack {
 	// drain their records — the failover harness waits for live
 	// transactions to reach zero before freezing the old head's log.
 	owner := lock.Owner(req.Txn)
+	if req.Committed {
+		// The sender's transaction decided commit at req.TS. Any write
+		// key still pending here means the freeze cast that should have
+		// installed it was lost in flight (both are fire-and-forget):
+		// releasing its unfrozen lock below would silently discard a
+		// durably committed write. Run the lost freeze first — the
+		// freshly frozen locks then survive ReleaseUnfrozen.
+		var lost []string
+		s.withTxnIfPresent(req.Txn, func(t *txnState) {
+			for _, k := range req.Keys {
+				if _, ok := t.pending[k]; ok {
+					lost = append(lost, k)
+				}
+			}
+		})
+		if len(lost) > 0 {
+			s.handleFreezeBatch(wire.FreezeBatchReq{Txn: req.Txn, Epoch: req.Epoch, TS: req.TS, WriteKeys: lost})
+		}
+	}
 	for _, k := range req.Keys {
 		ks := s.key(k)
 		if req.WritesOnly {
@@ -1072,15 +1116,11 @@ func (s *Server) applyDecision(txn uint64, d commitment.Decision) {
 // abort to the decision server (write-lock-timeout, Alg. 13).
 func (s *Server) suspectLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.cfg.ScanInterval)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-s.stop:
+		if s.timers.SleepStop(s.cfg.ScanInterval, s.stop) {
 			return
-		case <-ticker.C:
-			s.scanOnce()
 		}
+		s.scanOnce()
 	}
 }
 
@@ -1090,7 +1130,7 @@ func (s *Server) scanOnce() {
 		decisionSrv string
 	}
 	var suspects []suspect
-	now := time.Now()
+	now := s.timers.Now()
 	for i := range s.txnStripes {
 		st := &s.txnStripes[i]
 		st.mu.Lock()
@@ -1149,13 +1189,19 @@ func (s *Server) proposeAbort(txn uint64, decisionSrv string) (commitment.Decisi
 // becomes reachable again instead of failing forever.
 func (s *Server) callPeer(addr string, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
 	s.peersMu.Lock()
+	if s.closing.Load() {
+		// Close's peer sweep may already have passed; a client dialed
+		// now would never be closed.
+		s.peersMu.Unlock()
+		return nil, rpc.ErrClosed
+	}
 	pc, ok := s.peers[addr]
 	if !ok {
-		pc = rpc.NewClient(s.cfg.Network, addr, 1)
+		pc = rpc.NewClientTimers(s.cfg.Network, addr, 1, s.timers)
 		s.peers[addr] = pc
 	}
 	s.peersMu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
+	ctx, cancel := s.timers.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
 	defer cancel()
 	f, err := pc.Call(ctx, 0, t, m)
 	if err != nil && (errors.Is(err, rpc.ErrClosed) || errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout)) {
@@ -1370,12 +1416,12 @@ func (s *Server) applyReplRecord(r *wire.ReplRecord) error {
 // client is replaced in place so the next attempt redials — the upstream
 // may have crash-restarted on the same address.
 func (s *Server) pullCall(rc **rpc.Client, t wire.MsgType, m wire.Message) (*wire.FrameBuf, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
+	ctx, cancel := s.timers.WithTimeout(context.Background(), s.cfg.PeerCallTimeout)
 	defer cancel()
 	f, err := (*rc).Call(ctx, 0, t, m)
 	if err != nil && (errors.Is(err, rpc.ErrClosed) || errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrTimeout)) {
 		_ = (*rc).Close()
-		*rc = rpc.NewClient(s.cfg.Network, s.cfg.Repl.Upstream, 1)
+		*rc = rpc.NewClientTimers(s.cfg.Network, s.cfg.Repl.Upstream, 1, s.timers)
 	}
 	return f, err
 }
@@ -1426,7 +1472,7 @@ func (s *Server) pullLoop() {
 	if interval <= 0 {
 		interval = 2 * time.Millisecond
 	}
-	rc := rpc.NewClient(s.cfg.Network, r.Upstream, 1)
+	rc := rpc.NewClientTimers(s.cfg.Network, r.Upstream, 1, s.timers)
 	defer func() { _ = rc.Close() }()
 	var from uint64
 	needSnapshot := true
@@ -1485,15 +1531,10 @@ func (s *Server) pullLoop() {
 	}
 }
 
-// sleepPull waits one pull interval, returning early on stop/promotion.
+// sleepPull waits one pull interval, returning early on stop or
+// promotion (Close routes through stopPull, so pullStop covers both).
 func (s *Server) sleepPull(d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-	case <-s.pullStop:
-	case <-s.stop:
-	}
+	s.timers.SleepStop(d, s.pullStop)
 }
 
 // adoptEpoch moves a standby's epoch forward to the upstream's serving

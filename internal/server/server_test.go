@@ -268,3 +268,56 @@ func TestServerConcurrentRequestsOneConn(t *testing.T) {
 		t.Fatalf("got %d distinct responses", len(seen))
 	}
 }
+
+// TestServerCommittedReleaseInstallsLostFreeze covers the lost-freeze
+// hole: freezes and releases are both fire-and-forget casts, so a
+// dropped freeze followed by a delivered release used to discard the
+// still-unfrozen write lock — and with it the pending value of a
+// durably committed write. A release carrying the commit decision must
+// install the pending write at the commit timestamp instead.
+func TestServerCommittedReleaseInstallsLostFreeze(t *testing.T) {
+	_, n := startServer(t, time.Minute)
+	c := dialRaw(t, n, "srv")
+
+	set := timestamp.NewSet(timestamp.Span(ts(10), ts(20)))
+	f := c.call(wire.TWriteLockReq, wire.WriteLockReq{
+		Txn: 1, Key: "x", DecisionSrv: "srv", Set: set, Value: []byte("v1"),
+	})
+	wresp, err := wire.DecodeWriteLockResp(f.Body())
+	if err != nil || wresp.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", wresp, err)
+	}
+	f = c.call(wire.TDecideReq, wire.DecideReq{Txn: 1, Proposal: wire.DecideCommit, TS: ts(15)})
+	if dresp, err := wire.DecodeDecideResp(f.Body()); err != nil || dresp.Kind != wire.DecideCommit {
+		t.Fatalf("%+v %v", dresp, err)
+	}
+	// The freeze cast is "lost": the coordinator's release batch arrives
+	// first, carrying the commit decision.
+	f = c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{
+		Txn: 1, Committed: true, TS: ts(15), Keys: []string{"x"},
+	})
+	if ack, err := wire.DecodeAck(f.Body()); err != nil || ack.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", ack, err)
+	}
+	// The committed value must be readable, not dropped.
+	f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 2, Key: "x", Upper: ts(100)})
+	rresp, err := wire.DecodeReadLockResp(f.Body())
+	if err != nil || rresp.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", rresp, err)
+	}
+	if string(rresp.Value) != "v1" || rresp.VersionTS != ts(15) {
+		t.Fatalf("committed write lost: value %q at %v, want \"v1\" at %v", rresp.Value, rresp.VersionTS, ts(15))
+	}
+	// An uncommitted release (the abort path) still drops pending writes.
+	set2 := timestamp.NewSet(timestamp.Span(ts(30), ts(40)))
+	c.call(wire.TWriteLockReq, wire.WriteLockReq{Txn: 3, Key: "y", DecisionSrv: "srv", Set: set2, Value: []byte("v2")})
+	c.call(wire.TReleaseBatchReq, wire.ReleaseBatchReq{Txn: 3, Keys: []string{"y"}})
+	f = c.call(wire.TReadLockReq, wire.ReadLockReq{Txn: 4, Key: "y", Upper: ts(100)})
+	rresp, err = wire.DecodeReadLockResp(f.Body())
+	if err != nil || rresp.Status != wire.StatusOK {
+		t.Fatalf("%+v %v", rresp, err)
+	}
+	if len(rresp.Value) != 0 || rresp.VersionTS != timestamp.Zero {
+		t.Fatalf("aborted write leaked: value %q at %v", rresp.Value, rresp.VersionTS)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lpd-epfl/mvtl/internal/clock"
 	"github.com/lpd-epfl/mvtl/internal/strhash"
 	"github.com/lpd-epfl/mvtl/internal/wire"
 )
@@ -149,8 +150,9 @@ func (m LatencyModel) occupancy(n int) time.Duration {
 // cannot perturb the delays of another and a fixed seed yields the same
 // delay schedule run after run regardless of goroutine interleaving.
 type Mem struct {
-	model LatencyModel
-	seed  uint64
+	model  LatencyModel
+	seed   uint64
+	timers clock.Timers
 
 	mu        sync.Mutex
 	dials     map[string]uint64
@@ -166,9 +168,19 @@ func NewMem(model LatencyModel) *Mem { return NewMemSeeded(model, 1) }
 // NewMemSeeded returns an in-memory network whose per-link jitter
 // streams all derive from seed.
 func NewMemSeeded(model LatencyModel, seed int64) *Mem {
+	return NewMemSeededTimers(model, seed, nil)
+}
+
+// NewMemSeededTimers is NewMemSeeded on an explicit timeline: every
+// pacing decision of the latency model — propagation sleeps, sender
+// occupancy, backpressure — reads and sleeps on t instead of the wall
+// clock, so the fault bed can run the whole network in virtual time.
+// A nil t means SystemTimers.
+func NewMemSeededTimers(model LatencyModel, seed int64, t clock.Timers) *Mem {
 	return &Mem{
 		model:     model,
 		seed:      uint64(seed),
+		timers:    clock.OrSystem(t),
 		dials:     make(map[string]uint64),
 		listeners: make(map[string]*memListener),
 	}
@@ -187,7 +199,7 @@ func (m *Mem) Listen(addr string) (Listener, error) {
 	if _, exists := m.listeners[addr]; exists {
 		return nil, fmt.Errorf("transport: address %q in use", addr)
 	}
-	l := &memListener{addr: addr, network: m, backlog: make(chan *memConn, 64), closed: make(chan struct{})}
+	l := &memListener{addr: addr, network: m, backlog: make(chan *memConn, 64), closed: make(chan struct{}), w: m.timers.NewWaiter()}
 	m.listeners[addr] = l
 	return l, nil
 }
@@ -205,12 +217,13 @@ func (m *Mem) Dial(addr string) (Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: dial %q: %w", addr, ErrUnavailable)
 	}
-	a2b := newMemPipe(m.model, m.pipeSeed(addr, dial, 0))
-	b2a := newMemPipe(m.model, m.pipeSeed(addr, dial, 1))
+	a2b := newMemPipe(m.model, m.pipeSeed(addr, dial, 0), m.timers)
+	b2a := newMemPipe(m.model, m.pipeSeed(addr, dial, 1), m.timers)
 	client := &memConn{send: a2b, recv: b2a}
 	server := &memConn{send: b2a, recv: a2b}
 	select {
 	case l.backlog <- server:
+		l.w.Wake()
 		return client, nil
 	case <-l.closed:
 		return nil, fmt.Errorf("transport: dial %q: %w", addr, ErrClosed)
@@ -228,17 +241,27 @@ type memListener struct {
 	addr    string
 	network *Mem
 	backlog chan *memConn
+	// w parks the accepting goroutine so the fault bed's virtual
+	// timeline knows it is quiescent; dials and Close wake it.
+	w clock.Waiter
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
 func (l *memListener) Accept() (Conn, error) {
-	select {
-	case c := <-l.backlog:
-		return c, nil
-	case <-l.closed:
-		return nil, ErrClosed
+	for {
+		select {
+		case c := <-l.backlog:
+			return c, nil
+		default:
+		}
+		select {
+		case <-l.closed:
+			return nil, ErrClosed
+		default:
+		}
+		l.w.Park()
 	}
 }
 
@@ -246,6 +269,7 @@ func (l *memListener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.closed)
 		l.network.unregister(l.addr)
+		l.w.Wake()
 	})
 	return nil
 }
@@ -256,7 +280,8 @@ func (l *memListener) Addr() string { return l.addr }
 // times. The buffer a sender passes in is the buffer the receiver gets
 // out — the pipe never copies frame bytes, it only schedules them.
 type memPipe struct {
-	model LatencyModel
+	model  LatencyModel
+	timers clock.Timers
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -271,8 +296,10 @@ type memPipe struct {
 	// FIFO.
 	busyUntil time.Time
 	nextAt    time.Time
-	wake      chan struct{}
-	closed    bool
+	// w parks the receiver when the queue is empty; senders and close
+	// wake it (level-triggered, capacity one).
+	w      clock.Waiter
+	closed bool
 }
 
 type timedFrame struct {
@@ -280,8 +307,8 @@ type timedFrame struct {
 	deliverAt time.Time
 }
 
-func newMemPipe(model LatencyModel, seed int64) *memPipe {
-	return &memPipe{model: model, rng: rand.New(rand.NewSource(seed)), wake: make(chan struct{}, 1)}
+func newMemPipe(model LatencyModel, seed int64, t clock.Timers) *memPipe {
+	return &memPipe{model: model, timers: t, rng: rand.New(rand.NewSource(seed)), w: t.NewWaiter()}
 }
 
 func (p *memPipe) send(fb *wire.FrameBuf) error {
@@ -294,7 +321,7 @@ func (p *memPipe) send(fb *wire.FrameBuf) error {
 	// The frame first occupies the sender for its occupancy (queueing
 	// behind earlier frames still transmitting — larger frames hold the
 	// link longer), then propagates for the sampled delay.
-	now := time.Now()
+	now := p.timers.Now()
 	free := p.busyUntil
 	start := p.occupancyStart(now, p.model.occupancy(fb.WireLen()))
 	p.busyUntil = start
@@ -311,10 +338,7 @@ func (p *memPipe) send(fb *wire.FrameBuf) error {
 	p.nextAt = at
 	p.queue = append(p.queue, timedFrame{fb: fb, deliverAt: at})
 	p.mu.Unlock()
-	select {
-	case p.wake <- struct{}{}:
-	default:
-	}
+	p.w.Wake()
 	p.backpressure(free)
 	return nil
 }
@@ -352,8 +376,8 @@ func (p *memPipe) occupancyStart(now time.Time, occ time.Duration) time.Time {
 // on the in-memory bed. A no-op (free in the past, and always for pure
 // Base/Jitter models).
 func (p *memPipe) backpressure(free time.Time) {
-	if wait := time.Until(free); wait > 0 {
-		time.Sleep(wait)
+	if wait := free.Sub(p.timers.Now()); wait > 0 {
+		p.timers.Sleep(wait)
 	}
 }
 
@@ -378,7 +402,7 @@ func (p *memPipe) sendBatch(fbs []*wire.FrameBuf) error {
 	for _, fb := range fbs {
 		total += fb.WireLen()
 	}
-	now := time.Now()
+	now := p.timers.Now()
 	free := p.busyUntil
 	start := p.occupancyStart(now, p.model.occupancy(total))
 	p.busyUntil = start
@@ -397,10 +421,7 @@ func (p *memPipe) sendBatch(fbs []*wire.FrameBuf) error {
 		fbs[i] = nil
 	}
 	p.mu.Unlock()
-	select {
-	case p.wake <- struct{}{}:
-	default:
-	}
+	p.w.Wake()
 	p.backpressure(free)
 	return nil
 }
@@ -410,9 +431,9 @@ func (p *memPipe) recv() (*wire.FrameBuf, error) {
 		p.mu.Lock()
 		if p.head < len(p.queue) {
 			tf := p.queue[p.head]
-			if wait := time.Until(tf.deliverAt); wait > 0 {
+			if wait := tf.deliverAt.Sub(p.timers.Now()); wait > 0 {
 				p.mu.Unlock()
-				time.Sleep(wait)
+				p.timers.Sleep(wait)
 				continue
 			}
 			p.queue[p.head] = timedFrame{}
@@ -429,7 +450,7 @@ func (p *memPipe) recv() (*wire.FrameBuf, error) {
 			return nil, ErrClosed
 		}
 		p.mu.Unlock()
-		<-p.wake
+		p.w.Park()
 	}
 }
 
@@ -446,10 +467,7 @@ func (p *memPipe) close() {
 		p.queue, p.head = nil, 0
 	}
 	p.mu.Unlock()
-	select {
-	case p.wake <- struct{}{}:
-	default:
-	}
+	p.w.Wake()
 }
 
 type memConn struct {

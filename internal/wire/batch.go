@@ -193,12 +193,23 @@ func DecodeFreezeBatchResp(b []byte) (FreezeBatchResp, error) {
 }
 
 // ReleaseBatchReq releases the transaction's unfrozen locks on every
-// listed key in one pass (the batched form of ReleaseReq).
+// listed key in one pass (the batched form of ReleaseReq). When
+// Committed is set, the sender is a coordinator whose transaction
+// decided commit at TS: freezes and releases are both casts, so a
+// dropped freeze followed by a delivered release would otherwise make
+// the handler discard a still-unfrozen write lock — and with it the
+// pending value of a durably committed write. A committed release
+// therefore subsumes the freeze: the handler installs any write key
+// still pending at TS before dropping the remaining unfrozen locks.
 type ReleaseBatchReq struct {
 	Txn        uint64
 	Epoch      uint64
 	WritesOnly bool
-	Keys       []string
+	// Committed marks the sender's transaction as decided-commit at TS;
+	// leftover pending writes among Keys are installed, not dropped.
+	Committed bool
+	TS        timestamp.Timestamp
+	Keys      []string
 }
 
 // AppendTo implements Message.
@@ -207,6 +218,8 @@ func (m ReleaseBatchReq) AppendTo(buf []byte) []byte {
 	e.U64(m.Txn)
 	e.U64(m.Epoch)
 	e.Bool(m.WritesOnly)
+	e.Bool(m.Committed)
+	e.TS(m.TS)
 	e.StrSlice(m.Keys)
 	return e.buf
 }
@@ -214,7 +227,7 @@ func (m ReleaseBatchReq) AppendTo(buf []byte) []byte {
 // DecodeReleaseBatchReq deserializes a ReleaseBatchReq.
 func DecodeReleaseBatchReq(b []byte) (ReleaseBatchReq, error) {
 	d := NewDecoder(b)
-	m := ReleaseBatchReq{Txn: d.U64(), Epoch: d.U64(), WritesOnly: d.Bool(), Keys: d.StrSlice()}
+	m := ReleaseBatchReq{Txn: d.U64(), Epoch: d.U64(), WritesOnly: d.Bool(), Committed: d.Bool(), TS: d.TS(), Keys: d.StrSlice()}
 	return m, d.Err()
 }
 

@@ -285,13 +285,14 @@ var codecCases = map[string]func(r *rand.Rand) codecCase{
 		}}
 	},
 	"ReleaseBatchReq": func(r *rand.Rand) codecCase {
-		in := ReleaseBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), WritesOnly: r.Intn(2) == 0}
+		in := ReleaseBatchReq{Txn: r.Uint64(), Epoch: r.Uint64(), WritesOnly: r.Intn(2) == 0, Committed: r.Intn(2) == 0, TS: randTS(r)}
 		for i, n := 0, r.Intn(6); i < n; i++ {
 			in.Keys = append(in.Keys, randWord(r))
 		}
 		return codecCase{in.AppendTo(nil), func(b []byte) (bool, error) {
 			out, err := DecodeReleaseBatchReq(b)
-			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.WritesOnly == in.WritesOnly && slices.Equal(out.Keys, in.Keys)
+			ok := out.Txn == in.Txn && out.Epoch == in.Epoch && out.WritesOnly == in.WritesOnly &&
+				out.Committed == in.Committed && out.TS == in.TS && slices.Equal(out.Keys, in.Keys)
 			return ok, err
 		}}
 	},
